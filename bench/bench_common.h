@@ -1,0 +1,39 @@
+#ifndef RAINBOW_BENCH_BENCH_COMMON_H_
+#define RAINBOW_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the experiment benches. Each bench binary
+// regenerates one table/figure from the Rainbow experiment index
+// (DESIGN.md §4) and prints the rows the paper's progress monitor would
+// display.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "core/session.h"
+
+namespace rainbow::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& what) {
+  std::cout << "==============================================================\n";
+  std::cout << id << ": " << what << "\n";
+  std::cout << "==============================================================\n";
+}
+
+/// Runs the experiment and prints the table; exits non-zero on failure.
+inline int RunAndPrint(Experiment& exp,
+                       const std::vector<Experiment::Metric>& columns) {
+  Status s = exp.Run();
+  if (!s.ok()) {
+    std::cerr << "experiment failed: " << s << "\n";
+    return 1;
+  }
+  std::cout << exp.RenderTable(columns) << "\n";
+  return 0;
+}
+
+}  // namespace rainbow::bench
+
+#endif  // RAINBOW_BENCH_BENCH_COMMON_H_

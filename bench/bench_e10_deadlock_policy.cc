@@ -1,0 +1,100 @@
+// E10: design-choice ablations on a high-contention workload —
+// (a) the 2PL deadlock-handling policy (wait-die / wound-wait /
+//     local-WFG / timeout-only), and
+// (b) basic TSO vs the multiversion-TSO term-project extension, where
+//     MVTO's old-version reads rescue read-heavy transactions.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader("E10", "deadlock-policy and MVTO ablations");
+
+  {
+    struct Case {
+      DeadlockPolicy policy;
+      bool ordered;
+      const char* name;
+    };
+    Experiment exp("2PL deadlock handling at high contention (MPL 12, hotspot)");
+    for (const auto& c :
+         {Case{DeadlockPolicy::kWaitDie, false, "wait-die"},
+          Case{DeadlockPolicy::kWoundWait, false, "wound-wait"},
+          Case{DeadlockPolicy::kLocalWfg, false, "local-wfg"},
+          Case{DeadlockPolicy::kTimeoutOnly, false, "timeout-only"},
+          Case{DeadlockPolicy::kEdgeChasing, false, "edge-chasing"},
+          Case{DeadlockPolicy::kTimeoutOnly, true, "ordered-access"}}) {
+      Experiment::Point p;
+      p.label = c.name;
+      p.system.seed = 101;
+      p.system.num_sites = 4;
+      p.system.protocols.cc = CcKind::kTwoPhaseLocking;
+      p.system.protocols.deadlock = c.policy;
+      p.system.protocols.ordered_access = c.ordered;
+      if (c.policy == DeadlockPolicy::kEdgeChasing) {
+        // Let the probes, not the lock-wait timeout, do the work.
+        p.system.protocols.probe_delay = Millis(8);
+        p.system.protocols.lock_wait_timeout = Millis(120);
+      }
+      if (c.ordered) {
+        // Ordered acquisition cannot cycle; waits are benign but must
+        // still resolve below the coordinator's op timeout so stuck
+        // waits are attributed to the CCP, not the RCP.
+        p.system.protocols.lock_wait_timeout = Millis(60);
+      }
+      p.system.AddUniformItems(30, 100, 4);
+      p.workload.seed = 102;
+      p.workload.num_txns = 400;
+      p.workload.mpl = 12;
+      p.workload.read_fraction = 0.5;
+      p.workload.pattern = AccessPattern::kHotspot;
+      p.workload.hot_fraction = 0.2;
+      p.workload.hot_prob = 0.8;
+      exp.AddPoint(std::move(p));
+    }
+    int rc = bench::RunAndPrint(
+        exp, {metrics::CommitRate(), metrics::AbortRateCcp(),
+              metrics::AbortRateRcp(), metrics::Throughput(),
+              metrics::MeanResponseMs()});
+    if (rc != 0) return rc;
+  }
+  {
+    struct Case {
+      CcKind cc;
+      const char* name;
+    };
+    Experiment exp("TSO vs MVTO on a read-heavy contended mix (80% reads)");
+    for (const auto& c : {Case{CcKind::kTimestampOrdering, "TSO"},
+                          Case{CcKind::kMultiversionTso, "MVTO"}}) {
+      Experiment::Point p;
+      p.label = c.name;
+      p.system.seed = 103;
+      p.system.num_sites = 4;
+      p.system.protocols.cc = c.cc;
+      p.system.AddUniformItems(30, 100, 4);
+      p.workload.seed = 104;
+      p.workload.num_txns = 400;
+      p.workload.mpl = 12;
+      p.workload.read_fraction = 0.8;
+      p.workload.pattern = AccessPattern::kHotspot;
+      p.workload.hot_fraction = 0.2;
+      p.workload.hot_prob = 0.8;
+      exp.AddPoint(std::move(p));
+    }
+    int rc = bench::RunAndPrint(
+        exp, {metrics::CommitRate(), metrics::AbortRateCcp(),
+              metrics::Throughput(), metrics::MeanResponseMs()});
+    if (rc != 0) return rc;
+  }
+  std::cout << "reading: detection (local-wfg, edge-chasing) beats avoidance\n"
+               "(wait-die, wound-wait) on commit rate because only real\n"
+               "cycles die; edge-chasing adds the distributed cycles the\n"
+               "local WFG cannot see. Conservative ordered access removes\n"
+               "deadlocks entirely (its aborts are pure long-wait timeouts)\n"
+               "and commits the most, paying with queueing latency. MVTO\n"
+               "beats TSO on the read-heavy mix because old-version reads\n"
+               "never restart.\n";
+  return 0;
+}

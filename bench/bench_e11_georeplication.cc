@@ -1,0 +1,90 @@
+// E11: geo-replication — a 6-site Rainbow domain split across two
+// "data centers" (0.5 ms within a region, 20 ms across). Placement and
+// protocol choice dominate: majority quorums straddle the WAN on every
+// write, weighted votes can keep quorums region-local, and primary copy
+// pins reads to the primary's region.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace rainbow;
+
+SystemConfig GeoSystem() {
+  SystemConfig cfg;
+  cfg.seed = 121;
+  cfg.num_sites = 6;
+  cfg.latency.mean = Micros(500);
+  cfg.latency.inter_region_mean = Millis(20);
+  cfg.latency.regions = {0, 0, 0, 1, 1, 1};
+  // Timeouts sized for WAN round trips.
+  cfg.protocols.op_timeout = Millis(400);
+  cfg.protocols.lock_wait_timeout = Millis(150);
+  cfg.protocols.vote_timeout = Millis(400);
+  return cfg;
+}
+
+void AddItems(SystemConfig& cfg, bool weighted_local) {
+  for (int i = 0; i < 120; ++i) {
+    ItemConfig item;
+    item.name = "x" + std::to_string(i);
+    item.initial = 100;
+    item.copies = {0, 1, 2, 3, 4, 5};
+    if (weighted_local) {
+      // Region-0 copies carry 2 votes each (total 9): R = W = 5 can be
+      // met entirely inside region 0 (2+2+... hmm 2+2+1? no: 2+2+2=6>=5),
+      // so region-0 homes never cross the WAN for quorums.
+      item.votes = {2, 2, 2, 1, 1, 1};
+      item.read_quorum = 5;
+      item.write_quorum = 5;
+    }
+    cfg.items.push_back(std::move(item));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader("E11", "geo-replication: two data centers, 20ms WAN");
+
+  struct Case {
+    const char* name;
+    RcpKind rcp;
+    bool weighted;
+  };
+  Experiment exp(
+      "6 sites = 2 regions; 120 items on all sites; 70% reads; homes\n"
+      "round-robin over every site (both regions submit)");
+  for (const Case& c : {Case{"QC-majority", RcpKind::kQuorumConsensus, false},
+                        Case{"QC-weighted(R0)", RcpKind::kQuorumConsensus, true},
+                        Case{"ROWA", RcpKind::kRowa, false},
+                        Case{"PRIMARY(R0)", RcpKind::kPrimaryCopy, false}}) {
+    Experiment::Point p;
+    p.label = c.name;
+    p.system = GeoSystem();
+    p.system.protocols.rcp = c.rcp;
+    AddItems(p.system, c.weighted);
+    p.workload.seed = 122;
+    p.workload.num_txns = 240;
+    p.workload.mpl = 6;
+    p.workload.read_fraction = 0.7;
+    p.options.max_duration = Seconds(120);
+    exp.AddPoint(std::move(p));
+  }
+  int rc = bench::RunAndPrint(
+      exp, {metrics::MeanResponseMs(), metrics::P95ResponseMs(),
+            metrics::CommitRate(), metrics::MsgsPerCommit(),
+            metrics::Throughput()});
+  if (rc != 0) return rc;
+  std::cout
+      << "reading: plain majority quorums cross the WAN for every\n"
+         "operation quorum or commit round. Region-weighted votes keep\n"
+         "region-0 transactions LAN-local (watch the response-time\n"
+         "split); ROWA's local reads are fast but every write pays a\n"
+         "full WAN round; primary copy is fast for region-0 homes and\n"
+         "slow for region-1 homes (all CC at the region-0 primary).\n";
+  return 0;
+}

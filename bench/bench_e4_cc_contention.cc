@@ -1,0 +1,56 @@
+// E4: concurrency-control comparison — abort rate and throughput vs the
+// multiprogramming level (MPL) for 2PL (wait-die), basic TSO, and the
+// optimistic extension (OCC), on a hotspot workload — the classic
+// pessimistic-vs-restart-vs-optimistic study. 2PL converts conflicts
+// into waits and victim aborts; TSO rejects out-of-order accesses
+// outright; OCC executes lock-free and pays with validation failures
+// at commit time.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader("E4", "abort rate vs MPL: 2PL vs TSO vs OCC (CCP comparison)");
+
+  struct Case {
+    CcKind cc;
+    const char* name;
+  };
+  for (const auto& c : {Case{CcKind::kTwoPhaseLocking, "2PL/wait-die"},
+                        Case{CcKind::kTimestampOrdering, "TSO"},
+                        Case{CcKind::kOptimistic, "OCC"}}) {
+    Experiment exp(std::string("CCP = ") + c.name);
+    for (int mpl : {1, 2, 4, 8, 16, 32}) {
+      Experiment::Point p;
+      p.label = std::to_string(mpl);
+      p.system.seed = 41;
+      p.system.num_sites = 4;
+      p.system.protocols.cc = c.cc;
+      p.system.AddUniformItems(60, 100, 4);
+      p.workload.seed = 42;
+      p.workload.num_txns = 400;
+      p.workload.mpl = static_cast<uint32_t>(mpl);
+      p.workload.read_fraction = 0.5;
+      p.workload.pattern = AccessPattern::kHotspot;
+      p.workload.hot_fraction = 0.15;
+      p.workload.hot_prob = 0.7;
+      exp.AddPoint(std::move(p));
+    }
+    int rc = bench::RunAndPrint(
+        exp, {metrics::AbortRateTotal(), metrics::AbortRateCcp(),
+              metrics::AbortRateAcp(), metrics::CommitRate(),
+              metrics::Throughput(), metrics::MeanResponseMs()});
+    if (rc != 0) return rc;
+  }
+  std::cout << "reading: abort% rises with MPL for every CCP. Wait-die's\n"
+               "eager victim rule (any younger requester dies on contact)\n"
+               "restarts most; TSO only rejects accesses that arrive out\n"
+               "of timestamp order; OCC never aborts during execution (its\n"
+               "failures are NO votes at validation, counted under ACP)\n"
+               "and posts the lowest response times — no lock waits — at\n"
+               "the price of late, wasted work. See E10 for the other 2PL\n"
+               "deadlock policies.\n";
+  return 0;
+}

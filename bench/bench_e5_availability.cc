@@ -1,0 +1,54 @@
+// E5: availability under site failures — commit rate as the random
+// crash rate rises, for QC vs ROWA vs ROWA-A. The paper's fault
+// injector + RCP matrix makes exactly this experiment a one-liner in
+// the GUI; here it is a config sweep.
+//
+// Expected shape: ROWA write availability collapses as failures rise
+// (one dead copy blocks every write); QC degrades gracefully while a
+// majority is up; ROWA-A stays available by shrinking the write set.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader("E5", "commit rate vs site failure rate (RCP comparison)");
+
+  struct Case {
+    RcpKind rcp;
+    const char* name;
+  };
+  for (const auto& c : {Case{RcpKind::kQuorumConsensus, "QC"},
+                        Case{RcpKind::kRowa, "ROWA"},
+                        Case{RcpKind::kRowaAvailable, "ROWA-A"}}) {
+    Experiment exp(std::string("RCP = ") + c.name +
+                   "  (x = per-site MTTF in ms; MTTR fixed 100ms)");
+    for (SimTime mttf : {Millis(4000), Millis(2000), Millis(1000),
+                         Millis(500), Millis(250)}) {
+      Experiment::Point p;
+      p.label = std::to_string(mttf / 1000);
+      p.system.seed = 51;
+      p.system.num_sites = 5;
+      p.system.protocols.rcp = c.rcp;
+      p.system.AddUniformItems(80, 100, 5);
+      p.workload.seed = 52;
+      p.workload.num_txns = 300;
+      p.workload.mpl = 6;
+      p.workload.read_fraction = 0.5;
+      p.options.random_mttf = mttf;
+      p.options.random_mttr = Millis(100);
+      p.options.max_duration = Seconds(30);
+      exp.AddPoint(std::move(p));
+    }
+    int rc = bench::RunAndPrint(
+        exp, {metrics::CommitRate(), metrics::AbortRateRcp(),
+              metrics::AbortRateAcp(), metrics::Orphans(),
+              metrics::Throughput()});
+    if (rc != 0) return rc;
+  }
+  std::cout << "reading: as MTTF shrinks (right-most rows), ROWA's commit\n"
+               "rate collapses first; QC degrades gracefully; ROWA-A trades\n"
+               "strict replica consistency for availability.\n";
+  return 0;
+}

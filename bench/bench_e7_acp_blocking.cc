@@ -1,0 +1,88 @@
+// E7: atomic-commit comparison — what a coordinator crash between the
+// vote and the decision costs under 2PC vs 3PC (the paper's named
+// term-project replacement).
+//
+// The crash is aimed: with fixed 1ms latency a single-write transaction
+// reaches "participants prepared, decision not yet sent" about 5.5ms
+// after submission, so crashing the home site then leaves the remote
+// participants in doubt. Under 2PC they must wait for the coordinator
+// to recover (presumed abort); under 3PC the termination protocol
+// resolves them in a few timeout windows. We repeat the scenario over a
+// range of coordinator outage lengths and report the participant
+// blocking time measured by the progress monitor.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/system.h"
+#include "fault/fault_injector.h"
+
+namespace {
+
+using namespace rainbow;
+
+struct Row {
+  SimTime outage;
+  double blocked_2pc_ms;
+  double blocked_3pc_ms;
+};
+
+double RunOne(AcpKind acp, SimTime outage) {
+  SystemConfig cfg;
+  cfg.seed = 71;
+  cfg.num_sites = 4;
+  cfg.latency.distribution = LatencyDistribution::kFixed;
+  cfg.latency.mean = Millis(1);
+  cfg.latency.per_kb = 0;
+  cfg.protocols.acp = acp;
+  cfg.AddFullyReplicatedItems(8, 100);
+
+  auto sys = RainbowSystem::Create(cfg);
+  if (!sys.ok()) return -1;
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+
+  // Ten aimed victim transactions, spaced far apart.
+  for (int i = 0; i < 10; ++i) {
+    SimTime submit_at = Millis(5) + static_cast<SimTime>(i) * (outage + Millis(400));
+    SimTime crash_at = submit_at + Micros(5500);
+    ItemId item = static_cast<ItemId>(i % 8);
+    s.sim().At(submit_at, [&s, item] {
+      (void)s.Submit(0, TxnProgram{{Op::Write(item, 1)}, "victim"}, nullptr);
+    });
+    inject.Schedule(FaultEvent::Crash(crash_at, 0));
+    inject.Schedule(FaultEvent::Recover(crash_at + outage, 0));
+  }
+  s.RunFor(static_cast<SimTime>(10) * (outage + Millis(400)) + Seconds(3));
+  return s.monitor().blocked_times().mean() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader(
+      "E7", "participant blocking under coordinator failure: 2PC vs 3PC");
+
+  TablePrinter t({"coordinator outage (ms)", "2PC mean blocked (ms)",
+                  "3PC mean blocked (ms)"});
+  for (SimTime outage : {Millis(200), Millis(500), Millis(1000),
+                         Millis(2000), Millis(4000)}) {
+    double b2 = RunOne(AcpKind::kTwoPhaseCommit, outage);
+    double b3 = RunOne(AcpKind::kThreePhaseCommit, outage);
+    if (b2 < 0 || b3 < 0) {
+      std::cerr << "run failed\n";
+      return 1;
+    }
+    t.AddRow({TablePrinter::Cell(static_cast<int64_t>(outage / 1000)).text,
+              FormatDouble(b2, 1), FormatDouble(b3, 1)});
+  }
+  std::cout << t.ToString() << "\n";
+  std::cout
+      << "reading: 2PC participants stay blocked for (almost) the whole\n"
+         "coordinator outage — blocking grows linearly with it. 3PC\n"
+         "participants terminate among themselves after the decision\n"
+         "timeout, so their blocking time is flat regardless of how long\n"
+         "the coordinator stays down.\n";
+  return 0;
+}

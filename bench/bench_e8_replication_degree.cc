@@ -1,0 +1,36 @@
+// E8: cost of replication — response time and message count as the
+// replication degree grows, under the default QC protocol stack. The
+// flip side of E5's availability gain.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace rainbow;
+  bench::PrintHeader("E8", "response time & messages vs replication degree (QC)");
+
+  Experiment exp("7 sites, QC majority quorums, 50% reads");
+  for (int degree : {1, 2, 3, 4, 5, 6, 7}) {
+    Experiment::Point p;
+    p.label = std::to_string(degree);
+    p.system.seed = 81;
+    p.system.num_sites = 7;
+    p.system.AddUniformItems(140, 100, degree);
+    p.workload.seed = 82;
+    p.workload.num_txns = 300;
+    p.workload.mpl = 6;
+    p.workload.read_fraction = 0.5;
+    exp.AddPoint(std::move(p));
+  }
+  int rc = bench::RunAndPrint(
+      exp, {metrics::MeanResponseMs(), metrics::P95ResponseMs(),
+            metrics::MsgsPerCommit(), metrics::CommitRate(),
+            metrics::Throughput()});
+  if (rc != 0) return rc;
+  std::cout << exp.RenderChart(metrics::MsgsPerCommit()) << "\n";
+  std::cout << "reading: majority quorums grow with the degree, so both\n"
+               "messages per commit and response time climb roughly\n"
+               "linearly; degree 1 (no replication) is the floor.\n";
+  return 0;
+}

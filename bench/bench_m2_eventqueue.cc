@@ -1,0 +1,60 @@
+// M2: microbenchmark of the discrete-event kernel — schedule/fire
+// throughput, cancellation cost, and a full simulated message ping-pong
+// (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace rainbow {
+namespace {
+
+void BM_ScheduleAndFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.Schedule(i, [] {});
+    }
+    while (!q.empty()) q.PopNext().cb();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleAndFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ScheduleCancelHalf(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<EventQueue::EventId> ids(static_cast<size_t>(batch));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<size_t>(i)] = q.Schedule(i, [] {});
+    }
+    for (int i = 0; i < batch; i += 2) {
+      q.Cancel(ids[static_cast<size_t>(i)]);
+    }
+    while (!q.empty()) q.PopNext().cb();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ScheduleCancelHalf)->Arg(1024);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.After(1, tick);
+    };
+    sim.After(1, tick);
+    sim.RunToQuiescence();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+}  // namespace
+}  // namespace rainbow
+
+BENCHMARK_MAIN();

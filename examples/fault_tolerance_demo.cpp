@@ -1,0 +1,61 @@
+// Fault-tolerance demo: the same workload is run twice — once under
+// quorum consensus, once under ROWA — while a site crashes mid-run and
+// recovers later. QC keeps committing writes through the outage (a
+// majority of copies is still up); ROWA's writes abort until the copy
+// returns. Afterwards, the recovered site catches up via the recovery
+// refresh and all copies converge.
+//
+// Build & run:  ./build/examples/fault_tolerance_demo
+
+#include <iostream>
+
+#include "core/session.h"
+#include "common/string_util.h"
+#include "fault/fault_injector.h"
+
+int main() {
+  using namespace rainbow;
+
+  std::cout << "Rainbow fault-tolerance demo\n"
+            << "5 sites, full replication; site 3 crashes at t=100ms and\n"
+            << "recovers at t=900ms; 300 transactions, 50% writes.\n\n";
+
+  for (RcpKind rcp : {RcpKind::kQuorumConsensus, RcpKind::kRowa}) {
+    SystemConfig system;
+    system.seed = 1848;
+    system.num_sites = 5;
+    system.protocols.rcp = rcp;
+    system.AddFullyReplicatedItems(200, 100);
+
+    WorkloadConfig workload;
+    workload.seed = 7;
+    workload.num_txns = 300;
+    workload.mpl = 4;
+    workload.read_fraction = 0.5;
+
+    SessionOptions options;
+    options.faults = {FaultEvent::Crash(Millis(100), 3),
+                      FaultEvent::Recover(Millis(900), 3)};
+
+    auto result = RunSession(system, workload, options);
+    if (!result.ok()) {
+      std::cerr << "session failed: " << result.status() << "\n";
+      return 1;
+    }
+    std::cout << "--- RCP = " << RcpKindName(rcp) << " ---\n";
+    std::cout << "  committed " << result->committed << " / 300, commit rate "
+              << FormatDouble(result->commit_rate * 100, 1) << "%\n";
+    std::cout << "  aborts: RCP-caused " << result->aborted_rcp
+              << ", CC-caused " << result->aborted_ccp << ", ACP-caused "
+              << result->aborted_acp << ", home-crash "
+              << result->aborted_fail << "\n";
+    std::cout << "  orphan cleanups: " << result->orphans
+              << ", network messages: " << result->net_messages << "\n\n";
+  }
+
+  std::cout << "reading: with one of five copies down, QC loses only the\n"
+               "transactions homed at (or quorum-routed through) the dead\n"
+               "site, while ROWA aborts essentially every write for the\n"
+               "duration of the outage.\n";
+  return 0;
+}

@@ -1,0 +1,284 @@
+// Text-mode Rainbow session: the scripted equivalent of the paper's GUI
+// tour (§4 "A Brief Tour of the Rainbow Demo"). The same verbs the GUI
+// panels expose are available as commands:
+//
+//   sites N                  configure the number of Rainbow sites
+//   latency MEAN_US          configure the network simulation
+//   protocol rcp QC|ROWA|ROWA-A
+//   protocol cc 2PL|TSO|MVTO
+//   protocol acp 2PC|3PC
+//   item NAME INITIAL s0|s1|...   define a replicated database item
+//   start                    instantiate the configured system
+//   submit HOME OP [OP...]   manual workload panel; OP = r:NAME,
+//                            w:NAME=VAL, i:NAME+DELTA
+//   auto N MPL READFRAC      simulated workload generation
+//   run MS                   advance virtual time
+//   crash S | recover S      inject a site failure / recovery
+//   stats                    Tx-processing statistics (§3 list)
+//   log                      per-transaction session log (Figure 5)
+//   saveconfig FILE | quit
+//
+// Run with no arguments for a built-in demo script, with a file argument
+// to execute a script, or with "-" to read commands from stdin.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/config.h"
+#include "core/system.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace rainbow;
+
+const char* kDemoScript = R"(
+# --- built-in demo: the paper's tour, scripted ---
+sites 3
+latency 2000
+protocol rcp QC
+protocol cc 2PL
+protocol acp 2PC
+item x 100 0|1|2
+item y 200 0|1|2
+item z 300 0|1|2
+item a0 0 0|1|2
+item a1 0 0|1|2
+item a2 0 0|1|2
+item a3 0 0|1|2
+item a4 0 0|1|2
+item a5 0 0|1|2
+item a6 0 0|1|2
+item a7 0 0|1|2
+item a8 0 0|1|2
+start
+submit 0 r:x i:y+5
+submit 1 w:z=42 r:y
+run 50
+crash 2
+submit 0 i:x+1
+run 100
+recover 2
+run 100
+auto 30 4 0.7
+run 2000
+stats
+log
+quit
+)";
+
+class SessionShell {
+ public:
+  int RunStream(std::istream& in, bool echo) {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string_view trimmed = TrimWhitespace(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (echo) std::cout << "rainbow> " << trimmed << "\n";
+      if (!Execute(std::string(trimmed))) return 0;  // quit
+    }
+    return 0;
+  }
+
+ private:
+  bool Execute(const std::string& line) {
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::cout << "commands: sites latency protocol item start submit auto "
+                   "run crash recover stats log saveconfig quit\n";
+    } else if (cmd == "sites") {
+      is >> config_.num_sites;
+    } else if (cmd == "latency") {
+      int64_t us = 0;
+      is >> us;
+      config_.latency.mean = us;
+    } else if (cmd == "protocol") {
+      std::string which, value;
+      is >> which >> value;
+      SetProtocol(which, value);
+    } else if (cmd == "item") {
+      ItemConfig item;
+      std::string copies;
+      is >> item.name >> item.initial >> copies;
+      for (const std::string& s : SplitAndTrim(copies, '|')) {
+        auto v = ParseInt(s);
+        if (v.ok()) item.copies.push_back(static_cast<SiteId>(*v));
+      }
+      config_.items.push_back(std::move(item));
+    } else if (cmd == "start") {
+      Start();
+    } else if (cmd == "submit") {
+      Submit(is);
+    } else if (cmd == "auto") {
+      Auto(is);
+    } else if (cmd == "run") {
+      int64_t ms = 0;
+      is >> ms;
+      if (RequireSystem()) sys_->RunFor(Millis(ms));
+    } else if (cmd == "crash") {
+      SiteId s = 0;
+      is >> s;
+      if (RequireSystem()) {
+        sys_->CrashSite(s);
+        std::cout << "site " << s << " crashed\n";
+      }
+    } else if (cmd == "recover") {
+      SiteId s = 0;
+      is >> s;
+      if (RequireSystem()) {
+        sys_->RecoverSite(s);
+        std::cout << "site " << s << " recovering\n";
+      }
+    } else if (cmd == "stats") {
+      if (RequireSystem()) {
+        std::cout << sys_->monitor().RenderStatistics(sys_->net().stats(),
+                                                      sys_->sim().Now());
+      }
+    } else if (cmd == "log") {
+      if (RequireSystem()) std::cout << sys_->monitor().RenderSessionLog();
+    } else if (cmd == "saveconfig") {
+      std::string path;
+      is >> path;
+      std::ofstream out(path);
+      out << config_.ToText();
+      std::cout << "saved configuration to " << path << "\n";
+    } else {
+      std::cout << "unknown command '" << cmd << "' (try: help)\n";
+    }
+    return true;
+  }
+
+  void SetProtocol(const std::string& which, const std::string& value) {
+    ProtocolConfig& p = config_.protocols;
+    if (which == "rcp") {
+      if (value == "QC") p.rcp = RcpKind::kQuorumConsensus;
+      if (value == "ROWA") p.rcp = RcpKind::kRowa;
+      if (value == "ROWA-A") p.rcp = RcpKind::kRowaAvailable;
+    } else if (which == "cc") {
+      if (value == "2PL") p.cc = CcKind::kTwoPhaseLocking;
+      if (value == "TSO") p.cc = CcKind::kTimestampOrdering;
+      if (value == "MVTO") p.cc = CcKind::kMultiversionTso;
+      if (value == "OCC") p.cc = CcKind::kOptimistic;
+    } else if (which == "acp") {
+      if (value == "2PC") p.acp = AcpKind::kTwoPhaseCommit;
+      if (value == "3PC") p.acp = AcpKind::kThreePhaseCommit;
+    } else if (which == "deadlock") {
+      if (value == "wait-die") p.deadlock = DeadlockPolicy::kWaitDie;
+      if (value == "wound-wait") p.deadlock = DeadlockPolicy::kWoundWait;
+      if (value == "local-wfg") p.deadlock = DeadlockPolicy::kLocalWfg;
+      if (value == "timeout-only") p.deadlock = DeadlockPolicy::kTimeoutOnly;
+      if (value == "edge-chasing") p.deadlock = DeadlockPolicy::kEdgeChasing;
+    }
+  }
+
+  void Start() {
+    auto created = RainbowSystem::Create(config_);
+    if (!created.ok()) {
+      std::cout << "configuration rejected: " << created.status() << "\n";
+      return;
+    }
+    sys_ = std::move(created).value();
+    sys_->monitor().set_keep_outcomes(true);
+    std::cout << "Rainbow instance up: " << config_.num_sites << " sites, "
+              << config_.items.size() << " items, RCP="
+              << RcpKindName(config_.protocols.rcp) << " CCP="
+              << CcKindName(config_.protocols.cc) << " ACP="
+              << AcpKindName(config_.protocols.acp) << "\n";
+  }
+
+  void Submit(std::istringstream& is) {
+    if (!RequireSystem()) return;
+    SiteId home = 0;
+    is >> home;
+    TxnProgram program;
+    std::string token;
+    while (is >> token) {
+      auto op = ParseOp(token);
+      if (!op.ok()) {
+        std::cout << "bad op '" << token << "': " << op.status() << "\n";
+        return;
+      }
+      program.ops.push_back(*op);
+    }
+    Status s = sys_->Submit(home, program, [](const TxnOutcome& o) {
+      std::cout << "  -> " << o.ToString() << "\n";
+    });
+    if (!s.ok()) std::cout << "submit failed: " << s << "\n";
+  }
+
+  Result<Op> ParseOp(const std::string& token) {
+    // r:NAME | w:NAME=VAL | i:NAME+DELTA (delta may be negative: i:x+-3)
+    if (token.size() < 3 || token[1] != ':') {
+      return Status::InvalidArgument("expected r:/w:/i: prefix");
+    }
+    char kind = token[0];
+    std::string rest = token.substr(2);
+    if (kind == 'r') {
+      RAINBOW_ASSIGN_OR_RETURN(ItemId item, sys_->ItemByName(rest));
+      return Op::Read(item);
+    }
+    char sep = kind == 'w' ? '=' : '+';
+    size_t pos = rest.find(sep);
+    if (pos == std::string::npos) {
+      return Status::InvalidArgument(std::string("missing '") + sep + "'");
+    }
+    RAINBOW_ASSIGN_OR_RETURN(ItemId item,
+                             sys_->ItemByName(rest.substr(0, pos)));
+    RAINBOW_ASSIGN_OR_RETURN(int64_t value, ParseInt(rest.substr(pos + 1)));
+    return kind == 'w' ? Op::Write(item, value) : Op::Increment(item, value);
+  }
+
+  void Auto(std::istringstream& is) {
+    if (!RequireSystem()) return;
+    WorkloadConfig wl;
+    is >> wl.num_txns >> wl.mpl >> wl.read_fraction;
+    wl.seed = 4711;
+    wlg_ = std::make_unique<WorkloadGenerator>(sys_.get(), wl);
+    wlg_->Run([n = wl.num_txns] {
+      std::cout << "  [workload generator: all " << n
+                << " transactions completed]\n";
+    });
+    std::cout << "simulated workload started (" << wl.num_txns << " txns, MPL "
+              << wl.mpl << ", " << wl.read_fraction * 100
+              << "% reads); advance time with 'run'\n";
+  }
+
+  bool RequireSystem() {
+    if (!sys_) {
+      std::cout << "no running instance — configure and 'start' first\n";
+      return false;
+    }
+    return true;
+  }
+
+  SystemConfig config_;
+  std::unique_ptr<RainbowSystem> sys_;
+  std::unique_ptr<WorkloadGenerator> wlg_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SessionShell shell;
+  if (argc < 2) {
+    std::cout << "(no script given: running the built-in demo; pass a file "
+                 "or '-' for stdin)\n";
+    std::istringstream demo(kDemoScript);
+    return shell.RunStream(demo, /*echo=*/true);
+  }
+  std::string arg = argv[1];
+  if (arg == "-") {
+    return shell.RunStream(std::cin, /*echo=*/false);
+  }
+  std::ifstream file(arg);
+  if (!file) {
+    std::cerr << "cannot open " << arg << "\n";
+    return 1;
+  }
+  return shell.RunStream(file, /*echo=*/true);
+}

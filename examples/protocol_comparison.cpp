@@ -1,0 +1,65 @@
+// Protocol-matrix comparison: one workload, every protocol combination
+// Rainbow supports (RCP x CCP x ACP, plus the term-project extensions).
+// This is the experiment the paper's modular protocol design exists to
+// enable — "Rainbow protocols are implemented with minimum
+// interdependencies ... to facilitate their replacement".
+//
+// Build & run:  ./build/examples/protocol_comparison
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/session.h"
+
+int main() {
+  using namespace rainbow;
+
+  std::cout << "Rainbow protocol matrix — identical workload (300 txns,\n"
+            << "MPL 8, 60% reads, 4 sites, degree-3 replication) under\n"
+            << "every protocol combination:\n\n";
+
+  TablePrinter table({"RCP", "CCP", "ACP", "commit%", "tput(tps)",
+                      "mean_rt(ms)", "msgs/commit"});
+
+  for (RcpKind rcp : {RcpKind::kQuorumConsensus, RcpKind::kRowa,
+                      RcpKind::kRowaAvailable}) {
+    for (CcKind cc : {CcKind::kTwoPhaseLocking, CcKind::kTimestampOrdering,
+                      CcKind::kMultiversionTso, CcKind::kOptimistic}) {
+      for (AcpKind acp :
+           {AcpKind::kTwoPhaseCommit, AcpKind::kThreePhaseCommit}) {
+        SystemConfig system;
+        system.seed = 99;
+        system.num_sites = 4;
+        system.protocols.rcp = rcp;
+        system.protocols.cc = cc;
+        system.protocols.acp = acp;
+        system.AddUniformItems(60, 100, 3);
+
+        WorkloadConfig workload;
+        workload.seed = 100;
+        workload.num_txns = 300;
+        workload.mpl = 8;
+        workload.read_fraction = 0.6;
+
+        auto result = RunSession(system, workload);
+        if (!result.ok()) {
+          std::cerr << "session failed: " << result.status() << "\n";
+          return 1;
+        }
+        table.AddRow({RcpKindName(rcp), CcKindName(cc), AcpKindName(acp),
+                      FormatDouble(result->commit_rate * 100, 1),
+                      FormatDouble(result->throughput_tps, 1),
+                      FormatDouble(result->mean_response_us / 1000, 2),
+                      FormatDouble(result->msgs_per_commit, 1)});
+      }
+    }
+  }
+  std::cout << table.ToString() << "\n";
+  std::cout << "observations to look for:\n"
+            << "  * ROWA beats QC on this read-heavy mix (cheap reads);\n"
+            << "  * MVTO posts the best commit rates (reads never restart);\n"
+            << "  * 3PC pays an extra round per commit vs 2PC (messages up,\n"
+            << "    response time up) and buys non-blocking termination.\n";
+  return 0;
+}

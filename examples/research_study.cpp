@@ -1,0 +1,126 @@
+// Research-study example: the kind of scientific experiment §3 of the
+// paper says Rainbow exists for — "studying the quorum consensus
+// behavior and message traffic in quorum-based systems" — run
+// programmatically with the experiment harness instead of the GUI.
+//
+// Study question: on a 5-site system, how does shifting quorum weight
+// onto one "datacenter-grade" site (3 votes vs 1 each) change message
+// traffic, response time, and what happens when THAT site fails?
+//
+// Build & run:  ./build/examples/research_study
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/experiment.h"
+#include "fault/fault_injector.h"
+
+namespace {
+
+using namespace rainbow;
+
+SystemConfig WeightedSystem(bool weighted) {
+  SystemConfig cfg;
+  cfg.seed = 515;
+  cfg.num_sites = 5;
+  for (int i = 0; i < 100; ++i) {
+    ItemConfig item;
+    item.name = "x" + std::to_string(i);
+    item.initial = 100;
+    item.copies = {0, 1, 2, 3, 4};
+    if (weighted) {
+      // Site 0 carries 3 of 7 votes; R = W = 4 still intersect
+      // (4+4 > 7, 2*4 > 7) but can be met by {site0, one other}.
+      item.votes = {3, 1, 1, 1, 1};
+      item.read_quorum = 4;
+      item.write_quorum = 4;
+    }  // else: default majority (3 of 5, one vote each)
+    cfg.items.push_back(std::move(item));
+  }
+  return cfg;
+}
+
+WorkloadConfig Mix() {
+  WorkloadConfig wl;
+  wl.seed = 516;
+  wl.num_txns = 300;
+  wl.mpl = 6;
+  wl.read_fraction = 0.6;
+  return wl;
+}
+
+}  // namespace
+
+int main() {
+  std::cout <<
+      "Rainbow research study: weighted vs uniform quorum votes\n"
+      "5 sites, 100 fully replicated items, QC + 2PL + 2PC.\n"
+      "'weighted' gives site 0 three of seven votes (R = W = 4), so a\n"
+      "quorum is {site0 + any one other}; 'uniform' is majority 3-of-5.\n\n";
+
+  {
+    Experiment exp("healthy network");
+    for (bool weighted : {false, true}) {
+      Experiment::Point p;
+      p.label = weighted ? "weighted" : "uniform";
+      p.system = WeightedSystem(weighted);
+      p.workload = Mix();
+      exp.AddPoint(std::move(p));
+    }
+    if (!exp.Run().ok()) return 1;
+    std::cout << exp.RenderTable({metrics::MsgsPerCommit(),
+                                  metrics::MeanResponseMs(),
+                                  metrics::CommitRate(),
+                                  metrics::Throughput()})
+              << "\n";
+  }
+  {
+    Experiment exp("the heavy site (site 0) crashes at t=100ms, back at t=1s");
+    for (bool weighted : {false, true}) {
+      Experiment::Point p;
+      p.label = weighted ? "weighted" : "uniform";
+      p.system = WeightedSystem(weighted);
+      p.workload = Mix();
+      p.options.faults = {FaultEvent::Crash(Millis(100), 0),
+                          FaultEvent::Recover(Millis(1000), 0)};
+      exp.AddPoint(std::move(p));
+    }
+    if (!exp.Run().ok()) return 1;
+    std::cout << exp.RenderTable({metrics::CommitRate(),
+                                  metrics::AbortRateRcp(),
+                                  metrics::MsgsPerCommit(),
+                                  metrics::Throughput()})
+              << "\n";
+  }
+  {
+    Experiment exp(
+        "two sites (0 and 1) down from t=100ms until t=1500ms");
+    for (bool weighted : {false, true}) {
+      Experiment::Point p;
+      p.label = weighted ? "weighted" : "uniform";
+      p.system = WeightedSystem(weighted);
+      p.workload = Mix();
+      p.options.faults = {FaultEvent::Crash(Millis(100), 0),
+                          FaultEvent::Crash(Millis(100), 1),
+                          FaultEvent::Recover(Millis(1500), 0),
+                          FaultEvent::Recover(Millis(1500), 1)};
+      p.options.max_duration = Seconds(60);
+      exp.AddPoint(std::move(p));
+    }
+    if (!exp.Run().ok()) return 1;
+    std::cout << exp.RenderTable({metrics::CommitRate(),
+                                  metrics::AbortRateRcp(),
+                                  metrics::Throughput()})
+              << "\n";
+  }
+  std::cout <<
+      "finding: weighted votes nearly halve the message bill while the\n"
+      "heavy site is healthy. One crash of the heavy site is survivable\n"
+      "for both schemes, but the weighted quorum must then touch every\n"
+      "remaining copy (its msgs/commit jumps past uniform's). With TWO\n"
+      "sites down including the heavy one, only 3 of 7 votes remain:\n"
+      "the weighted scheme cannot form any quorum until recovery, while\n"
+      "uniform majority (3 of 5) keeps committing. Weighted quorums buy\n"
+      "common-case cost with fault-tolerance margin.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef RAINBOW_ACP_ACP_COMMON_H_
+#define RAINBOW_ACP_ACP_COMMON_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace rainbow {
+
+/// Which atomic commitment protocol a Rainbow instance runs.
+enum class AcpKind {
+  kTwoPhaseCommit,    ///< the paper's default ACP
+  kThreePhaseCommit,  ///< non-blocking term-project extension
+};
+
+const char* AcpKindName(AcpKind k);
+
+/// Tracks phase-1 vote collection at the coordinator. Pure bookkeeping,
+/// shared by 2PC and 3PC.
+class VoteCollector {
+ public:
+  explicit VoteCollector(std::vector<SiteId> participants);
+
+  /// Records a vote; duplicate votes from the same site are ignored.
+  void Record(SiteId site, bool yes);
+
+  bool AllYes() const;
+  bool AnyNo() const { return any_no_; }
+  bool Complete() const;
+  size_t pending() const;
+  const std::vector<SiteId>& participants() const { return participants_; }
+
+ private:
+  std::vector<SiteId> participants_;
+  std::set<SiteId> voted_;
+  bool any_no_ = false;
+};
+
+/// Tracks acknowledgement collection (decision phase of 2PC, and the
+/// pre-commit / commit phases of 3PC).
+class AckCollector {
+ public:
+  explicit AckCollector(std::vector<SiteId> participants);
+
+  void Record(SiteId site);
+  bool Complete() const;
+  size_t pending() const;
+  std::vector<SiteId> Missing() const;
+
+ private:
+  std::vector<SiteId> participants_;
+  std::set<SiteId> acked_;
+};
+
+/// The 3PC cooperative-termination decision rule: given the states
+/// reported by the reachable participants (including the caller's own),
+/// decide the transaction's fate without the coordinator.
+///
+///  * any kCommitted         -> commit
+///  * any kAborted / kUnknown / kActive -> abort (kUnknown or kActive
+///    means that site had not voted YES, so commit cannot have been
+///    decided)
+///  * any kPreCommitted      -> commit (no site can be in both abort-
+///    and commit-reachable states; pre-commit certifies all voted yes)
+///  * all kPrepared          -> abort (safe in 3PC: pre-commit certifies
+///    commit decisions, and no reachable site saw one)
+///
+/// Returns nullopt if `states` is empty.
+std::optional<bool> ThreePcTerminationDecision(
+    const std::vector<AcpState>& states);
+
+/// Elects a replacement coordinator for 3PC termination: the lowest site
+/// id among the live participants.
+SiteId ElectCoordinator(const std::vector<SiteId>& participants,
+                        const std::set<SiteId>& suspected);
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_ACP_ACP_COMMON_H_

@@ -1,0 +1,32 @@
+#include "catalog/catalog.h"
+
+namespace rainbow {
+
+Result<SiteId> Catalog::RegisterSite(const std::string& name) {
+  SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(SiteInfo{id, name});
+  return id;
+}
+
+Result<const SiteInfo*> Catalog::FindSite(SiteId id) const {
+  if (id >= sites_.size()) {
+    return Status::NotFound("no site with id " + std::to_string(id));
+  }
+  return &sites_[id];
+}
+
+Status Catalog::Validate() const {
+  RAINBOW_RETURN_IF_ERROR(schema_.Validate());
+  for (const ItemSchema& item : schema_.items()) {
+    for (SiteId s : item.copies) {
+      if (s >= sites_.size()) {
+        return Status::InvalidArgument(
+            "item '" + item.name + "' places a copy on unregistered site " +
+            std::to_string(s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rainbow

@@ -1,0 +1,47 @@
+#ifndef RAINBOW_CATALOG_CATALOG_H_
+#define RAINBOW_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "catalog/schema.h"
+
+namespace rainbow {
+
+/// Metadata for one Rainbow site, as stored in the name server ("the id
+/// and end point specifications"). In the simulation the endpoint is the
+/// site's network address (its SiteId) plus a display name.
+struct SiteInfo {
+  SiteId id = kInvalidSite;
+  std::string name;
+};
+
+/// The name server's data: the site registry plus the replication
+/// schema. Kept as a separate value type so it can be unit-tested and
+/// snapshot-copied into site-local caches without touching the actor.
+class Catalog {
+ public:
+  /// Registers a site; ids must be dense from 0.
+  Result<SiteId> RegisterSite(const std::string& name);
+
+  Result<const SiteInfo*> FindSite(SiteId id) const;
+  const std::vector<SiteInfo>& sites() const { return sites_; }
+  size_t num_sites() const { return sites_.size(); }
+
+  ReplicationSchema& schema() { return schema_; }
+  const ReplicationSchema& schema() const { return schema_; }
+
+  /// Validates sites + schema consistency (every copy placed on a
+  /// registered site).
+  Status Validate() const;
+
+ private:
+  std::vector<SiteInfo> sites_;
+  ReplicationSchema schema_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_CATALOG_CATALOG_H_

@@ -1,0 +1,67 @@
+#ifndef RAINBOW_CATALOG_SCHEMA_H_
+#define RAINBOW_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rainbow {
+
+/// Replication metadata for one database item: which sites hold copies,
+/// the vote weight of each copy, and the quorum thresholds. This is the
+/// name server's "database fragmentation, replication and distribution
+/// schema" from the paper.
+struct ItemSchema {
+  ItemId id = kInvalidItem;
+  std::string name;
+  Value initial_value = 0;
+  std::vector<SiteId> copies;
+  std::vector<int> votes;  ///< parallel to `copies`; all >= 1
+  int read_quorum = 0;     ///< in votes
+  int write_quorum = 0;    ///< in votes
+
+  int total_votes() const;
+  /// Vote weight of `site`'s copy, 0 if no copy there.
+  int VoteOf(SiteId site) const;
+  bool HasCopyAt(SiteId site) const;
+};
+
+/// The database schema: items, their placement, and quorum parameters.
+/// Configured once per Rainbow instance ("Database Replication
+/// Configuration panel") and then distributed via the name server.
+class ReplicationSchema {
+ public:
+  /// Adds an item with explicit copies/votes/quorums. Returns the id.
+  Result<ItemId> AddItem(const std::string& name, Value initial_value,
+                         std::vector<SiteId> copies, std::vector<int> votes,
+                         int read_quorum, int write_quorum);
+
+  /// Adds an item replicated at `copies` with one vote per copy and
+  /// majority read/write quorums (the common classroom configuration).
+  Result<ItemId> AddItemMajority(const std::string& name, Value initial_value,
+                                 std::vector<SiteId> copies);
+
+  /// Checks every item: copies non-empty, votes positive, quorums
+  /// satisfiable and correct (R + W > V and 2W > V, the quorum
+  /// intersection conditions).
+  Status Validate() const;
+
+  Result<ItemId> IdOf(const std::string& name) const;
+  Result<const ItemSchema*> Find(ItemId id) const;
+  const std::vector<ItemSchema>& items() const { return items_; }
+  size_t num_items() const { return items_.size(); }
+
+  /// Items hosted at `site`.
+  std::vector<ItemId> ItemsAt(SiteId site) const;
+
+ private:
+  std::vector<ItemSchema> items_;
+  std::unordered_map<std::string, ItemId> by_name_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_CATALOG_SCHEMA_H_

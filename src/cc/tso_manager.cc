@@ -1,0 +1,172 @@
+#include "cc/tso_manager.h"
+
+#include <algorithm>
+
+namespace rainbow {
+
+TsoManager::TsoManager() = default;
+
+bool TsoManager::Tracks(TxnId txn) const { return txns_.contains(txn); }
+
+TsoManager::Verdict TsoManager::Judge(const ItemState& st, TxnId txn,
+                                      TxnTimestamp ts, bool is_write) const {
+  if (is_write) {
+    if (st.has_pending && st.pending_txn == txn) return Verdict::kGrant;
+    if (ts < st.read_ts || ts < st.write_ts) return Verdict::kDeny;
+    if (st.has_pending) {
+      // One pending prewrite at a time; younger waits, older is rejected
+      // (its write must precede the already-granted one in ts order).
+      return ts < st.pending_ts ? Verdict::kDeny : Verdict::kWait;
+    }
+    return Verdict::kGrant;
+  }
+  // Read.
+  if (ts < st.write_ts) return Verdict::kDeny;
+  if (st.has_pending && st.pending_txn != txn && st.pending_ts < ts) {
+    return Verdict::kWait;  // must observe that writer's outcome first
+  }
+  return Verdict::kGrant;
+}
+
+void TsoManager::ApplyGrant(ItemState& st, TxnId txn, TxnTimestamp ts,
+                            bool is_write, ItemId item) {
+  if (is_write) {
+    st.has_pending = true;
+    st.pending_txn = txn;
+    st.pending_ts = ts;
+    txns_[txn].pending_items.insert(item);
+  } else {
+    st.read_ts = std::max(st.read_ts, ts,
+                          [](const TxnTimestamp& a, const TxnTimestamp& b) {
+                            return a < b;
+                          });
+  }
+}
+
+void TsoManager::RequestRead(TxnId txn, TxnTimestamp ts, ItemId item,
+                             CcCallback cb) {
+  ItemState& st = items_[item];
+  switch (Judge(st, txn, ts, /*is_write=*/false)) {
+    case Verdict::kGrant:
+      ApplyGrant(st, txn, ts, false, item);
+      txns_[txn];  // ensure tracked
+      cb(CcGrant::Granted());
+      return;
+    case Verdict::kDeny:
+      ++rejections_;
+      cb(CcGrant::Denied(DenyReason::kTsoTooLate));
+      return;
+    case Verdict::kWait:
+      break;
+  }
+  Waiter w{txn, ts, false, std::move(cb)};
+  auto pos = std::upper_bound(
+      st.waiters.begin(), st.waiters.end(), ts,
+      [](const TxnTimestamp& t, const Waiter& x) { return t < x.ts; });
+  st.waiters.insert(pos, std::move(w));
+  txns_[txn].waiting_items.insert(item);
+}
+
+void TsoManager::RequestWrite(TxnId txn, TxnTimestamp ts, ItemId item,
+                              CcCallback cb) {
+  ItemState& st = items_[item];
+  switch (Judge(st, txn, ts, /*is_write=*/true)) {
+    case Verdict::kGrant:
+      ApplyGrant(st, txn, ts, true, item);
+      cb(CcGrant::Granted());
+      return;
+    case Verdict::kDeny:
+      ++rejections_;
+      cb(CcGrant::Denied(DenyReason::kTsoTooLate));
+      return;
+    case Verdict::kWait:
+      break;
+  }
+  Waiter w{txn, ts, true, std::move(cb)};
+  auto pos = std::upper_bound(
+      st.waiters.begin(), st.waiters.end(), ts,
+      [](const TxnTimestamp& t, const Waiter& x) { return t < x.ts; });
+  st.waiters.insert(pos, std::move(w));
+  txns_[txn].waiting_items.insert(item);
+}
+
+void TsoManager::Rejudge(ItemId item,
+                         std::vector<std::pair<CcCallback, CcGrant>>& out) {
+  auto it = items_.find(item);
+  if (it == items_.end()) return;
+  ItemState& st = it->second;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto wi = st.waiters.begin(); wi != st.waiters.end(); ++wi) {
+      Verdict v = Judge(st, wi->txn, wi->ts, wi->is_write);
+      if (v == Verdict::kWait) continue;
+      Waiter w = std::move(*wi);
+      st.waiters.erase(wi);
+      auto ti = txns_.find(w.txn);
+      if (ti != txns_.end()) ti->second.waiting_items.erase(item);
+      if (v == Verdict::kGrant) {
+        ApplyGrant(st, w.txn, w.ts, w.is_write, item);
+        txns_[w.txn];
+        out.emplace_back(std::move(w.cb), CcGrant::Granted());
+      } else {
+        ++rejections_;
+        out.emplace_back(std::move(w.cb),
+                         CcGrant::Denied(DenyReason::kTsoTooLate));
+      }
+      progress = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+}
+
+void TsoManager::Finish(TxnId txn, bool commit) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  TxnInfo info = std::move(it->second);
+  txns_.erase(it);
+
+  std::vector<std::pair<CcCallback, CcGrant>> out;
+  std::set<ItemId> touched;
+
+  for (ItemId item : info.pending_items) {
+    auto ii = items_.find(item);
+    if (ii == items_.end()) continue;
+    ItemState& st = ii->second;
+    if (st.has_pending && st.pending_txn == txn) {
+      st.has_pending = false;
+      if (commit) {
+        st.write_ts = std::max(
+            st.write_ts, st.pending_ts,
+            [](const TxnTimestamp& a, const TxnTimestamp& b) { return a < b; });
+      }
+      touched.insert(item);
+    }
+  }
+  // Drop any still-waiting requests of this transaction (it aborted
+  // while queued); their callbacks are intentionally not invoked.
+  for (ItemId item : info.waiting_items) {
+    auto ii = items_.find(item);
+    if (ii == items_.end()) continue;
+    auto& ws = ii->second.waiters;
+    ws.erase(std::remove_if(ws.begin(), ws.end(),
+                            [&](const Waiter& w) { return w.txn == txn; }),
+             ws.end());
+    touched.insert(item);
+  }
+
+  for (ItemId item : touched) Rejudge(item, out);
+  for (auto& [f, g] : out) f(g);
+}
+
+void TsoManager::MarkPrepared(TxnId txn) {
+  (void)txn;  // TSO never selects victims; nothing to protect
+}
+
+size_t TsoManager::num_waiting() const {
+  size_t n = 0;
+  for (const auto& [item, st] : items_) n += st.waiters.size();
+  return n;
+}
+
+}  // namespace rainbow

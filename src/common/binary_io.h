@@ -1,0 +1,68 @@
+#ifndef RAINBOW_COMMON_BINARY_IO_H_
+#define RAINBOW_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rainbow {
+
+/// Append-only binary writer (little-endian, length-prefixed vectors).
+/// Shared by the message wire codec (net/codec.h) and the WAL's on-disk
+/// format (storage/wal.h).
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutTxnId(const TxnId& id);
+  void PutTimestamp(const TxnTimestamp& ts);
+
+  template <typename T, typename F>
+  void PutVector(const std::vector<T>& v, F put_one) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (const T& x : v) put_one(x);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked binary reader over an encoded buffer. Every getter
+/// fails with kInvalidArgument on truncation instead of reading past
+/// the end.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<bool> GetBool();
+  Result<TxnId> GetTxnId();
+  Result<TxnTimestamp> GetTimestamp();
+
+  /// Remaining unread bytes.
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_BINARY_IO_H_

@@ -1,0 +1,117 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rainbow {
+
+namespace {
+// Sub-buckets per power of two; 16 gives ~4.4% worst-case relative error.
+constexpr int kSubBuckets = 16;
+constexpr int kSubBucketBits = 4;
+}  // namespace
+
+Histogram::Histogram() = default;
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  uint64_t v = static_cast<uint64_t>(value);
+  int msb = 63 - __builtin_clzll(v);
+  int shift = msb - kSubBucketBits;
+  uint64_t sub = (v >> shift) - kSubBuckets;  // in [0, kSubBuckets)
+  return static_cast<size_t>(kSubBuckets + (msb - kSubBucketBits) * kSubBuckets + sub);
+}
+
+int64_t Histogram::BucketUpper(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<int64_t>(bucket);
+  size_t b = bucket - kSubBuckets;
+  int exp = static_cast<int>(b / kSubBuckets);
+  uint64_t sub = b % kSubBuckets;
+  int shift = exp;  // since msb - kSubBucketBits = exp
+  uint64_t base = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  // Upper edge of the bucket (inclusive).
+  return static_cast<int64_t>(base + ((1ULL << shift) - 1));
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  size_t b = BucketFor(value);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+  sum_sq_ += static_cast<double>(value) * static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = sum_sq_ = 0;
+  min_ = max_ = 0;
+}
+
+int64_t Histogram::min() const { return count_ ? min_ : 0; }
+int64_t Histogram::max() const { return count_ ? max_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::stddev() const {
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+int64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      return std::min(BucketUpper(b), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << Percentile(0.5)
+     << " p95=" << Percentile(0.95) << " p99=" << Percentile(0.99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace rainbow

@@ -1,0 +1,56 @@
+#ifndef RAINBOW_COMMON_HISTOGRAM_H_
+#define RAINBOW_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rainbow {
+
+/// Accumulates a distribution of non-negative measurements (e.g.
+/// response times in simulated microseconds) and reports count, mean,
+/// min/max, standard deviation, and percentiles.
+///
+/// Values are bucketed logarithmically (~4% relative resolution), so
+/// memory is O(log(max/min)) and percentile queries are approximate to
+/// within one bucket. Exact sums/min/max are kept on the side.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one measurement. Negative values are clamped to zero.
+  void Add(int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const;
+  int64_t max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// Approximate value at quantile q in [0, 1]; e.g. 0.5 = median.
+  /// Returns 0 for an empty histogram.
+  int64_t Percentile(double q) const;
+
+  /// One-line summary: "n=... mean=... p50=... p95=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketUpper(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_HISTOGRAM_H_

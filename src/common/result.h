@@ -1,0 +1,79 @@
+#ifndef RAINBOW_COMMON_RESULT_H_
+#define RAINBOW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rainbow {
+
+/// Either a value of type T or a non-OK Status explaining why the value
+/// could not be produced (the StatusOr / arrow::Result idiom).
+///
+///   Result<int64_t> r = store.Get(item);
+///   if (!r.ok()) return r.status();
+///   int64_t value = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  /// Intentionally implicit so functions can `return SomeStatus();`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its
+/// status from the enclosing function, otherwise assigns the value to
+/// `lhs` (which may be a declaration).
+#define RAINBOW_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  RAINBOW_ASSIGN_OR_RETURN_IMPL_(                                 \
+      RAINBOW_CONCAT_(_rainbow_result, __LINE__), lhs, rexpr)
+
+#define RAINBOW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define RAINBOW_CONCAT_(a, b) RAINBOW_CONCAT_IMPL_(a, b)
+#define RAINBOW_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#ifndef RAINBOW_COMMON_RNG_H_
+#define RAINBOW_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rainbow {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded
+/// explicitly. Every source of randomness in Rainbow draws from an Rng
+/// so that entire runs are reproducible from a single seed.
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always produces the same stream.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). `n` must be > 0.
+  uint64_t NextUint(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Normally distributed value (Box–Muller).
+  double NextGaussian(double mean, double stddev);
+
+  /// Derives an independent child generator; useful to give each
+  /// component (network, workload, fault injector) its own stream.
+  Rng Fork();
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextUint(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with skew theta.
+/// theta = 0 is uniform; larger theta concentrates mass on low ranks.
+/// Uses the rejection-inversion method of Hörmann; O(1) per sample after
+/// O(1) setup, suitable for large n.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` must be >= 0 and != 1 handled internally.
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_RNG_H_

@@ -1,0 +1,98 @@
+#ifndef RAINBOW_COMMON_STATUS_H_
+#define RAINBOW_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rainbow {
+
+/// Machine-readable category of an error. Rainbow never throws across
+/// API boundaries; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnavailable,   ///< a required site / quorum cannot be reached
+  kAborted,       ///< a transaction-level abort (see AbortCause)
+  kTimedOut,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable lowercase name for `code` ("ok", "not_found", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a human-readable message.
+///
+/// The OK status carries no message and is cheap to copy. Typical use:
+///
+///   Status s = store.Put(item, value);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Evaluates `expr` (a Status expression) and returns it from the
+/// enclosing function if it is not OK.
+#define RAINBOW_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::rainbow::Status _rainbow_status = (expr);  \
+    if (!_rainbow_status.ok()) return _rainbow_status; \
+  } while (false)
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef RAINBOW_COMMON_STRING_UTIL_H_
+#define RAINBOW_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rainbow {
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Parses a signed decimal integer; the whole string must be consumed.
+Result<int64_t> ParseInt(std::string_view s);
+
+/// Parses a floating-point number; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses "true"/"false"/"1"/"0" (case-insensitive).
+Result<bool> ParseBool(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_STRING_UTIL_H_

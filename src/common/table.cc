@@ -1,0 +1,110 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+TablePrinter::Cell::Cell(double v) : text(FormatDouble(v, 2)) {}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  assert(cells.size() <= headers_.size());
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(std::initializer_list<Cell> cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (const Cell& c : cells) row.push_back(c.text);
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    os << "|";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : headers_[i];
+      bool right = !header && LooksNumeric(cell);
+      os << ' ';
+      if (right) {
+        os << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        os << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_, /*header=*/true);
+  os << "|";
+  for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+  return os.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string AsciiChart(const std::string& title,
+                       const std::vector<std::pair<double, double>>& series,
+                       int width) {
+  std::ostringstream os;
+  os << title << "\n";
+  double max_y = 0;
+  for (const auto& [x, y] : series) max_y = std::max(max_y, y);
+  for (const auto& [x, y] : series) {
+    int bar = max_y > 0 ? static_cast<int>(y / max_y * width + 0.5) : 0;
+    os << StringPrintf("%10.2f | %-*s %.3f\n", x, width,
+                       std::string(static_cast<size_t>(bar), '#').c_str(), y);
+  }
+  return os.str();
+}
+
+}  // namespace rainbow

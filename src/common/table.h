@@ -1,0 +1,62 @@
+#ifndef RAINBOW_COMMON_TABLE_H_
+#define RAINBOW_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rainbow {
+
+/// Renders rows of named columns as an aligned ASCII table. This is the
+/// stand-in for the Rainbow GUI's display windows: the progress monitor
+/// and the bench harnesses use it to print the paper's statistics and
+/// experiment series.
+///
+///   TablePrinter t({"protocol", "commits", "aborts"});
+///   t.AddRow({"QC", "97", "3"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; missing trailing cells render empty, extra cells are
+  /// an error caught by assert.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell (int64 -> decimal, double -> fixed
+  /// with 2 digits) via the Cell helper below.
+  struct Cell {
+    std::string text;
+    Cell(const char* s) : text(s) {}
+    Cell(std::string s) : text(std::move(s)) {}
+    Cell(int v) : text(std::to_string(v)) {}
+    Cell(int64_t v) : text(std::to_string(v)) {}
+    Cell(uint64_t v) : text(std::to_string(v)) {}
+    Cell(double v);
+  };
+  void AddRow(std::initializer_list<Cell> cells);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with a header rule; numeric-looking cells are
+  /// right-aligned, text cells left-aligned.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (header + rows) for machine use.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an (x, y) series as a crude ASCII chart — the textual
+/// equivalent of the GUI's Display menu graphs. One row per x value,
+/// with a proportional bar of '#' characters.
+std::string AsciiChart(const std::string& title,
+                       const std::vector<std::pair<double, double>>& series,
+                       int width = 50);
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_TABLE_H_

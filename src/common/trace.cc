@@ -1,0 +1,95 @@
+#include "common/trace.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+const char* TraceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kTxn:
+      return "txn";
+    case TraceCategory::kRcp:
+      return "rcp";
+    case TraceCategory::kCcp:
+      return "ccp";
+    case TraceCategory::kAcp:
+      return "acp";
+    case TraceCategory::kNet:
+      return "net";
+    case TraceCategory::kFault:
+      return "fault";
+    case TraceCategory::kSite:
+      return "site";
+    case TraceCategory::kGeneral:
+      return "general";
+  }
+  return "?";
+}
+
+const char* AbortCauseName(AbortCause cause) {
+  switch (cause) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kCcp:
+      return "ccp";
+    case AbortCause::kRcp:
+      return "rcp";
+    case AbortCause::kAcp:
+      return "acp";
+    case AbortCause::kSiteFailure:
+      return "site_failure";
+    case AbortCause::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+void TraceLog::Record(SimTime time, TraceCategory category, SiteId site,
+                      std::string text) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    events_.erase(events_.begin(), events_.begin() + events_.size() / 2);
+  }
+  events_.push_back(TraceEvent{time, category, site, std::move(text)});
+}
+
+namespace {
+void RenderEvent(std::ostringstream& os, const TraceEvent& e) {
+  os << StringPrintf("%10lld [%-5s]", static_cast<long long>(e.time),
+                     TraceCategoryName(e.category));
+  if (e.site == kInvalidSite) {
+    os << "      ";
+  } else if (e.site == kNameServerId) {
+    os << "   @NS";
+  } else {
+    os << StringPrintf(" @S%-4u", e.site);
+  }
+  os << " " << e.text << "\n";
+}
+}  // namespace
+
+std::string TraceLog::Render() const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) RenderEvent(os, e);
+  return os.str();
+}
+
+std::string TraceLog::Render(TraceCategory only) const {
+  std::ostringstream os;
+  for (const TraceEvent& e : events_) {
+    if (e.category == only) RenderEvent(os, e);
+  }
+  return os.str();
+}
+
+size_t TraceLog::CountContaining(const std::string& needle) const {
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.text.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,69 @@
+#ifndef RAINBOW_COMMON_TRACE_H_
+#define RAINBOW_COMMON_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rainbow {
+
+/// Categories of trace events, so observers can filter.
+enum class TraceCategory {
+  kTxn,      ///< transaction lifecycle (arrive, commit, abort)
+  kRcp,      ///< replication-control steps (quorum build, copy access)
+  kCcp,      ///< concurrency-control decisions (grant, wait, victim)
+  kAcp,      ///< atomic-commit phases (prepare, vote, decision)
+  kNet,      ///< message send/deliver/drop
+  kFault,    ///< injected failures and recoveries
+  kSite,     ///< site-local events (crash, recover, restart)
+  kGeneral,
+};
+
+const char* TraceCategoryName(TraceCategory c);
+
+/// One trace record: what happened, where, and at what simulated time.
+/// The progress monitor renders these as the "execution history" view
+/// that the Rainbow GUI shows in real time.
+struct TraceEvent {
+  SimTime time = 0;
+  TraceCategory category = TraceCategory::kGeneral;
+  SiteId site = kInvalidSite;
+  std::string text;
+};
+
+/// Collects trace events. Cheap when disabled (the common case for
+/// large benchmark runs); tests and the interactive example enable it
+/// to assert on / display execution histories.
+class TraceLog {
+ public:
+  /// When disabled, Record() is a no-op.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Caps memory; older events are discarded beyond this count.
+  void set_capacity(size_t cap) { capacity_ = cap; }
+
+  void Record(SimTime time, TraceCategory category, SiteId site,
+              std::string text);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  /// Renders events (optionally only one category) as "time [cat] @site text".
+  std::string Render() const;
+  std::string Render(TraceCategory only) const;
+
+  /// Number of recorded events whose text contains `needle`.
+  size_t CountContaining(const std::string& needle) const;
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_ = 1 << 20;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_TRACE_H_

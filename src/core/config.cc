@@ -1,0 +1,354 @@
+#include "core/config.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+void SystemConfig::AddUniformItems(int count, Value initial,
+                                   int replication_degree) {
+  int degree = std::min<int>(replication_degree, static_cast<int>(num_sites));
+  for (int i = 0; i < count; ++i) {
+    ItemConfig item;
+    item.name = "x" + std::to_string(items.size());
+    item.initial = initial;
+    for (int r = 0; r < degree; ++r) {
+      item.copies.push_back(static_cast<SiteId>((i + r) % num_sites));
+    }
+    items.push_back(std::move(item));
+  }
+}
+
+Status SystemConfig::Validate() const {
+  if (num_sites == 0) {
+    return Status::InvalidArgument("num_sites must be >= 1");
+  }
+  if (message_loss < 0 || message_loss >= 1) {
+    return Status::InvalidArgument("message_loss must be in [0, 1)");
+  }
+  if (items.empty()) {
+    return Status::InvalidArgument("no database items configured");
+  }
+  for (const ItemConfig& item : items) {
+    if (item.copies.empty()) {
+      return Status::InvalidArgument("item '" + item.name + "' has no copies");
+    }
+    for (SiteId s : item.copies) {
+      if (s >= num_sites) {
+        return Status::InvalidArgument("item '" + item.name +
+                                       "' placed on unknown site " +
+                                       std::to_string(s));
+      }
+    }
+    if (!item.votes.empty() && item.votes.size() != item.copies.size()) {
+      return Status::InvalidArgument("item '" + item.name +
+                                     "': votes/copies size mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string JoinInts(const std::vector<SiteId>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += "|";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out += "|";
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SystemConfig::ToText() const {
+  std::ostringstream os;
+  os << "[system]\n";
+  os << "seed = " << seed << "\n";
+  os << "num_sites = " << num_sites << "\n";
+  os << "enable_trace = " << (enable_trace ? "true" : "false") << "\n";
+  os << "record_history = " << (record_history ? "true" : "false") << "\n";
+  os << "stats_bucket = " << stats_bucket << "\n";
+  os << "\n[network]\n";
+  os << "distribution = " << LatencyDistributionName(latency.distribution)
+     << "\n";
+  os << "mean = " << latency.mean << "\n";
+  os << "min = " << latency.min << "\n";
+  os << "per_kb = " << latency.per_kb << "\n";
+  os << "local = " << latency.local << "\n";
+  if (!latency.regions.empty()) {
+    os << "regions = " << JoinInts(latency.regions) << "\n";
+    os << "inter_region_mean = " << latency.inter_region_mean << "\n";
+  }
+  os << "message_loss = " << FormatDouble(message_loss, 6) << "\n";
+  os << "verify_codec = " << (verify_codec ? "true" : "false") << "\n";
+  os << "\n[protocols]\n";
+  os << "rcp = " << RcpKindName(protocols.rcp) << "\n";
+  os << "cc = " << CcKindName(protocols.cc) << "\n";
+  os << "deadlock = " << DeadlockPolicyName(protocols.deadlock) << "\n";
+  os << "acp = " << AcpKindName(protocols.acp) << "\n";
+  os << "rcp_broadcast = " << (protocols.rcp_broadcast ? "true" : "false")
+     << "\n";
+  os << "cache_schema = " << (protocols.cache_schema ? "true" : "false")
+     << "\n";
+  os << "cooperative_termination = "
+     << (protocols.cooperative_termination ? "true" : "false") << "\n";
+  os << "recovery_refresh = "
+     << (protocols.recovery_refresh ? "true" : "false") << "\n";
+  os << "readonly_optimization = "
+     << (protocols.readonly_optimization ? "true" : "false") << "\n";
+  os << "ordered_access = "
+     << (protocols.ordered_access ? "true" : "false") << "\n";
+  os << "op_timeout = " << protocols.op_timeout << "\n";
+  os << "lock_wait_timeout = " << protocols.lock_wait_timeout << "\n";
+  os << "vote_timeout = " << protocols.vote_timeout << "\n";
+  os << "decision_timeout = " << protocols.decision_timeout << "\n";
+  os << "decision_retry = " << protocols.decision_retry << "\n";
+  os << "active_timeout = " << protocols.active_timeout << "\n";
+  os << "ack_retry = " << protocols.ack_retry << "\n";
+  os << "max_ack_resends = " << protocols.max_ack_resends << "\n";
+  os << "suspicion_ttl = " << protocols.suspicion_ttl << "\n";
+  os << "termination_window = " << protocols.termination_window << "\n";
+  os << "probe_delay = " << protocols.probe_delay << "\n";
+  os << "\n[items]\n";
+  for (const ItemConfig& item : items) {
+    os << "item = " << item.name << ", " << item.initial << ", "
+       << JoinInts(item.copies);
+    os << ", " << (item.votes.empty() ? "-" : JoinInts(item.votes));
+    os << ", " << item.read_quorum << ", " << item.write_quorum << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+Result<std::vector<SiteId>> ParseSiteList(std::string_view s) {
+  std::vector<SiteId> out;
+  for (const std::string& piece : SplitAndTrim(s, '|')) {
+    RAINBOW_ASSIGN_OR_RETURN(int64_t v, ParseInt(piece));
+    out.push_back(static_cast<SiteId>(v));
+  }
+  return out;
+}
+
+Result<std::vector<int>> ParseIntList(std::string_view s) {
+  std::vector<int> out;
+  for (const std::string& piece : SplitAndTrim(s, '|')) {
+    RAINBOW_ASSIGN_OR_RETURN(int64_t v, ParseInt(piece));
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
+                     const std::string& key, const std::string& value) {
+  auto as_int = [&]() -> Result<int64_t> { return ParseInt(value); };
+  auto as_bool = [&]() -> Result<bool> { return ParseBool(value); };
+
+  if (section == "system") {
+    if (key == "seed") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      cfg.seed = static_cast<uint64_t>(v);
+    } else if (key == "num_sites") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      cfg.num_sites = static_cast<uint32_t>(v);
+    } else if (key == "enable_trace") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.enable_trace, as_bool());
+    } else if (key == "record_history") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.record_history, as_bool());
+    } else if (key == "stats_bucket") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.stats_bucket, as_int());
+    } else {
+      return Status::InvalidArgument("unknown [system] key: " + key);
+    }
+    return Status::OK();
+  }
+  if (section == "network") {
+    if (key == "distribution") {
+      if (value == "fixed") {
+        cfg.latency.distribution = LatencyDistribution::kFixed;
+      } else if (value == "uniform") {
+        cfg.latency.distribution = LatencyDistribution::kUniform;
+      } else if (value == "exponential") {
+        cfg.latency.distribution = LatencyDistribution::kExponential;
+      } else {
+        return Status::InvalidArgument("unknown distribution: " + value);
+      }
+    } else if (key == "mean") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.mean, as_int());
+    } else if (key == "min") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.min, as_int());
+    } else if (key == "per_kb") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.per_kb, as_int());
+    } else if (key == "local") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.local, as_int());
+    } else if (key == "regions") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.regions, ParseIntList(value));
+    } else if (key == "inter_region_mean") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.latency.inter_region_mean, as_int());
+    } else if (key == "message_loss") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.message_loss, ParseDouble(value));
+    } else if (key == "verify_codec") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.verify_codec, ParseBool(value));
+    } else {
+      return Status::InvalidArgument("unknown [network] key: " + key);
+    }
+    return Status::OK();
+  }
+  if (section == "protocols") {
+    ProtocolConfig& p = cfg.protocols;
+    if (key == "rcp") {
+      if (value == "ROWA") {
+        p.rcp = RcpKind::kRowa;
+      } else if (value == "ROWA-A") {
+        p.rcp = RcpKind::kRowaAvailable;
+      } else if (value == "QC") {
+        p.rcp = RcpKind::kQuorumConsensus;
+      } else if (value == "PRIMARY") {
+        p.rcp = RcpKind::kPrimaryCopy;
+      } else {
+        return Status::InvalidArgument("unknown rcp: " + value);
+      }
+    } else if (key == "cc") {
+      if (value == "2PL") {
+        p.cc = CcKind::kTwoPhaseLocking;
+      } else if (value == "TSO") {
+        p.cc = CcKind::kTimestampOrdering;
+      } else if (value == "MVTO") {
+        p.cc = CcKind::kMultiversionTso;
+      } else if (value == "OCC") {
+        p.cc = CcKind::kOptimistic;
+      } else {
+        return Status::InvalidArgument("unknown cc: " + value);
+      }
+    } else if (key == "deadlock") {
+      if (value == "wait-die") {
+        p.deadlock = DeadlockPolicy::kWaitDie;
+      } else if (value == "wound-wait") {
+        p.deadlock = DeadlockPolicy::kWoundWait;
+      } else if (value == "local-wfg") {
+        p.deadlock = DeadlockPolicy::kLocalWfg;
+      } else if (value == "timeout-only") {
+        p.deadlock = DeadlockPolicy::kTimeoutOnly;
+      } else if (value == "edge-chasing") {
+        p.deadlock = DeadlockPolicy::kEdgeChasing;
+      } else {
+        return Status::InvalidArgument("unknown deadlock policy: " + value);
+      }
+    } else if (key == "acp") {
+      if (value == "2PC") {
+        p.acp = AcpKind::kTwoPhaseCommit;
+      } else if (value == "3PC") {
+        p.acp = AcpKind::kThreePhaseCommit;
+      } else {
+        return Status::InvalidArgument("unknown acp: " + value);
+      }
+    } else if (key == "rcp_broadcast") {
+      RAINBOW_ASSIGN_OR_RETURN(p.rcp_broadcast, as_bool());
+    } else if (key == "cache_schema") {
+      RAINBOW_ASSIGN_OR_RETURN(p.cache_schema, as_bool());
+    } else if (key == "cooperative_termination") {
+      RAINBOW_ASSIGN_OR_RETURN(p.cooperative_termination, as_bool());
+    } else if (key == "recovery_refresh") {
+      RAINBOW_ASSIGN_OR_RETURN(p.recovery_refresh, as_bool());
+    } else if (key == "readonly_optimization") {
+      RAINBOW_ASSIGN_OR_RETURN(p.readonly_optimization, as_bool());
+    } else if (key == "ordered_access") {
+      RAINBOW_ASSIGN_OR_RETURN(p.ordered_access, as_bool());
+    } else if (key == "op_timeout") {
+      RAINBOW_ASSIGN_OR_RETURN(p.op_timeout, as_int());
+    } else if (key == "lock_wait_timeout") {
+      RAINBOW_ASSIGN_OR_RETURN(p.lock_wait_timeout, as_int());
+    } else if (key == "vote_timeout") {
+      RAINBOW_ASSIGN_OR_RETURN(p.vote_timeout, as_int());
+    } else if (key == "decision_timeout") {
+      RAINBOW_ASSIGN_OR_RETURN(p.decision_timeout, as_int());
+    } else if (key == "decision_retry") {
+      RAINBOW_ASSIGN_OR_RETURN(p.decision_retry, as_int());
+    } else if (key == "active_timeout") {
+      RAINBOW_ASSIGN_OR_RETURN(p.active_timeout, as_int());
+    } else if (key == "ack_retry") {
+      RAINBOW_ASSIGN_OR_RETURN(p.ack_retry, as_int());
+    } else if (key == "max_ack_resends") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.max_ack_resends = static_cast<int>(v);
+    } else if (key == "suspicion_ttl") {
+      RAINBOW_ASSIGN_OR_RETURN(p.suspicion_ttl, as_int());
+    } else if (key == "termination_window") {
+      RAINBOW_ASSIGN_OR_RETURN(p.termination_window, as_int());
+    } else if (key == "probe_delay") {
+      RAINBOW_ASSIGN_OR_RETURN(p.probe_delay, as_int());
+    } else {
+      return Status::InvalidArgument("unknown [protocols] key: " + key);
+    }
+    return Status::OK();
+  }
+  if (section == "items") {
+    if (key != "item") {
+      return Status::InvalidArgument("unknown [items] key: " + key);
+    }
+    std::vector<std::string> parts = SplitAndTrim(value, ',');
+    if (parts.size() != 6) {
+      return Status::InvalidArgument("item line needs 6 fields: " + value);
+    }
+    ItemConfig item;
+    item.name = parts[0];
+    RAINBOW_ASSIGN_OR_RETURN(item.initial, ParseInt(parts[1]));
+    RAINBOW_ASSIGN_OR_RETURN(item.copies, ParseSiteList(parts[2]));
+    if (parts[3] != "-") {
+      RAINBOW_ASSIGN_OR_RETURN(item.votes, ParseIntList(parts[3]));
+    }
+    RAINBOW_ASSIGN_OR_RETURN(int64_t rq, ParseInt(parts[4]));
+    RAINBOW_ASSIGN_OR_RETURN(int64_t wq, ParseInt(parts[5]));
+    item.read_quorum = static_cast<int>(rq);
+    item.write_quorum = static_cast<int>(wq);
+    cfg.items.push_back(std::move(item));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown section: [" + section + "]");
+}
+
+}  // namespace
+
+Result<SystemConfig> SystemConfig::FromText(const std::string& text) {
+  SystemConfig cfg;
+  cfg.items.clear();
+  std::string section;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::string_view sv = TrimWhitespace(line);
+    if (sv.empty() || sv[0] == '#') continue;
+    if (sv.front() == '[' && sv.back() == ']') {
+      section = std::string(sv.substr(1, sv.size() - 2));
+      continue;
+    }
+    size_t eq = sv.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StringPrintf("line %d: expected key = value", lineno));
+    }
+    std::string key(TrimWhitespace(sv.substr(0, eq)));
+    std::string value(TrimWhitespace(sv.substr(eq + 1)));
+    Status s = ParseKeyValue(cfg, section, key, value);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %d: %s", lineno, s.message().c_str()));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,67 @@
+#ifndef RAINBOW_CORE_CONFIG_H_
+#define RAINBOW_CORE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "net/latency_model.h"
+#include "site/protocol_config.h"
+
+namespace rainbow {
+
+/// Placement and quorum configuration of one database item (one line of
+/// the GUI's "Database Replication Configuration" panel, Figure A-1).
+struct ItemConfig {
+  std::string name;
+  Value initial = 0;
+  std::vector<SiteId> copies;
+  std::vector<int> votes;  ///< empty = one vote per copy
+  int read_quorum = 0;     ///< 0 = majority of votes
+  int write_quorum = 0;    ///< 0 = majority of votes
+};
+
+/// Everything needed to instantiate a Rainbow instance: the union of the
+/// GUI's configuration panels (network simulation, sites, protocols,
+/// database items and replication scheme). "The configuration data can
+/// be saved for reuse in another session" — see ToText() / FromText().
+struct SystemConfig {
+  uint64_t seed = 1;
+  uint32_t num_sites = 3;
+
+  LatencyConfig latency;
+  double message_loss = 0.0;
+  /// Round-trip every message through the binary wire codec (net/codec).
+  bool verify_codec = false;
+
+  ProtocolConfig protocols;
+
+  std::vector<ItemConfig> items;
+
+  bool enable_trace = false;
+  bool record_history = false;
+  SimTime stats_bucket = Millis(100);
+
+  /// Adds `count` items named "x0".."x<count-1>", each with
+  /// `replication_degree` copies placed round-robin across the sites,
+  /// one vote per copy and majority quorums.
+  void AddUniformItems(int count, Value initial, int replication_degree);
+
+  /// Full-replication convenience: every item on every site.
+  void AddFullyReplicatedItems(int count, Value initial) {
+    AddUniformItems(count, initial, static_cast<int>(num_sites));
+  }
+
+  Status Validate() const;
+
+  /// Serializes to the textual session-config format.
+  std::string ToText() const;
+
+  /// Parses a config previously produced by ToText() (or hand-written).
+  static Result<SystemConfig> FromText(const std::string& text);
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_CORE_CONFIG_H_

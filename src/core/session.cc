@@ -1,0 +1,82 @@
+#include "core/session.h"
+
+#include "verify/history.h"
+
+namespace rainbow {
+
+Result<SessionResult> RunSession(const SystemConfig& system_config,
+                                 const WorkloadConfig& workload_config,
+                                 const SessionOptions& options) {
+  SystemConfig sys_cfg = system_config;
+  if (options.check_serializability) sys_cfg.record_history = true;
+
+  auto created = RainbowSystem::Create(sys_cfg);
+  RAINBOW_RETURN_IF_ERROR(created.status());
+  RainbowSystem& sys = **created;
+  if (options.keep_session_log) sys.monitor().set_keep_outcomes(true);
+
+  FaultInjector injector(&sys);
+  injector.ScheduleAll(options.faults);
+  if (options.random_mttf > 0 && options.random_mttr > 0) {
+    injector.EnableRandomFaults(options.random_mttf, options.random_mttr,
+                                options.max_duration, sys_cfg.seed ^ 0xfa17u);
+  }
+
+  WorkloadGenerator wlg(&sys, workload_config);
+  wlg.Run();
+
+  // Drive the simulation until the workload drains (or the cap).
+  const SimTime step = Millis(50);
+  while (!wlg.finished() && sys.sim().Now() < options.max_duration) {
+    sys.RunFor(step);
+    if (sys.sim().idle() && !wlg.finished()) {
+      // Nothing can make progress any more (e.g. every site crashed and
+      // nothing is scheduled): stop.
+      break;
+    }
+  }
+  SimTime duration = sys.sim().Now();
+  // Let stragglers (acks, closers, refreshes) settle for accounting.
+  sys.RunFor(Millis(500));
+
+  const ProgressMonitor& pm = sys.monitor();
+  const NetworkStats& net = sys.net().stats();
+
+  SessionResult r;
+  r.duration = duration;
+  r.submitted = pm.submitted();
+  r.committed = pm.committed();
+  r.aborted = pm.aborted_total();
+  r.aborted_ccp = pm.aborted(AbortCause::kCcp);
+  r.aborted_rcp = pm.aborted(AbortCause::kRcp);
+  r.aborted_acp = pm.aborted(AbortCause::kAcp);
+  r.aborted_fail = pm.aborted(AbortCause::kSiteFailure);
+  r.orphans = pm.orphans();
+  r.retries = wlg.retries();
+  r.commit_rate = pm.commit_rate();
+  r.throughput_tps = pm.throughput_tps(duration);
+  r.mean_response_us = pm.response_times().mean();
+  r.p95_response_us = pm.response_times().Percentile(0.95);
+  r.p99_response_us = pm.response_times().Percentile(0.99);
+  r.net_messages = net.network_sent();
+  r.net_bytes = net.bytes;
+  r.dropped = net.total_dropped();
+  uint64_t finished = r.committed + r.aborted;
+  r.msgs_per_commit =
+      r.committed ? static_cast<double>(r.net_messages) / r.committed : 0;
+  r.msgs_per_txn =
+      finished ? static_cast<double>(r.net_messages) / finished : 0;
+  r.mean_blocked_us = pm.blocked_times().mean();
+  r.max_blocked_us = pm.blocked_times().max();
+  r.load_cv = pm.home_load_cv();
+  r.stats_table = pm.RenderStatistics(net, duration);
+  if (options.keep_session_log) r.session_log = pm.RenderSessionLog();
+
+  if (options.check_serializability) {
+    RAINBOW_RETURN_IF_ERROR(
+        CheckConflictSerializable(sys.history().transactions()));
+  }
+  return r;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,153 @@
+#include "core/system.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+RainbowSystem::RainbowSystem(SystemConfig config)
+    : config_(std::move(config)), client_rng_(config_.seed ^ 0xc11e47) {}
+
+Result<std::unique_ptr<RainbowSystem>> RainbowSystem::Create(
+    SystemConfig config) {
+  RAINBOW_RETURN_IF_ERROR(config.Validate());
+  std::unique_ptr<RainbowSystem> sys(new RainbowSystem(std::move(config)));
+  RAINBOW_RETURN_IF_ERROR(sys->Init());
+  return sys;
+}
+
+Status RainbowSystem::Init() {
+  trace_.set_enabled(config_.enable_trace);
+  history_.set_enabled(config_.record_history);
+  monitor_.set_bucket_width(config_.stats_bucket);
+
+  Rng root(config_.seed);
+  net_ = std::make_unique<Network>(&sim_, config_.latency, root.Fork(),
+                                   &trace_);
+  net_->set_loss_probability(config_.message_loss);
+  net_->set_verify_codec(config_.verify_codec);
+  net_->stats().bucket_width = config_.stats_bucket;
+
+  // Register sites and the schema in the catalog (the name server's
+  // data), mirroring the administrator's configuration steps.
+  for (uint32_t i = 0; i < config_.num_sites; ++i) {
+    RAINBOW_ASSIGN_OR_RETURN(SiteId id,
+                             catalog_.RegisterSite("site" + std::to_string(i)));
+    (void)id;
+  }
+  for (const ItemConfig& item : config_.items) {
+    std::vector<int> votes = item.votes;
+    if (votes.empty()) votes.assign(item.copies.size(), 1);
+    int total = 0;
+    for (int v : votes) total += v;
+    int rq = item.read_quorum > 0 ? item.read_quorum : total / 2 + 1;
+    int wq = item.write_quorum > 0 ? item.write_quorum : total / 2 + 1;
+    auto added = catalog_.schema().AddItem(item.name, item.initial,
+                                           item.copies, votes, rq, wq);
+    RAINBOW_RETURN_IF_ERROR(added.status());
+  }
+  RAINBOW_RETURN_IF_ERROR(catalog_.Validate());
+
+  name_server_ = std::make_unique<NameServer>(catalog_, net_.get(), &trace_);
+  name_server_->Start();
+
+  Site::Env env;
+  env.sim = &sim_;
+  env.net = net_.get();
+  env.trace = &trace_;
+  env.monitor = &monitor_;
+  env.history = &history_;
+  env.config = &config_.protocols;
+  for (uint32_t i = 0; i < config_.num_sites; ++i) {
+    sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), env));
+  }
+  // Load item copies and compute refresh-peer sets (sites sharing items).
+  std::map<SiteId, std::set<SiteId>> peers;
+  for (const ItemSchema& item : catalog_.schema().items()) {
+    for (SiteId s : item.copies) {
+      sites_[s]->LoadItem(item.id, item.initial_value);
+      for (SiteId other : item.copies) {
+        if (other != s) peers[s].insert(other);
+      }
+    }
+  }
+  for (auto& [s, set] : peers) sites_[s]->SetRefreshPeers(std::move(set));
+  for (auto& site : sites_) site->Start();
+  return Status::OK();
+}
+
+Status RainbowSystem::Submit(SiteId home, TxnProgram program, TxnCallback cb,
+                             std::optional<TxnTimestamp> inherit_ts) {
+  if (home >= sites_.size()) {
+    return Status::InvalidArgument("no such site " + std::to_string(home));
+  }
+  sites_[home]->Submit(std::move(program), std::move(cb), inherit_ts);
+  return Status::OK();
+}
+
+void RainbowSystem::CrashSite(SiteId s) {
+  if (s == kNameServerId) {
+    name_server_->Crash();
+    return;
+  }
+  if (s < sites_.size()) sites_[s]->Crash();
+}
+
+void RainbowSystem::RecoverSite(SiteId s) {
+  if (s == kNameServerId) {
+    name_server_->Recover();
+    return;
+  }
+  if (s < sites_.size()) sites_[s]->Recover();
+}
+
+Result<ItemCopy> RainbowSystem::LatestCommitted(ItemId item) const {
+  auto schema = catalog_.schema().Find(item);
+  RAINBOW_RETURN_IF_ERROR(schema.status());
+  ItemCopy best;
+  bool found = false;
+  for (SiteId s : (*schema)->copies) {
+    auto copy = sites_[s]->store().Get(item);
+    if (!copy.ok()) continue;
+    if (!found || copy->version > best.version) {
+      best = *copy;
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no copies readable");
+  return best;
+}
+
+Status RainbowSystem::CheckReplicaConsistency(
+    bool require_full_convergence) const {
+  for (const ItemSchema& item : catalog_.schema().items()) {
+    std::map<Version, Value> by_version;
+    Version max_version = 0;
+    for (SiteId s : item.copies) {
+      auto copy = sites_[s]->store().Get(item.id);
+      if (!copy.ok()) {
+        return Status::Internal("site " + std::to_string(s) +
+                                " lost its copy of " + item.name);
+      }
+      auto [it, inserted] = by_version.emplace(copy->version, copy->value);
+      if (!inserted && it->second != copy->value) {
+        return Status::Internal(StringPrintf(
+            "item %s: two copies at version %llu disagree (%lld vs %lld)",
+            item.name.c_str(), static_cast<unsigned long long>(copy->version),
+            static_cast<long long>(it->second),
+            static_cast<long long>(copy->value)));
+      }
+      max_version = std::max(max_version, copy->version);
+    }
+    if (require_full_convergence && by_version.size() > 1) {
+      return Status::Internal(StringPrintf(
+          "item %s: copies did not converge (%zu distinct versions)",
+          item.name.c_str(), by_version.size()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rainbow

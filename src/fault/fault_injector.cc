@@ -1,0 +1,104 @@
+#include "fault/fault_injector.h"
+
+#include "core/system.h"
+
+namespace rainbow {
+
+FaultInjector::FaultInjector(RainbowSystem* system) : system_(system) {}
+
+void FaultInjector::Schedule(const FaultEvent& event) {
+  FaultEvent copy = event;
+  system_->sim().At(event.at, [this, copy] { Apply(copy); });
+}
+
+void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
+  for (const FaultEvent& e : events) Schedule(e);
+}
+
+void FaultInjector::Apply(const FaultEvent& e) {
+  TraceLog& trace = system_->trace();
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrashSite:
+      ++crashes_;
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+                   "inject crash");
+      system_->CrashSite(e.site);
+      break;
+    case FaultEvent::Kind::kRecoverSite:
+      ++recoveries_;
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+                   "inject recovery");
+      system_->RecoverSite(e.site);
+      break;
+    case FaultEvent::Kind::kLinkDown:
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+                   "link down to " + std::to_string(e.peer));
+      system_->net().SetLinkUp(e.site, e.peer, false);
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+                   "link up to " + std::to_string(e.peer));
+      system_->net().SetLinkUp(e.site, e.peer, true);
+      break;
+    case FaultEvent::Kind::kPartition:
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, kInvalidSite,
+                   "partition installed");
+      system_->net().SetPartitions(e.groups);
+      break;
+    case FaultEvent::Kind::kHeal:
+      trace.Record(system_->sim().Now(), TraceCategory::kFault, kInvalidSite,
+                   "partition healed");
+      system_->net().HealPartitions();
+      break;
+    case FaultEvent::Kind::kCrashNameServer:
+      system_->name_server().Crash();
+      break;
+    case FaultEvent::Kind::kRecoverNameServer:
+      system_->name_server().Recover();
+      break;
+  }
+}
+
+void FaultInjector::EnableRandomFaults(SimTime mttf, SimTime mttr,
+                                       SimTime until, uint64_t seed) {
+  rng_ = Rng(seed);
+  mttf_ = mttf;
+  mttr_ = mttr;
+  random_until_ = until;
+  for (SiteId s = 0; s < system_->num_sites(); ++s) {
+    ScheduleNextForSite(s, /*currently_up=*/true);
+  }
+}
+
+void FaultInjector::ScheduleNextForSite(SiteId s, bool currently_up) {
+  SimTime delay = static_cast<SimTime>(rng_.NextExponential(
+      static_cast<double>(currently_up ? mttf_ : mttr_)));
+  SimTime when = system_->sim().Now() + std::max<SimTime>(delay, Micros(1));
+  if (when >= random_until_) {
+    // Past the fault window: if the site is down, bring it back once so
+    // the run can drain.
+    if (!currently_up) {
+      system_->sim().At(random_until_, [this, s] {
+        ++recoveries_;
+        system_->RecoverSite(s);
+      });
+    }
+    return;
+  }
+  system_->sim().At(when, [this, s, currently_up] {
+    if (currently_up) {
+      ++crashes_;
+      system_->trace().Record(system_->sim().Now(), TraceCategory::kFault, s,
+                              "random crash");
+      system_->CrashSite(s);
+    } else {
+      ++recoveries_;
+      system_->trace().Record(system_->sim().Now(), TraceCategory::kFault, s,
+                              "random recovery");
+      system_->RecoverSite(s);
+    }
+    ScheduleNextForSite(s, !currently_up);
+  });
+}
+
+}  // namespace rainbow

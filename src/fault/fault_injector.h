@@ -1,0 +1,90 @@
+#ifndef RAINBOW_FAULT_FAULT_INJECTOR_H_
+#define RAINBOW_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace rainbow {
+
+class RainbowSystem;
+
+/// One scripted fault/recovery action at a virtual time. The Rainbow GUI
+/// lets the user "inject network and site failures and recoveries"; this
+/// is the scripted equivalent.
+struct FaultEvent {
+  enum class Kind {
+    kCrashSite,
+    kRecoverSite,
+    kLinkDown,
+    kLinkUp,
+    kPartition,
+    kHeal,
+    kCrashNameServer,
+    kRecoverNameServer,
+  };
+  SimTime at = 0;
+  Kind kind = Kind::kCrashSite;
+  SiteId site = kInvalidSite;  ///< crash/recover
+  SiteId peer = kInvalidSite;  ///< link events
+  std::vector<std::vector<SiteId>> groups;  ///< partition
+
+  static FaultEvent Crash(SimTime at, SiteId s) {
+    return FaultEvent{at, Kind::kCrashSite, s, kInvalidSite, {}};
+  }
+  static FaultEvent Recover(SimTime at, SiteId s) {
+    return FaultEvent{at, Kind::kRecoverSite, s, kInvalidSite, {}};
+  }
+  static FaultEvent LinkDown(SimTime at, SiteId a, SiteId b) {
+    return FaultEvent{at, Kind::kLinkDown, a, b, {}};
+  }
+  static FaultEvent LinkUp(SimTime at, SiteId a, SiteId b) {
+    return FaultEvent{at, Kind::kLinkUp, a, b, {}};
+  }
+  static FaultEvent Partition(SimTime at,
+                              std::vector<std::vector<SiteId>> groups) {
+    return FaultEvent{at, Kind::kPartition, kInvalidSite, kInvalidSite,
+                      std::move(groups)};
+  }
+  static FaultEvent Heal(SimTime at) {
+    return FaultEvent{at, Kind::kHeal, kInvalidSite, kInvalidSite, {}};
+  }
+};
+
+/// Schedules scripted fault events and (optionally) a random
+/// crash/recover process per site, driven by exponential MTTF/MTTR.
+class FaultInjector {
+ public:
+  explicit FaultInjector(RainbowSystem* system);
+
+  /// Schedules one scripted event.
+  void Schedule(const FaultEvent& event);
+  void ScheduleAll(const std::vector<FaultEvent>& events);
+
+  /// Starts a random fault process: each site independently crashes
+  /// after Exp(mttf) up time and recovers after Exp(mttr) down time,
+  /// until virtual time `until`. Uses its own RNG stream (seeded).
+  void EnableRandomFaults(SimTime mttf, SimTime mttr, SimTime until,
+                          uint64_t seed);
+
+  uint64_t crashes_injected() const { return crashes_; }
+  uint64_t recoveries_injected() const { return recoveries_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  void ScheduleNextForSite(SiteId s, bool currently_up);
+
+  RainbowSystem* system_;
+  Rng rng_{0};
+  SimTime random_until_ = 0;
+  SimTime mttf_ = 0;
+  SimTime mttr_ = 0;
+  uint64_t crashes_ = 0;
+  uint64_t recoveries_ = 0;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,47 @@
+#include "nameserver/name_server.h"
+
+namespace rainbow {
+
+NameServer::NameServer(Catalog catalog, Network* net, TraceLog* trace)
+    : catalog_(std::move(catalog)), net_(net), trace_(trace) {}
+
+void NameServer::Start() {
+  net_->RegisterHandler(kNameServerId,
+                        [this](const Message& m) { HandleMessage(m); });
+}
+
+void NameServer::Crash() {
+  crashed_ = true;
+  net_->SetSiteUp(kNameServerId, false);
+}
+
+void NameServer::Recover() {
+  crashed_ = false;
+  net_->SetSiteUp(kNameServerId, true);
+}
+
+void NameServer::HandleMessage(const Message& m) {
+  if (crashed_) return;
+  const auto* req = std::get_if<NsLookupRequest>(&m.payload);
+  if (req == nullptr) return;  // the name server only answers lookups
+  ++lookups_served_;
+  NsLookupReply reply;
+  reply.txn = req->txn;
+  reply.item = req->item;
+  auto item = catalog_.schema().Find(req->item);
+  if (item.ok()) {
+    reply.found = true;
+    reply.copies = (*item)->copies;
+    reply.votes = (*item)->votes;
+    reply.read_quorum = (*item)->read_quorum;
+    reply.write_quorum = (*item)->write_quorum;
+  }
+  if (trace_ && trace_->enabled()) {
+    trace_->Record(net_->sim()->Now(), TraceCategory::kGeneral, kNameServerId,
+                   "lookup item " + std::to_string(req->item) +
+                       (reply.found ? "" : " (not found)"));
+  }
+  net_->Send(kNameServerId, m.from, reply);
+}
+
+}  // namespace rainbow

@@ -1,0 +1,47 @@
+#ifndef RAINBOW_NAMESERVER_NAME_SERVER_H_
+#define RAINBOW_NAMESERVER_NAME_SERVER_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/trace.h"
+#include "net/network.h"
+
+namespace rainbow {
+
+/// The Rainbow name server: a network actor (addressable at
+/// kNameServerId) holding the site registry and the replication schema.
+/// Coordinators query it per item; "any site can query the name server
+/// to get pertinent information" (paper §2).
+///
+/// There is exactly one name server per Rainbow instance. It can be
+/// crashed and recovered by the fault injector like any site; while
+/// down, lookups time out at the coordinators (schema caching hides
+/// this in the default configuration).
+class NameServer {
+ public:
+  NameServer(Catalog catalog, Network* net, TraceLog* trace);
+
+  /// Registers the network handler. Call once.
+  void Start();
+
+  void Crash();
+  void Recover();
+  bool crashed() const { return crashed_; }
+
+  const Catalog& catalog() const { return catalog_; }
+  uint64_t lookups_served() const { return lookups_served_; }
+
+ private:
+  void HandleMessage(const Message& m);
+
+  Catalog catalog_;
+  Network* net_;
+  TraceLog* trace_;
+  bool crashed_ = false;
+  uint64_t lookups_served_ = 0;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_NAMESERVER_NAME_SERVER_H_

@@ -1,0 +1,56 @@
+#include "net/latency_model.h"
+
+#include <algorithm>
+
+namespace rainbow {
+
+const char* LatencyDistributionName(LatencyDistribution d) {
+  switch (d) {
+    case LatencyDistribution::kFixed:
+      return "fixed";
+    case LatencyDistribution::kUniform:
+      return "uniform";
+    case LatencyDistribution::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+LatencyModel::LatencyModel(LatencyConfig config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+SimTime LatencyModel::SampleDelay(SiteId from, SiteId to, size_t bytes) {
+  SimTime size_cost =
+      config_.per_kb * static_cast<SimTime>(bytes) / 1024;
+  if (from == to) {
+    return config_.local + size_cost;
+  }
+  // Cross-region hops (when configured) use the inter-region mean —
+  // the "two data centers" topology of geo-replication studies. The
+  // name server (and other out-of-range addresses) counts as region 0.
+  SimTime mean = config_.mean;
+  if (config_.inter_region_mean > 0 &&
+      config_.RegionOf(from) != config_.RegionOf(to)) {
+    mean = config_.inter_region_mean;
+  }
+  SimTime base = 0;
+  switch (config_.distribution) {
+    case LatencyDistribution::kFixed:
+      base = mean;
+      break;
+    case LatencyDistribution::kUniform: {
+      SimTime lo = mean / 2;
+      SimTime hi = mean + mean / 2;
+      base = lo + static_cast<SimTime>(
+                      rng_.NextUint(static_cast<uint64_t>(hi - lo + 1)));
+      break;
+    }
+    case LatencyDistribution::kExponential:
+      base = static_cast<SimTime>(
+          rng_.NextExponential(static_cast<double>(mean)));
+      break;
+  }
+  return std::max(config_.min, base) + size_cost;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,234 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "net/codec.h"
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+const char* DropCauseName(DropCause c) {
+  switch (c) {
+    case DropCause::kRandomLoss:
+      return "random_loss";
+    case DropCause::kLinkDown:
+      return "link_down";
+    case DropCause::kPartition:
+      return "partition";
+    case DropCause::kDestinationDown:
+      return "destination_down";
+    case DropCause::kSourceDown:
+      return "source_down";
+    case DropCause::kCount:
+      break;
+  }
+  return "?";
+}
+
+uint64_t NetworkStats::total_dropped() const {
+  uint64_t n = 0;
+  for (uint64_t d : dropped) n += d;
+  return n;
+}
+
+void NetworkStats::RecordSend(const Message& m, SimTime now,
+                              size_t bytes_size) {
+  sent++;
+  bytes += bytes_size;
+  by_kind[static_cast<size_t>(m.kind())]++;
+  if (m.from == m.to) {
+    local++;
+  } else {
+    size_t bucket = static_cast<size_t>(now / bucket_width);
+    if (bucket >= per_bucket.size()) per_bucket.resize(bucket + 1, 0);
+    per_bucket[bucket]++;
+  }
+}
+
+void NetworkStats::RecordDeliver(const Message& m) {
+  delivered++;
+  per_site_delivered[m.to]++;
+}
+
+void NetworkStats::RecordDrop(DropCause cause) {
+  dropped[static_cast<size_t>(cause)]++;
+}
+
+std::string NetworkStats::Render() const {
+  std::ostringstream os;
+  os << StringPrintf(
+      "messages: sent=%llu (network=%llu local=%llu) delivered=%llu "
+      "dropped=%llu bytes=%llu\n",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(network_sent()),
+      static_cast<unsigned long long>(local),
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(total_dropped()),
+      static_cast<unsigned long long>(bytes));
+  os << "by kind:";
+  for (size_t k = 0; k < by_kind.size(); ++k) {
+    if (by_kind[k] == 0) continue;
+    os << " " << MessageKindName(static_cast<MessageKind>(k)) << "="
+       << by_kind[k];
+  }
+  os << "\n";
+  return os.str();
+}
+
+Network::Network(Simulator* sim, LatencyConfig latency, Rng rng,
+                 TraceLog* trace)
+    : sim_(sim), latency_(latency, rng.Fork()), rng_(rng), trace_(trace) {}
+
+void Network::RegisterHandler(SiteId site, Handler handler) {
+  handlers_[site] = std::move(handler);
+}
+
+void Network::SetSiteUp(SiteId site, bool up) {
+  if (up) {
+    down_sites_.erase(site);
+  } else {
+    down_sites_.insert(site);
+  }
+}
+
+bool Network::IsSiteUp(SiteId site) const {
+  return !down_sites_.contains(site);
+}
+
+void Network::SetLinkUp(SiteId a, SiteId b, bool up) {
+  auto key = std::minmax(a, b);
+  if (up) {
+    down_links_.erase({key.first, key.second});
+  } else {
+    down_links_.insert({key.first, key.second});
+  }
+}
+
+void Network::SetPartitions(const std::vector<std::vector<SiteId>>& groups) {
+  partitioned_ = true;
+  partition_group_.clear();
+  int g = 0;
+  for (const auto& group : groups) {
+    for (SiteId s : group) partition_group_[s] = g;
+    ++g;
+  }
+}
+
+void Network::HealPartitions() {
+  partitioned_ = false;
+  partition_group_.clear();
+}
+
+bool Network::SameGroup(SiteId a, SiteId b) const {
+  if (!partitioned_) return true;
+  // Unlisted sites (e.g. the name server) share an implicit group -1.
+  auto ga = partition_group_.find(a);
+  auto gb = partition_group_.find(b);
+  int group_a = ga == partition_group_.end() ? -1 : ga->second;
+  int group_b = gb == partition_group_.end() ? -1 : gb->second;
+  return group_a == group_b;
+}
+
+bool Network::Reachable(SiteId a, SiteId b) const {
+  if (a == b) return IsSiteUp(a);
+  if (!IsSiteUp(a) || !IsSiteUp(b)) return false;
+  auto key = std::minmax(a, b);
+  if (down_links_.contains({key.first, key.second})) return false;
+  return SameGroup(a, b);
+}
+
+void Network::Send(SiteId from, SiteId to, Payload payload) {
+  Message msg;
+  msg.id = next_msg_id_++;
+  msg.from = from;
+  msg.to = to;
+  msg.sent_at = sim_->Now();
+  msg.payload = std::move(payload);
+
+  size_t size = PayloadSizeBytes(msg.payload);
+  if (verify_codec_) {
+    std::vector<uint8_t> wire = EncodePayload(msg.payload);
+    size = wire.size() + 24;  // payload bytes + envelope
+    Result<Payload> decoded = DecodePayload(wire);
+    if (!decoded.ok()) {
+      stats_.codec_failures++;
+      if (trace_ && trace_->enabled()) {
+        trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+                       "CODEC FAILURE " + decoded.status().ToString());
+      }
+      return;
+    }
+    msg.payload = std::move(decoded).value();
+  }
+  stats_.RecordSend(msg, sim_->Now(), size);
+
+  if (!IsSiteUp(from)) {
+    stats_.RecordDrop(DropCause::kSourceDown);
+    if (trace_ && trace_->enabled()) {
+      trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+                     "DROP(source down) " + msg.Describe());
+    }
+    return;
+  }
+  if (from != to && loss_probability_ > 0 &&
+      rng_.NextBool(loss_probability_)) {
+    stats_.RecordDrop(DropCause::kRandomLoss);
+    if (trace_ && trace_->enabled()) {
+      trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+                     "DROP(random) " + msg.Describe());
+    }
+    return;
+  }
+
+  SimTime delay = latency_.SampleDelay(from, to, size);
+  if (trace_ && trace_->enabled()) {
+    trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+                   "SEND " + msg.Describe());
+  }
+  sim_->After(delay, [this, msg = std::move(msg)]() mutable {
+    Deliver(std::move(msg));
+  });
+}
+
+void Network::Deliver(Message msg) {
+  // Connectivity is re-checked at delivery time so that faults striking
+  // while a message is in flight drop it.
+  if (!IsSiteUp(msg.to)) {
+    stats_.RecordDrop(DropCause::kDestinationDown);
+    if (trace_ && trace_->enabled()) {
+      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
+                     "DROP(dest down) " + msg.Describe());
+    }
+    return;
+  }
+  if (msg.from != msg.to) {
+    auto key = std::minmax(msg.from, msg.to);
+    if (down_links_.contains({key.first, key.second})) {
+      stats_.RecordDrop(DropCause::kLinkDown);
+      return;
+    }
+    if (!SameGroup(msg.from, msg.to)) {
+      stats_.RecordDrop(DropCause::kPartition);
+      if (trace_ && trace_->enabled()) {
+        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
+                       "DROP(partition) " + msg.Describe());
+      }
+      return;
+    }
+  }
+  auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) {
+    stats_.RecordDrop(DropCause::kDestinationDown);
+    return;
+  }
+  stats_.RecordDeliver(msg);
+  if (trace_ && trace_->enabled()) {
+    trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
+                   "RECV " + msg.Describe());
+  }
+  it->second(msg);
+}
+
+}  // namespace rainbow

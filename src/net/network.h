@@ -1,0 +1,144 @@
+#ifndef RAINBOW_NET_NETWORK_H_
+#define RAINBOW_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "net/latency_model.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+
+namespace rainbow {
+
+/// Why a message never reached its destination.
+enum class DropCause {
+  kRandomLoss,
+  kLinkDown,
+  kPartition,
+  kDestinationDown,
+  kSourceDown,
+  kCount,
+};
+
+const char* DropCauseName(DropCause c);
+
+/// Traffic accounting for the simulated network. Feeds the paper's
+/// "total number of messages generated per time unit" and message-kind
+/// breakdown statistics.
+struct NetworkStats {
+  uint64_t sent = 0;          ///< all Send() calls (incl. local)
+  uint64_t delivered = 0;
+  uint64_t local = 0;         ///< from == to (not counted as network traffic)
+  uint64_t bytes = 0;
+  std::array<uint64_t, static_cast<size_t>(MessageKind::kCount)> by_kind{};
+  std::array<uint64_t, static_cast<size_t>(DropCause::kCount)> dropped{};
+  /// Messages per bucket of `bucket_width` simulated time.
+  SimTime bucket_width = Millis(100);
+  std::vector<uint64_t> per_bucket;
+  /// Messages handled per destination site (load-balance indicator).
+  std::unordered_map<SiteId, uint64_t> per_site_delivered;
+  /// Wire-codec round-trip failures (must stay zero).
+  uint64_t codec_failures = 0;
+
+  uint64_t total_dropped() const;
+  uint64_t network_sent() const { return sent - local; }
+  void RecordSend(const Message& m, SimTime now, size_t bytes_size);
+  void RecordDeliver(const Message& m);
+  void RecordDrop(DropCause cause);
+  std::string Render() const;
+};
+
+/// The simulated network: delivers typed messages between registered
+/// sites with configurable latency, loss, link failures, and partitions.
+/// This is the paper's "network simulator and fault/recovery injector"
+/// substrate (the injector drives the control methods below).
+///
+/// Semantics:
+///  * Messages in flight when a fault strikes are dropped if, at their
+///    scheduled delivery instant, the destination is down or unreachable
+///    from the source (checked again at delivery time).
+///  * A crashed site neither sends nor receives.
+///  * Partitions override per-link state: two sites communicate iff they
+///    are in the same partition group AND the link is up.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(Simulator* sim, LatencyConfig latency, Rng rng, TraceLog* trace);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the message handler for `site`. One handler per site.
+  void RegisterHandler(SiteId site, Handler handler);
+
+  /// Sends `payload` from `from` to `to`. Delivery is asynchronous via
+  /// the simulator. Silently drops (with accounting) if unreachable.
+  void Send(SiteId from, SiteId to, Payload payload);
+
+  /// Random per-message loss probability in [0,1].
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  /// Round-trips every payload through the binary wire codec
+  /// (net/codec.h) and delivers the decoded copy — proves the codec can
+  /// carry the full protocol. Codec failures drop the message and are
+  /// counted in stats().codec_failures.
+  void set_verify_codec(bool on) { verify_codec_ = on; }
+
+  /// Marks a site up/down. Down sites send and receive nothing.
+  void SetSiteUp(SiteId site, bool up);
+  bool IsSiteUp(SiteId site) const;
+
+  /// Severs / restores the (bidirectional) link between `a` and `b`.
+  void SetLinkUp(SiteId a, SiteId b, bool up);
+
+  /// Installs a partition: each inner vector is a group; sites in
+  /// different groups cannot communicate. Sites not listed form an
+  /// implicit extra group together.
+  void SetPartitions(const std::vector<std::vector<SiteId>>& groups);
+
+  /// Removes any partition.
+  void HealPartitions();
+
+  /// True if a message from `a` to `b` would currently be deliverable.
+  bool Reachable(SiteId a, SiteId b) const;
+
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  void Deliver(Message msg);
+  bool SameGroup(SiteId a, SiteId b) const;
+
+  Simulator* sim_;
+  LatencyModel latency_;
+  Rng rng_;
+  TraceLog* trace_;
+  double loss_probability_ = 0;
+  bool verify_codec_ = false;
+  uint64_t next_msg_id_ = 1;
+
+  std::unordered_map<SiteId, Handler> handlers_;
+  std::set<SiteId> down_sites_;
+  std::set<std::pair<SiteId, SiteId>> down_links_;
+  bool partitioned_ = false;
+  std::unordered_map<SiteId, int> partition_group_;
+
+  NetworkStats stats_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_NET_NETWORK_H_

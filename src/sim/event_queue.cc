@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace rainbow {
+
+EventQueue::EventId EventQueue::Schedule(SimTime when, Callback cb) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  return heap_.empty() ? kSimTimeMax : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Fired fired{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace rainbow

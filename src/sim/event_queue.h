@@ -1,0 +1,72 @@
+#ifndef RAINBOW_SIM_EVENT_QUEUE_H_
+#define RAINBOW_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rainbow {
+
+/// Priority queue of timed callbacks, ordered by (time, insertion
+/// sequence). The sequence tie-break makes execution order fully
+/// deterministic: two events scheduled for the same instant fire in the
+/// order they were scheduled.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation. Valid until the event fires or the
+  /// queue is destroyed.
+  using EventId = uint64_t;
+
+  /// Schedules `cb` at absolute time `when`. Returns an id usable with
+  /// Cancel().
+  EventId Schedule(SimTime when, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already fired
+  /// or was already cancelled. Cancellation is O(1) (lazy removal).
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kSimTimeMax if none.
+  SimTime NextTime();
+
+  /// Pops the earliest event and returns it. Requires !empty().
+  struct Fired {
+    SimTime time;
+    Callback cb;
+  };
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries sitting at the front of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_SIM_EVENT_QUEUE_H_

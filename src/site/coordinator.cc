@@ -1,0 +1,564 @@
+#include "site/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "site/site.h"
+
+namespace rainbow {
+
+Coordinator::Coordinator(Site* site, TxnId id, TxnTimestamp ts,
+                         TxnProgram program, TxnCallback cb)
+    : site_(site),
+      id_(id),
+      ts_(ts),
+      program_(std::move(program)),
+      cb_(std::move(cb)),
+      submitted_at_(site->Now()) {}
+
+Coordinator::~Coordinator() {
+  op_timer_.Cancel();
+  vote_timer_.Cancel();
+}
+
+void Coordinator::Start() {
+  site_->Trace(TraceCategory::kTxn,
+               id_.ToString() + " arrived: " + program_.ToString());
+  read_slots_.assign(program_.ops.size(), std::nullopt);
+  exec_order_.resize(program_.ops.size());
+  for (size_t i = 0; i < exec_order_.size(); ++i) exec_order_[i] = i;
+  if (site_->config().ordered_access) {
+    // Conservative discipline: one global (item-id) acquisition order
+    // makes lock waits cycle-free. Stable sort keeps same-item ops in
+    // program order, so read-own-write semantics are untouched.
+    std::stable_sort(exec_order_.begin(), exec_order_.end(),
+                     [this](size_t a, size_t b) {
+                       return program_.ops[a].item < program_.ops[b].item;
+                     });
+  }
+  NextOp();
+}
+
+void Coordinator::NextOp() {
+  if (op_index_ >= exec_order_.size()) {
+    BeginCommit();
+    return;
+  }
+  cur_op_original_ = exec_order_[op_index_];
+  const Op& op = program_.ops[cur_op_original_];
+  switch (op.kind) {
+    case OpKind::kRead: {
+      auto buf = write_buffer_.find(op.item);
+      if (buf != write_buffer_.end()) {
+        // Read-own-write: served from the coordinator's buffer.
+        read_slots_[cur_op_original_] = buf->second;
+        ++op_index_;
+        NextOp();
+        return;
+      }
+      cur_increment_pending_ = false;
+      WithView(op.item, AfterLookup::kRead);
+      return;
+    }
+    case OpKind::kWrite:
+      cur_increment_pending_ = false;
+      cur_write_value_ = op.value;
+      WithView(op.item, AfterLookup::kWrite);
+      return;
+    case OpKind::kIncrement: {
+      auto buf = write_buffer_.find(op.item);
+      if (buf != write_buffer_.end()) {
+        read_slots_[cur_op_original_] = buf->second;
+        cur_increment_pending_ = false;
+        cur_write_value_ = buf->second + op.value;
+        WithView(op.item, AfterLookup::kWrite);
+        return;
+      }
+      // Read phase first; the write phase follows from the read value.
+      cur_increment_pending_ = true;
+      cur_increment_delta_ = op.value;
+      WithView(op.item, AfterLookup::kRead);
+      return;
+    }
+  }
+}
+
+const ReplicaView* Coordinator::FindView(ItemId item) const {
+  if (site_->config().cache_schema) {
+    return site_->CachedView(item);
+  }
+  auto it = local_views_.find(item);
+  return it == local_views_.end() ? nullptr : &it->second;
+}
+
+void Coordinator::WithView(ItemId item, AfterLookup next) {
+  cur_item_ = item;
+  after_lookup_ = next;
+  if (const ReplicaView* view = FindView(item)) {
+    (void)view;
+    if (next == AfterLookup::kRead) {
+      StartRead(item);
+    } else {
+      StartWrite(item, cur_write_value_);
+    }
+    return;
+  }
+  phase_ = Phase::kLookup;
+  site_->SendTo(kNameServerId, NsLookupRequest{id_, item});
+  op_timer_.Cancel();
+  op_timer_ = site_->env().sim->After(site_->config().op_timeout,
+                                      [this] { OnOpTimeout(); });
+}
+
+void Coordinator::OnLookupReply(const NsLookupReply& r) {
+  if (phase_ != Phase::kLookup || r.item != cur_item_) return;
+  op_timer_.Cancel();
+  ++round_trips_;
+  if (!r.found) {
+    AbortNow(AbortCause::kOther,
+             "unknown item " + std::to_string(r.item));
+    return;
+  }
+  ReplicaView view;
+  view.copies = r.copies;
+  view.votes = r.votes;
+  view.read_quorum = r.read_quorum;
+  view.write_quorum = r.write_quorum;
+  if (site_->config().cache_schema) {
+    site_->CacheView(r.item, view);
+  } else {
+    local_views_[r.item] = view;
+  }
+  if (after_lookup_ == AfterLookup::kRead) {
+    StartRead(cur_item_);
+  } else {
+    StartWrite(cur_item_, cur_write_value_);
+  }
+}
+
+void Coordinator::StartRead(ItemId item) {
+  const ReplicaView* view = FindView(item);
+  assert(view != nullptr);
+  RcpPlanner planner(site_->config().rcp, site_->config().rcp_broadcast);
+  auto plan = planner.PlanRead(*view, site_->id(), site_->SuspectedSet());
+  if (!plan.ok()) {
+    AbortNow(AbortCause::kRcp, plan.status().message());
+    return;
+  }
+  phase_ = Phase::kReadOp;
+  probe_forwarded_.clear();  // new wait epoch
+  cur_is_write_ = false;
+  cur_item_ = item;
+  cur_require_all_ = plan->require_all;
+  cur_votes_needed_ = plan->needed_votes;
+  cur_votes_got_ = 0;
+  cur_max_version_ = 0;
+  cur_best_value_ = 0;
+  cur_cc_site_ = plan->cc_site;
+  cur_outstanding_.clear();
+  for (SiteId s : plan->targets) cur_outstanding_.insert(s);
+  site_->Trace(TraceCategory::kRcp,
+               StringPrintf("%s read quorum for item %u: %zu targets",
+                            id_.ToString().c_str(), item,
+                            plan->targets.size()));
+  SendAccessRequests();
+}
+
+void Coordinator::StartWrite(ItemId item, Value value) {
+  const ReplicaView* view = FindView(item);
+  assert(view != nullptr);
+  RcpPlanner planner(site_->config().rcp, site_->config().rcp_broadcast);
+  auto plan = planner.PlanWrite(*view, site_->id(), site_->SuspectedSet());
+  if (!plan.ok()) {
+    AbortNow(AbortCause::kRcp, plan.status().message());
+    return;
+  }
+  phase_ = Phase::kWriteOp;
+  probe_forwarded_.clear();  // new wait epoch
+  cur_is_write_ = true;
+  cur_item_ = item;
+  cur_write_value_ = value;
+  cur_require_all_ = plan->require_all;
+  cur_votes_needed_ = plan->needed_votes;
+  cur_votes_got_ = 0;
+  cur_max_version_ = 0;
+  cur_cc_site_ = plan->cc_site;
+  cur_outstanding_.clear();
+  for (SiteId s : plan->targets) cur_outstanding_.insert(s);
+  site_->Trace(TraceCategory::kRcp,
+               StringPrintf("%s write quorum for item %u: %zu targets",
+                            id_.ToString().c_str(), item,
+                            plan->targets.size()));
+  SendAccessRequests();
+}
+
+void Coordinator::SendAccessRequests() {
+  for (SiteId s : cur_outstanding_) {
+    contacted_.insert(s);
+    if (cur_is_write_) {
+      // Under primary copy, backups skip CC: the primary's lock already
+      // serializes conflicting transactions.
+      bool skip_cc = cur_cc_site_ != kInvalidSite && s != cur_cc_site_;
+      site_->SendTo(
+          s, PrewriteRequest{id_, ts_, cur_item_, cur_write_value_, skip_cc});
+    } else {
+      site_->SendTo(s, ReadRequest{id_, ts_, cur_item_});
+    }
+  }
+  op_timer_.Cancel();
+  op_timer_ = site_->env().sim->After(site_->config().op_timeout,
+                                      [this] { OnOpTimeout(); });
+}
+
+void Coordinator::OnReadReply(SiteId from, const ReadReply& r) {
+  if (phase_ != Phase::kReadOp || r.item != cur_item_ ||
+      !cur_outstanding_.contains(from)) {
+    HandleStrayGrant(from, r.granted);
+    return;
+  }
+  ++round_trips_;
+  cur_outstanding_.erase(from);
+  if (!r.granted) {
+    AccessDenied(from, r.reason);
+    return;
+  }
+  AccessGranted(from, r.version, r.value, true);
+}
+
+void Coordinator::HandleStrayGrant(SiteId from, bool granted) {
+  if (!granted) return;
+  // A late grant (e.g. the surplus reply of a broadcast quorum): the
+  // replica holds CC state for us. Fold it into the commit protocol if
+  // that is still possible; otherwise release it immediately.
+  if (!voting()) {
+    participants_.insert(from);
+  } else if (!participants_.contains(from)) {
+    site_->SendTo(from, AbortRequest{id_});
+  }
+}
+
+void Coordinator::OnPrewriteReply(SiteId from, const PrewriteReply& r) {
+  if (phase_ != Phase::kWriteOp || r.item != cur_item_ ||
+      !cur_outstanding_.contains(from)) {
+    HandleStrayGrant(from, r.granted);
+    return;
+  }
+  ++round_trips_;
+  cur_outstanding_.erase(from);
+  if (!r.granted) {
+    AccessDenied(from, r.reason);
+    return;
+  }
+  write_sites_[cur_item_].insert(from);
+  AccessGranted(from, r.version, 0, false);
+}
+
+void Coordinator::AccessGranted(SiteId from, Version version, Value value,
+                                bool has_value) {
+  participants_.insert(from);
+  const ReplicaView* view = FindView(cur_item_);
+  assert(view != nullptr);
+  cur_votes_got_ += view->VoteOf(from);
+  if (has_value) {
+    read_site_versions_[cur_item_][from] = version;
+  }
+  if (has_value && (version >= cur_max_version_)) {
+    // Highest-version copy wins (QC read rule). For equal versions any
+    // copy is as good (they are identical under a validated schema).
+    cur_best_value_ = value;
+  }
+  cur_max_version_ = std::max(cur_max_version_, version);
+  bool done = cur_require_all_ ? cur_outstanding_.empty()
+                               : cur_votes_got_ >= cur_votes_needed_;
+  if (done) OpQuorumReached();
+}
+
+void Coordinator::AccessDenied(SiteId from, DenyReason reason) {
+  (void)from;
+  AbortCause cause = AbortCause::kCcp;
+  if (reason == DenyReason::kSiteBusy || reason == DenyReason::kUnknownTxn) {
+    cause = AbortCause::kOther;
+  }
+  AbortNow(cause, std::string("denied: ") + DenyReasonName(reason));
+}
+
+void Coordinator::OpQuorumReached() {
+  op_timer_.Cancel();
+  // Surplus broadcast targets that have not answered are released right
+  // away — unless they already participate via an earlier operation, in
+  // which case their eventual grant is folded in by the stray handler.
+  for (SiteId s : cur_outstanding_) {
+    if (!participants_.contains(s)) {
+      site_->SendTo(s, AbortRequest{id_});
+    }
+  }
+  cur_outstanding_.clear();
+  if (cur_is_write_) {
+    Version& base = write_base_version_[cur_item_];
+    base = std::max(base, cur_max_version_);
+    write_buffer_[cur_item_] = cur_write_value_;
+    ++op_index_;
+    NextOp();
+    return;
+  }
+  // Read complete.
+  read_slots_[cur_op_original_] = cur_best_value_;
+  accesses_.push_back(CommittedAccess{cur_item_, false, cur_max_version_});
+  if (cur_increment_pending_) {
+    cur_increment_pending_ = false;
+    // The read phase of the INCREMENT observed the value; the write
+    // phase installs value + delta. This is still the same program op.
+    StartWrite(cur_item_, cur_best_value_ + cur_increment_delta_);
+    return;
+  }
+  ++op_index_;
+  NextOp();
+}
+
+void Coordinator::OnOpTimeout() {
+  // Whoever did not reply is now suspected; the next transactions will
+  // plan around them.
+  for (SiteId s : cur_outstanding_) site_->Suspect(s);
+  if (phase_ == Phase::kVoting) {
+    OnVoteTimeout();
+    return;
+  }
+  if (phase_ == Phase::kPreCommit) {
+    OnPreCommitTimeout();
+    return;
+  }
+  AbortNow(AbortCause::kRcp,
+           StringPrintf("operation timeout (%zu sites silent)",
+                        cur_outstanding_.size()));
+}
+
+void Coordinator::BeginCommit() {
+  if (participants_.empty()) {
+    // Nothing was accessed remotely (empty program): trivial commit.
+    if (site_->env().history && site_->env().history->enabled()) {
+      site_->env().history->RecordCommit(id_, accesses_);
+    }
+    Finish(true, AbortCause::kNone, "");
+    return;
+  }
+  // Finalize the version each written item will install.
+  for (auto& [item, base] : write_base_version_) {
+    accesses_.push_back(CommittedAccess{item, true, base + 1});
+  }
+  std::vector<SiteId> plist(participants_.begin(), participants_.end());
+  votes_ = std::make_unique<VoteCollector>(plist);
+  phase_ = Phase::kVoting;
+  bool three_phase = site_->config().acp == AcpKind::kThreePhaseCommit;
+  site_->Trace(TraceCategory::kAcp,
+               StringPrintf("%s prepare -> %zu participants",
+                            id_.ToString().c_str(), plist.size()));
+  bool occ = site_->config().cc == CcKind::kOptimistic;
+  for (SiteId p : plist) {
+    PrepareRequest prep;
+    prep.txn = id_;
+    prep.participants = plist;
+    prep.three_phase = three_phase;
+    for (const auto& [item, sites] : write_sites_) {
+      if (sites.contains(p)) {
+        prep.versions.push_back(PrepareRequest::WriteVersion{
+            item, write_base_version_.at(item) + 1});
+      }
+    }
+    if (occ) {
+      // Backward validation set: the versions this transaction's reads
+      // observed at participant `p`.
+      for (const auto& [item, by_site] : read_site_versions_) {
+        auto it = by_site.find(p);
+        if (it != by_site.end()) {
+          prep.validations.push_back(
+              PrepareRequest::ReadValidation{item, it->second});
+        }
+      }
+    }
+    site_->SendTo(p, std::move(prep));
+  }
+  op_timer_.Cancel();
+  vote_timer_ = site_->env().sim->After(site_->config().vote_timeout,
+                                        [this] { OnVoteTimeout(); });
+}
+
+void Coordinator::OnVote(SiteId from, const VoteReply& v) {
+  if (phase_ != Phase::kVoting || !votes_) return;
+  ++round_trips_;
+  if (v.read_only && v.yes) readonly_voters_.insert(from);
+  votes_->Record(from, v.yes);
+  if (!v.yes) {
+    Decide(false, AbortCause::kAcp,
+           std::string("participant voted NO: ") + DenyReasonName(v.reason));
+    return;
+  }
+  if (!votes_->AllYes()) return;
+  vote_timer_.Cancel();
+  if (site_->config().acp == AcpKind::kThreePhaseCommit) {
+    phase_ = Phase::kPreCommit;
+    std::vector<SiteId> remaining = DecisionParticipants();
+    precommit_acks_ = std::make_unique<AckCollector>(remaining);
+    if (remaining.empty()) {
+      Decide(true, AbortCause::kNone, "");
+      return;
+    }
+    for (SiteId p : remaining) {
+      site_->SendTo(p, PreCommitRequest{id_});
+    }
+    vote_timer_ = site_->env().sim->After(site_->config().vote_timeout,
+                                          [this] { OnPreCommitTimeout(); });
+    return;
+  }
+  Decide(true, AbortCause::kNone, "");
+}
+
+void Coordinator::OnPreCommitAck(SiteId from) {
+  if (phase_ != Phase::kPreCommit || !precommit_acks_) return;
+  ++round_trips_;
+  precommit_acks_->Record(from);
+  if (precommit_acks_->Complete()) {
+    vote_timer_.Cancel();
+    Decide(true, AbortCause::kNone, "");
+  }
+}
+
+void Coordinator::OnVoteTimeout() {
+  Decide(false, AbortCause::kAcp, "vote collection timed out");
+}
+
+void Coordinator::OnPreCommitTimeout() {
+  // All participants voted YES; silent ones are prepared (or better) and
+  // their termination protocol converges on commit. Proceed.
+  Decide(true, AbortCause::kNone, "");
+}
+
+void Coordinator::OnRemoteAbort(const RemoteAbortNotify& n) {
+  if (voting()) {
+    // A participant lost our CC state after granting but before prepare
+    // reached it; its NO vote (unknown txn) aborts us. If the notify
+    // arrives first, abort right away.
+    Decide(false, AbortCause::kCcp,
+           std::string("remote abort: ") + DenyReasonName(n.reason));
+    return;
+  }
+  AbortNow(AbortCause::kCcp,
+           std::string("remote abort: ") + DenyReasonName(n.reason));
+}
+
+std::vector<SiteId> Coordinator::DecisionParticipants() const {
+  std::vector<SiteId> out;
+  for (SiteId p : votes_->participants()) {
+    if (!readonly_voters_.contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
+  vote_timer_.Cancel();
+  op_timer_.Cancel();
+  // Read-only voters already released everything; only the rest take
+  // part in the decision round.
+  std::vector<SiteId> plist = DecisionParticipants();
+  site_->mutable_wal().Append(WalRecord{
+      commit ? WalRecordKind::kCommitDecision : WalRecordKind::kAbortDecision,
+      id_,
+      site_->id(),
+      {},
+      plist,
+      false});
+  site_->RememberDecision(id_, commit);
+  site_->Trace(TraceCategory::kAcp,
+               id_.ToString() + (commit ? " decision: COMMIT" : " decision: ABORT"));
+  for (SiteId p : plist) {
+    site_->SendTo(p, Decision{id_, commit});
+  }
+  site_->StartCloser(id_, commit, plist);
+  if (commit && site_->env().history && site_->env().history->enabled()) {
+    site_->env().history->RecordCommit(id_, accesses_);
+  }
+  Finish(commit, cause, std::move(detail));
+}
+
+void Coordinator::AbortNow(AbortCause cause, std::string detail) {
+  op_timer_.Cancel();
+  vote_timer_.Cancel();
+  std::set<SiteId> targets = contacted_;
+  for (SiteId p : participants_) targets.insert(p);
+  for (SiteId s : targets) {
+    site_->SendTo(s, AbortRequest{id_});
+  }
+  Finish(false, cause, std::move(detail));
+}
+
+void Coordinator::Finish(bool committed, AbortCause cause,
+                         std::string detail) {
+  TxnOutcome outcome;
+  outcome.id = id_;
+  outcome.ts = ts_;
+  outcome.committed = committed;
+  outcome.abort_cause = committed ? AbortCause::kNone : cause;
+  outcome.abort_detail = std::move(detail);
+  outcome.submitted_at = submitted_at_;
+  outcome.finished_at = site_->Now();
+  outcome.home = site_->id();
+  outcome.num_ops = static_cast<uint32_t>(program_.ops.size());
+  outcome.round_trips = round_trips_;
+  if (committed) {
+    for (const auto& slot : read_slots_) {
+      if (slot.has_value()) outcome.reads.push_back(*slot);
+    }
+  }
+
+  site_->Trace(TraceCategory::kTxn, outcome.ToString());
+  if (site_->env().monitor) site_->env().monitor->OnComplete(outcome);
+  if (cb_) {
+    // Deliver asynchronously so client code (e.g. a closed-loop workload
+    // generator) never runs inside a half-destroyed coordinator.
+    site_->env().sim->After(0, [cb = cb_, outcome] { cb(outcome); });
+  }
+  site_->CoordinatorFinished(id_);  // destroys *this; must be last
+}
+
+bool Coordinator::ShouldForwardProbe(TxnId initiator, SimTime now,
+                                     SimTime min_gap) {
+  auto [it, inserted] = probe_forwarded_.try_emplace(initiator, now);
+  if (inserted) return true;
+  if (now - it->second >= min_gap) {
+    it->second = now;
+    return true;
+  }
+  return false;
+}
+
+void Coordinator::AbortAsDeadlockVictim() {
+  if (voting()) {
+    // Prepared participants cannot be yanked out from under 2PC; the
+    // vote round will settle the outcome on its own.
+    return;
+  }
+  site_->Trace(TraceCategory::kCcp,
+               id_.ToString() + " aborted: distributed deadlock (probe)");
+  AbortNow(AbortCause::kCcp, "distributed deadlock detected by probe");
+}
+
+void Coordinator::OnSiteCrash() {
+  TxnOutcome outcome;
+  outcome.id = id_;
+  outcome.ts = ts_;
+  outcome.committed = false;
+  outcome.abort_cause = AbortCause::kSiteFailure;
+  outcome.abort_detail = "home site crashed";
+  outcome.submitted_at = submitted_at_;
+  outcome.finished_at = site_->Now();
+  outcome.home = site_->id();
+  outcome.num_ops = static_cast<uint32_t>(program_.ops.size());
+  outcome.round_trips = round_trips_;
+  if (site_->env().monitor) site_->env().monitor->OnComplete(outcome);
+  if (cb_) {
+    site_->env().sim->After(0, [cb = cb_, outcome] { cb(outcome); });
+  }
+  // The Site clears the coordinator map right after; no self-erase here.
+}
+
+}  // namespace rainbow

@@ -1,0 +1,178 @@
+#ifndef RAINBOW_SITE_COORDINATOR_H_
+#define RAINBOW_SITE_COORDINATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "acp/acp_common.h"
+#include "net/message.h"
+#include "rcp/rcp_policy.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+
+namespace rainbow {
+
+class Site;
+
+/// Drives one transaction homed at a site — the paper's "one thread per
+/// transaction". Implements §2.1 exactly: for each operation in program
+/// order the RCP builds a read or write quorum (replica sites apply the
+/// CCP and return values / version numbers); when every operation is
+/// done, the coordinator runs the ACP (2PC or 3PC) across all
+/// participant sites; the decision is then handed to the Site's closer,
+/// which collects acks and logs the end record.
+class Coordinator {
+ public:
+  Coordinator(Site* site, TxnId id, TxnTimestamp ts, TxnProgram program,
+              TxnCallback cb);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  void Start();
+
+  // --- reply handlers (dispatched by Site) ---
+  void OnLookupReply(const NsLookupReply& r);
+  void OnReadReply(SiteId from, const ReadReply& r);
+  void OnPrewriteReply(SiteId from, const PrewriteReply& r);
+  void OnVote(SiteId from, const VoteReply& v);
+  void OnPreCommitAck(SiteId from);
+  void OnRemoteAbort(const RemoteAbortNotify& n);
+
+  /// Home site crashed: deliver a site-failure outcome to the client.
+  /// The caller destroys the coordinator afterwards.
+  void OnSiteCrash();
+
+  TxnId id() const { return id_; }
+  TxnTimestamp ts() const { return ts_; }
+
+  /// True once the coordinator reached the voting phase (used by the
+  /// Site to answer DecisionQuery with "still deciding").
+  bool voting() const { return phase_ == Phase::kVoting || phase_ == Phase::kPreCommit; }
+
+  /// True while the coordinator is waiting for copy-access replies
+  /// (read/write quorum in progress) — the "blocked" state traversed by
+  /// deadlock probes.
+  bool in_data_op() const {
+    return phase_ == Phase::kReadOp || phase_ == Phase::kWriteOp;
+  }
+
+  /// Sites the current operation is still waiting on.
+  const std::set<SiteId>& outstanding_targets() const {
+    return cur_outstanding_;
+  }
+
+  /// Aborts the whole transaction as a distributed-deadlock victim.
+  void AbortAsDeadlockVictim();
+
+  /// Probe dedup: true at most once per `min_gap` per initiator while
+  /// this operation blocks. Without it, dense waits-for graphs amplify
+  /// probes exponentially (every path, not every edge, gets traversed).
+  bool ShouldForwardProbe(TxnId initiator, SimTime now, SimTime min_gap);
+
+ private:
+  enum class Phase {
+    kIdle,
+    kLookup,     ///< waiting for a name-server reply
+    kReadOp,     ///< building a read quorum
+    kWriteOp,    ///< building a write quorum
+    kVoting,     ///< 2PC/3PC phase 1
+    kPreCommit,  ///< 3PC phase 2
+  };
+  /// What to do once the pending name-server lookup returns.
+  enum class AfterLookup { kRead, kWrite };
+
+  void NextOp();
+  /// Fetches the replica view for `item` (cache or name server), then
+  /// continues with `next`.
+  void WithView(ItemId item, AfterLookup next);
+  const ReplicaView* FindView(ItemId item) const;
+
+  void StartRead(ItemId item);
+  void StartWrite(ItemId item, Value value);
+  void HandleStrayGrant(SiteId from, bool granted);
+  void SendAccessRequests();
+  void AccessGranted(SiteId from, Version version, Value value,
+                     bool has_value);
+  void AccessDenied(SiteId from, DenyReason reason);
+  void OpQuorumReached();
+  void OnOpTimeout();
+
+  void BeginCommit();
+  std::vector<SiteId> DecisionParticipants() const;
+  void OnVoteTimeout();
+  void OnPreCommitTimeout();
+  void Decide(bool commit, AbortCause cause, std::string detail);
+
+  /// Aborts before any prepare was sent: AbortRequests to every
+  /// contacted site, then reports the outcome.
+  void AbortNow(AbortCause cause, std::string detail);
+
+  /// Delivers the outcome to the client (async) and retires this
+  /// coordinator. Must be the caller's final action.
+  void Finish(bool committed, AbortCause cause, std::string detail);
+
+  Site* site_;
+  TxnId id_;
+  TxnTimestamp ts_;
+  TxnProgram program_;
+  TxnCallback cb_;
+  SimTime submitted_at_;
+
+  Phase phase_ = Phase::kIdle;
+  size_t op_index_ = 0;
+
+  // Current-operation state.
+  ItemId cur_item_ = kInvalidItem;
+  bool cur_is_write_ = false;
+  Value cur_write_value_ = 0;
+  bool cur_require_all_ = false;
+  int cur_votes_needed_ = 0;
+  int cur_votes_got_ = 0;
+  std::set<SiteId> cur_outstanding_;
+  Version cur_max_version_ = 0;
+  Value cur_best_value_ = 0;
+  bool cur_increment_pending_ = false;  ///< write phase of an INCREMENT follows
+  Value cur_increment_delta_ = 0;
+  SiteId cur_cc_site_ = kInvalidSite;  ///< primary copy: sole CC arbiter
+  std::map<TxnId, SimTime> probe_forwarded_;  ///< per-op probe dedup
+  AfterLookup after_lookup_ = AfterLookup::kRead;
+  TimerHandle op_timer_;
+
+  // Transaction-wide state.
+  std::map<ItemId, ReplicaView> local_views_;  ///< when schema caching is off
+  std::set<SiteId> contacted_;
+  std::set<SiteId> participants_;
+  std::map<ItemId, Value> write_buffer_;
+  std::map<ItemId, Version> write_base_version_;
+  std::map<ItemId, std::set<SiteId>> write_sites_;
+  /// Versions observed per (item, replica site) by this transaction's
+  /// reads; under OCC they are shipped with the prepare for backward
+  /// validation.
+  std::map<ItemId, std::map<SiteId, Version>> read_site_versions_;
+  std::vector<CommittedAccess> accesses_;
+  /// Observed read value per program op (reads/increments only), keyed
+  /// by the op's original index so ordered_access does not reorder the
+  /// values the client sees.
+  std::vector<std::optional<Value>> read_slots_;
+  /// Execution order over program op indices (identity, or sorted by
+  /// item under ProtocolConfig::ordered_access).
+  std::vector<size_t> exec_order_;
+  size_t cur_op_original_ = 0;
+  uint32_t round_trips_ = 0;
+
+  // ACP state.
+  std::unique_ptr<VoteCollector> votes_;
+  std::unique_ptr<AckCollector> precommit_acks_;
+  std::set<SiteId> readonly_voters_;
+  TimerHandle vote_timer_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_SITE_COORDINATOR_H_

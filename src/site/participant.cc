@@ -1,0 +1,618 @@
+#include "site/participant.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/string_util.h"
+#include "site/site.h"
+
+namespace rainbow {
+
+ParticipantManager::ParticipantManager(Site* site) : site_(site) {}
+
+ParticipantManager::~ParticipantManager() { Shutdown(); }
+
+void ParticipantManager::Shutdown() {
+  for (auto& [id, t] : txns_) {
+    t.decision_timer.Cancel();
+    t.activity_timer.Cancel();
+    t.window_timer.Cancel();
+    t.wait_timer.Cancel();
+    t.probe_timer.Cancel();
+  }
+  txns_.clear();
+}
+
+ParticipantManager::PTxn& ParticipantManager::Ensure(TxnId txn,
+                                                     TxnTimestamp ts,
+                                                     SiteId coordinator) {
+  auto [it, inserted] = txns_.try_emplace(txn);
+  PTxn& t = it->second;
+  if (inserted) {
+    t.id = txn;
+    t.ts = ts;
+    t.coordinator = coordinator;
+    t.state = AcpState::kActive;
+  }
+  return t;
+}
+
+void ParticipantManager::ArmActivityTimer(PTxn& t) {
+  t.activity_timer.Cancel();
+  TxnId id = t.id;
+  t.activity_timer = site_->env().sim->After(
+      site_->config().active_timeout, [this, id] { OnActivityTimeout(id); });
+}
+
+void ParticipantManager::ArmDecisionTimer(PTxn& t) {
+  t.decision_timer.Cancel();
+  TxnId id = t.id;
+  t.decision_timer = site_->env().sim->After(
+      site_->config().decision_timeout, [this, id] { OnDecisionTimeout(id); });
+}
+
+void ParticipantManager::ArmProbeTimer(TxnId txn) {
+  if (site_->config().deadlock != DeadlockPolicy::kEdgeChasing) return;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  it->second.probe_timer.Cancel();
+  it->second.probe_timer =
+      site_->env().sim->After(site_->config().probe_delay, [this, txn] {
+        auto it2 = txns_.find(txn);
+        if (it2 == txns_.end()) return;
+        std::vector<TxnId> holders = site_->cc()->WaitingFor(txn);
+        if (holders.empty()) return;  // wait resolved meanwhile
+        site_->Trace(TraceCategory::kCcp,
+                     txn.ToString() + " still blocked: emitting " +
+                         std::to_string(holders.size()) + " deadlock probes");
+        for (TxnId h : holders) {
+          site_->SendTo(h.home, DeadlockProbe{txn, h, 0});
+        }
+        // Re-arm: long waits keep probing (the graph may only later
+        // close into a cycle).
+        ArmProbeTimer(txn);
+      });
+}
+
+void ParticipantManager::OnRead(SiteId from, const ReadRequest& req) {
+  PTxn& t = Ensure(req.txn, req.ts, from);
+  if (t.state != AcpState::kActive) return;  // stray after prepare
+  ArmActivityTimer(t);
+
+  TxnId id = req.txn;
+  ItemId item = req.item;
+  // Detect whether the CC engine answers synchronously; if not, a
+  // lock-wait timer bounds the wait.
+  auto decided = std::make_shared<bool>(false);
+  site_->cc()->RequestRead(
+      id, req.ts, item,
+      [this, id, item, from, decided](const CcGrant& g) {
+        *decided = true;
+        auto it = txns_.find(id);
+        if (it == txns_.end()) return;  // aborted while waiting
+        it->second.wait_timer.Cancel();
+        it->second.probe_timer.Cancel();
+        ReadReply reply;
+        reply.txn = id;
+        reply.item = item;
+        reply.granted = g.granted;
+        reply.reason = g.reason;
+        if (g.granted) {
+          if (g.has_value) {
+            reply.value = g.value;
+            reply.version = g.version;
+          } else {
+            auto copy = site_->store().Get(item);
+            if (!copy.ok()) {
+              reply.granted = false;
+              reply.reason = DenyReason::kSiteBusy;
+            } else {
+              reply.value = copy->value;
+              reply.version = copy->version;
+            }
+          }
+        }
+        site_->SendTo(from, reply);
+        if (!reply.granted) LocalAbort(id);
+      });
+  if (!*decided) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) return;  // denied synchronously and cleaned up
+    ArmProbeTimer(id);
+    it->second.wait_timer = site_->env().sim->After(
+        site_->config().lock_wait_timeout, [this, id, item, from] {
+          auto it2 = txns_.find(id);
+          if (it2 == txns_.end()) return;
+          site_->Trace(TraceCategory::kCcp,
+                       id.ToString() + " read wait timeout on item " +
+                           std::to_string(item));
+          LocalAbort(id);
+          site_->SendTo(from, ReadReply{id, item, false,
+                                        DenyReason::kWaitTimeout, 0, 0});
+        });
+  }
+}
+
+void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req) {
+  PTxn& t = Ensure(req.txn, req.ts, from);
+  if (t.state != AcpState::kActive) return;
+  ArmActivityTimer(t);
+
+  TxnId id = req.txn;
+  ItemId item = req.item;
+  Value value = req.value;
+
+  if (req.skip_cc) {
+    // Primary-copy backup path: buffer the write without CC — the
+    // primary's lock serialized conflicting transactions already.
+    t.buffered[item] = value;
+    PrewriteReply reply;
+    reply.txn = id;
+    reply.item = item;
+    reply.granted = true;
+    auto copy = site_->store().Get(item);
+    reply.version = copy.ok() ? copy->version : 0;
+    site_->SendTo(from, reply);
+    return;
+  }
+
+  auto decided = std::make_shared<bool>(false);
+  site_->cc()->RequestWrite(
+      id, req.ts, item,
+      [this, id, item, value, from, decided](const CcGrant& g) {
+        *decided = true;
+        auto it = txns_.find(id);
+        if (it == txns_.end()) return;
+        it->second.wait_timer.Cancel();
+        it->second.probe_timer.Cancel();
+        PrewriteReply reply;
+        reply.txn = id;
+        reply.item = item;
+        reply.granted = g.granted;
+        reply.reason = g.reason;
+        if (g.granted) {
+          it->second.buffered[item] = value;
+          auto copy = site_->store().Get(item);
+          reply.version = copy.ok() ? copy->version : 0;
+        }
+        site_->SendTo(from, reply);
+        if (!reply.granted) LocalAbort(id);
+      });
+  if (!*decided) {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) return;
+    ArmProbeTimer(id);
+    it->second.wait_timer = site_->env().sim->After(
+        site_->config().lock_wait_timeout, [this, id, item, from] {
+          auto it2 = txns_.find(id);
+          if (it2 == txns_.end()) return;
+          site_->Trace(TraceCategory::kCcp,
+                       id.ToString() + " write wait timeout on item " +
+                           std::to_string(item));
+          LocalAbort(id);
+          site_->SendTo(from, PrewriteReply{id, item, false,
+                                            DenyReason::kWaitTimeout, 0});
+        });
+  }
+}
+
+void ParticipantManager::OnAbortRequest(const AbortRequest& req) {
+  auto it = txns_.find(req.txn);
+  if (it == txns_.end()) return;
+  if (it->second.state == AcpState::kPrepared ||
+      it->second.state == AcpState::kPreCommitted) {
+    // A coordinator never plain-aborts a prepared participant, but a
+    // recovered one might; treat as an abort decision (logged).
+    ApplyDecision(req.txn, false, kInvalidSite);
+    return;
+  }
+  LocalAbort(req.txn);
+}
+
+void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req) {
+  auto it = txns_.find(req.txn);
+  if (it == txns_.end()) {
+    // We lost this transaction (crash, victim, orphan cleanup): vote NO.
+    site_->SendTo(from, VoteReply{req.txn, false, DenyReason::kUnknownTxn});
+    return;
+  }
+  PTxn& t = it->second;
+  if (t.state != AcpState::kActive) {
+    // Duplicate prepare; re-vote YES if prepared.
+    if (t.state == AcpState::kPrepared || t.state == AcpState::kPreCommitted) {
+      site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone});
+    }
+    return;
+  }
+  t.coordinator = from;
+  t.participants = req.participants;
+  t.three_phase = req.three_phase;
+  for (const auto& wv : req.versions) {
+    t.versions[wv.item] = wv.version;
+  }
+  // OCC backward validation: every read this transaction performed here
+  // must still be current, and the commit window needs non-waiting
+  // shared (reads) / exclusive (writes) locks. Any conflict => NO vote.
+  // Pessimistic engines send no validations and grant all commit locks.
+  bool valid = true;
+  for (const auto& rv : req.validations) {
+    auto copy = site_->store().Get(rv.item);
+    if (!copy.ok() || copy->version != rv.version) {
+      valid = false;
+      break;
+    }
+  }
+  if (valid) {
+    for (const auto& rv : req.validations) {
+      if (!site_->cc()->TryCommitLock(req.txn, rv.item, false)) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (valid) {
+    for (const auto& [item, value] : t.buffered) {
+      if (!site_->cc()->TryCommitLock(req.txn, item, true)) {
+        valid = false;
+        break;
+      }
+    }
+  }
+  if (!valid) {
+    site_->Trace(TraceCategory::kCcp,
+                 req.txn.ToString() + " failed OCC validation");
+    site_->SendTo(from,
+                  VoteReply{req.txn, false, DenyReason::kValidationFailed});
+    LocalAbort(req.txn);  // releases any commit locks taken above
+    return;
+  }
+  // The read-only optimization is 2PC-only: under 3PC a vanished
+  // read-only participant would be indistinguishable from a crashed
+  // unprepared one during termination, which decides ABORT on kUnknown.
+  if (site_->config().readonly_optimization && !req.three_phase &&
+      t.buffered.empty()) {
+    // Read-only participant: vote YES-read-only, release everything now
+    // and drop out of phase 2 (no prepared record, no decision needed).
+    site_->Trace(TraceCategory::kAcp,
+                 req.txn.ToString() + " voted READ-ONLY (early release)");
+    site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone, true});
+    LocalAbort(req.txn);  // releases CC holds; nothing was written
+    return;
+  }
+  // Force-log the prepared record (with writes and participants) before
+  // voting YES — the WAL survives crashes.
+  WalRecord rec;
+  rec.kind = WalRecordKind::kPrepared;
+  rec.txn = req.txn;
+  rec.coordinator = from;
+  rec.three_phase = req.three_phase;
+  rec.participants = req.participants;
+  for (const auto& [item, value] : t.buffered) {
+    auto vi = t.versions.find(item);
+    rec.writes.push_back(WalRecord::Write{
+        item, value, vi == t.versions.end() ? 0 : vi->second});
+  }
+  site_->mutable_wal().Append(std::move(rec));
+
+  t.state = AcpState::kPrepared;
+  t.prepared_at = site_->Now();
+  site_->cc()->MarkPrepared(req.txn);
+  t.activity_timer.Cancel();
+  ArmDecisionTimer(t);
+  site_->Trace(TraceCategory::kAcp, req.txn.ToString() + " voted YES");
+  site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone});
+}
+
+void ParticipantManager::OnPreCommit(SiteId from, const PreCommitRequest& req) {
+  auto it = txns_.find(req.txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (t.state != AcpState::kPrepared && t.state != AcpState::kPreCommitted) {
+    return;
+  }
+  if (t.state == AcpState::kPrepared) {
+    site_->mutable_wal().Append(
+        WalRecord{WalRecordKind::kPreCommitted, req.txn, t.coordinator, {},
+                  {}, true});
+    t.state = AcpState::kPreCommitted;
+  }
+  ArmDecisionTimer(t);  // reset patience
+  site_->SendTo(from, PreCommitAck{req.txn});
+}
+
+void ParticipantManager::OnDecision(SiteId from, const Decision& d) {
+  auto it = txns_.find(d.txn);
+  if (it == txns_.end()) {
+    // Already applied (duplicate / resend): ack idempotently.
+    site_->SendTo(from, Ack{d.txn});
+    return;
+  }
+  ApplyDecision(d.txn, d.commit, from);
+}
+
+void ParticipantManager::OnDecisionInfo(SiteId from, const DecisionInfo& info) {
+  auto it = txns_.find(info.txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (!info.known) return;  // keep waiting; retry timer is armed
+  if (t.state == AcpState::kActive) {
+    // Orphan probe answered: the transaction is finished at the
+    // coordinator. If it committed, this site's grant was a surplus one
+    // (never in the participant list), so its buffered state is simply
+    // discarded — the committed write quorum does not include us.
+    LocalAbort(info.txn);
+    return;
+  }
+  ApplyDecision(info.txn, info.commit, from);
+}
+
+void ParticipantManager::ApplyDecision(TxnId txn, bool commit, SiteId ack_to) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  t.decision_timer.Cancel();
+  t.activity_timer.Cancel();
+  t.window_timer.Cancel();
+  t.wait_timer.Cancel();
+  t.probe_timer.Cancel();
+
+  site_->mutable_wal().Append(WalRecord{
+      commit ? WalRecordKind::kCommitDecision : WalRecordKind::kAbortDecision,
+      txn,
+      t.coordinator,
+      {},
+      {},
+      t.three_phase});
+  site_->RememberDecision(txn, commit);
+
+  if ((t.state == AcpState::kPrepared || t.state == AcpState::kPreCommitted) &&
+      site_->env().monitor) {
+    site_->env().monitor->OnBlockedTime(txn, site_->Now() - t.prepared_at);
+  }
+
+  if (commit) {
+    for (const auto& [item, value] : t.buffered) {
+      auto vi = t.versions.find(item);
+      if (vi == t.versions.end()) continue;  // stray prewrite, no version
+      site_->mutable_store().Apply(item, value, vi->second);
+      site_->cc()->OnApply(txn, item, value, vi->second);
+    }
+  }
+  site_->cc()->Finish(txn, commit);
+  site_->mutable_wal().Append(
+      WalRecord{WalRecordKind::kApplied, txn, t.coordinator, {}, {}, false});
+  site_->Trace(TraceCategory::kAcp,
+               txn.ToString() + (commit ? " applied COMMIT" : " applied ABORT"));
+  txns_.erase(it);
+  if (ack_to != kInvalidSite) {
+    site_->SendTo(ack_to, Ack{txn});
+  }
+}
+
+void ParticipantManager::LocalAbort(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  t.decision_timer.Cancel();
+  t.activity_timer.Cancel();
+  t.window_timer.Cancel();
+  t.wait_timer.Cancel();
+  t.probe_timer.Cancel();
+  site_->cc()->Finish(txn, false);
+  txns_.erase(it);
+}
+
+void ParticipantManager::OnCcVictim(TxnId txn, DenyReason reason) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  SiteId home = it->second.id.home;
+  site_->Trace(TraceCategory::kCcp,
+               txn.ToString() + std::string(" chosen as CC victim: ") +
+                   DenyReasonName(reason));
+  // The CC engine already dropped the transaction's holds; clean up the
+  // rest and tell the home site so the whole transaction aborts.
+  it->second.decision_timer.Cancel();
+  it->second.activity_timer.Cancel();
+  it->second.window_timer.Cancel();
+  it->second.wait_timer.Cancel();
+  it->second.probe_timer.Cancel();
+  txns_.erase(it);
+  site_->SendTo(home, RemoteAbortNotify{txn, AbortCause::kCcp, reason});
+}
+
+AcpState ParticipantManager::StateOf(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it != txns_.end()) return it->second.state;
+  auto decided = site_->KnownDecision(txn);
+  if (decided.has_value()) {
+    return *decided ? AcpState::kCommitted : AcpState::kAborted;
+  }
+  return AcpState::kUnknown;
+}
+
+void ParticipantManager::OnActivityTimeout(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.state != AcpState::kActive) return;
+  PTxn& t = it->second;
+  // Probe the home site: is this transaction still alive?
+  ++t.orphan_queries;
+  if (t.orphan_queries > 3) {
+    // Home unreachable or silent: unilateral abort is safe before
+    // prepare. This is the "orphan transaction" statistic.
+    site_->Trace(TraceCategory::kTxn,
+                 txn.ToString() + " orphan-cleaned at participant");
+    if (site_->env().monitor) {
+      site_->env().monitor->OnOrphanCleanup(txn, site_->id());
+    }
+    LocalAbort(txn);
+    return;
+  }
+  site_->SendTo(txn.home, DecisionQuery{txn, site_->id()});
+  ArmActivityTimer(t);
+}
+
+void ParticipantManager::OnDecisionTimeout(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (t.state != AcpState::kPrepared && t.state != AcpState::kPreCommitted) {
+    return;
+  }
+  if (t.three_phase) {
+    StartTerminationRound(txn);
+    return;
+  }
+  // 2PC: query the coordinator (presumed abort answers authoritatively),
+  // and optionally the peer participants (cooperative termination).
+  site_->SendTo(t.coordinator, DecisionQuery{txn, site_->id()});
+  if (site_->config().cooperative_termination) {
+    for (SiteId p : t.participants) {
+      if (p != site_->id()) site_->SendTo(p, DecisionQuery{txn, site_->id()});
+    }
+  }
+  TxnId id = txn;
+  t.decision_timer = site_->env().sim->After(
+      site_->config().decision_retry, [this, id] { OnDecisionTimeout(id); });
+}
+
+void ParticipantManager::StartTerminationRound(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (t.termination_running) return;
+  t.termination_running = true;
+  t.peer_states.clear();
+  t.peer_states[site_->id()] = t.state;
+  site_->Trace(TraceCategory::kAcp,
+               txn.ToString() + " starting 3PC termination round");
+  for (SiteId p : t.participants) {
+    if (p != site_->id()) site_->SendTo(p, StateQuery{txn, site_->id()});
+  }
+  TxnId id = txn;
+  t.window_timer = site_->env().sim->After(
+      site_->config().termination_window,
+      [this, id] { FinishTerminationRound(id); });
+}
+
+void ParticipantManager::OnStateReply(SiteId from, const StateReply& reply) {
+  auto it = txns_.find(reply.txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (!t.termination_running) return;
+  t.peer_states[from] = reply.state;
+  // A peer that already knows the decision short-circuits the round.
+  if (reply.state == AcpState::kCommitted) {
+    t.window_timer.Cancel();
+    t.termination_running = false;
+    ApplyDecision(reply.txn, true, kInvalidSite);
+    return;
+  }
+  if (reply.state == AcpState::kAborted) {
+    t.window_timer.Cancel();
+    t.termination_running = false;
+    ApplyDecision(reply.txn, false, kInvalidSite);
+    return;
+  }
+}
+
+void ParticipantManager::FinishTerminationRound(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  t.termination_running = false;
+
+  // Leadership: the lowest-id responder leads; everyone else re-arms and
+  // waits for that site's decision.
+  SiteId lowest = site_->id();
+  for (const auto& [s, st] : t.peer_states) lowest = std::min(lowest, s);
+  if (lowest != site_->id()) {
+    ArmDecisionTimer(t);
+    return;
+  }
+
+  std::vector<AcpState> states;
+  states.reserve(t.peer_states.size());
+  for (const auto& [s, st] : t.peer_states) states.push_back(st);
+  auto decision = ThreePcTerminationDecision(states);
+  if (!decision.has_value()) {
+    ArmDecisionTimer(t);
+    return;
+  }
+  site_->Trace(TraceCategory::kAcp,
+               txn.ToString() + " termination decision: " +
+                   (*decision ? "COMMIT" : "ABORT"));
+  if (!*decision) {
+    std::vector<SiteId> peers = t.participants;
+    site_->mutable_wal().Append(WalRecord{WalRecordKind::kAbortDecision, txn,
+                                          t.coordinator, {}, peers, true});
+    for (SiteId p : peers) {
+      if (p != site_->id()) site_->SendTo(p, Decision{txn, false});
+    }
+    site_->StartCloser(txn, false, peers);
+    ApplyDecision(txn, false, kInvalidSite);
+    return;
+  }
+  // Commit path: first move every live peer (and ourselves) to the
+  // pre-committed state, so that if this leader fails mid-termination
+  // the next round still converges on commit.
+  if (t.state == AcpState::kPrepared) {
+    site_->mutable_wal().Append(WalRecord{WalRecordKind::kPreCommitted, txn,
+                                          t.coordinator, {}, {}, true});
+    t.state = AcpState::kPreCommitted;
+  }
+  for (SiteId p : t.participants) {
+    if (p != site_->id()) site_->SendTo(p, PreCommitRequest{txn});
+  }
+  TxnId id = txn;
+  t.window_timer = site_->env().sim->After(
+      site_->config().termination_window,
+      [this, id] { FinishTerminationCommit(id); });
+}
+
+void ParticipantManager::FinishTerminationCommit(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  std::vector<SiteId> peers = t.participants;
+  site_->mutable_wal().Append(WalRecord{WalRecordKind::kCommitDecision, txn,
+                                        t.coordinator, {}, peers, true});
+  for (SiteId p : peers) {
+    if (p != site_->id()) site_->SendTo(p, Decision{txn, true});
+  }
+  site_->StartCloser(txn, true, peers);
+  ApplyDecision(txn, true, kInvalidSite);
+}
+
+void ParticipantManager::ReinstateInDoubt(const WalRecord& prepared,
+                                          bool precommitted) {
+  PTxn& t = Ensure(prepared.txn, TxnTimestamp{0, prepared.txn.home},
+                   prepared.coordinator);
+  t.state = precommitted ? AcpState::kPreCommitted : AcpState::kPrepared;
+  t.three_phase = prepared.three_phase;
+  t.participants = prepared.participants;
+  t.prepared_at = site_->Now();
+  for (const auto& w : prepared.writes) {
+    t.buffered[w.item] = w.value;
+    t.versions[w.item] = w.version;
+  }
+  // Re-acquire write access in the fresh CC engine: it is empty of
+  // conflicting state for these items only if no new transaction touched
+  // them yet; requests that cannot be granted synchronously are a
+  // protocol violation we surface loudly in tests.
+  for (const auto& w : prepared.writes) {
+    site_->cc()->RequestWrite(prepared.txn, t.ts, w.item,
+                              [](const CcGrant&) {});
+    // OCC: the commit-window locks were volatile; re-take them so other
+    // transactions cannot validate against copies this in-doubt
+    // transaction may still overwrite.
+    site_->cc()->TryCommitLock(prepared.txn, w.item, /*exclusive=*/true);
+  }
+  site_->cc()->MarkPrepared(prepared.txn);
+  // Ask for the outcome immediately.
+  TxnId id = prepared.txn;
+  t.decision_timer =
+      site_->env().sim->After(Micros(1), [this, id] { OnDecisionTimeout(id); });
+}
+
+}  // namespace rainbow

@@ -1,0 +1,110 @@
+#ifndef RAINBOW_SITE_PARTICIPANT_H_
+#define RAINBOW_SITE_PARTICIPANT_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "storage/wal.h"
+#include "txn/transaction.h"
+
+namespace rainbow {
+
+class Site;
+
+/// The replica/participant half of a Rainbow site: serves copy accesses
+/// under the local CC engine, buffers prewrites, and runs the
+/// participant side of 2PC/3PC including the termination protocol and
+/// orphan cleanup. All of its state is volatile — Site::Crash() destroys
+/// the manager; prepared transactions are reinstated from the WAL at
+/// recovery.
+class ParticipantManager {
+ public:
+  explicit ParticipantManager(Site* site);
+  ~ParticipantManager();
+
+  ParticipantManager(const ParticipantManager&) = delete;
+  ParticipantManager& operator=(const ParticipantManager&) = delete;
+
+  // --- message handlers (dispatched by Site) ---
+  void OnRead(SiteId from, const ReadRequest& req);
+  void OnPrewrite(SiteId from, const PrewriteRequest& req);
+  void OnAbortRequest(const AbortRequest& req);
+  void OnPrepare(SiteId from, const PrepareRequest& req);
+  void OnPreCommit(SiteId from, const PreCommitRequest& req);
+  void OnDecision(SiteId from, const Decision& d);
+  void OnDecisionInfo(SiteId from, const DecisionInfo& info);
+  void OnStateReply(SiteId from, const StateReply& reply);
+
+  /// Local commit-protocol state of `txn`, for answering StateQuery.
+  AcpState StateOf(TxnId txn) const;
+
+  /// CC engine victim channel: a granted transaction was aborted locally
+  /// (wounded / deadlock victim). Cleans up and notifies the home site.
+  void OnCcVictim(TxnId txn, DenyReason reason);
+
+  /// Recovery: reinstates a prepared-but-undecided transaction from its
+  /// WAL record, re-acquiring write access in the fresh CC engine, and
+  /// immediately starts the decision/termination machinery.
+  void ReinstateInDoubt(const WalRecord& prepared, bool precommitted);
+
+  /// Cancels every timer (site crash). The manager is unusable after.
+  void Shutdown();
+
+  size_t size() const { return txns_.size(); }
+
+ private:
+  struct PTxn {
+    TxnId id;
+    TxnTimestamp ts;
+    SiteId coordinator = kInvalidSite;
+    AcpState state = AcpState::kActive;
+    bool three_phase = false;
+    std::map<ItemId, Value> buffered;    ///< prewritten values
+    std::map<ItemId, Version> versions;  ///< final versions (from prepare)
+    std::vector<SiteId> participants;
+    SimTime prepared_at = 0;
+    TimerHandle decision_timer;
+    TimerHandle activity_timer;
+    TimerHandle window_timer;
+    TimerHandle wait_timer;  ///< bounds the current CC wait (one op at a time)
+    TimerHandle probe_timer;  ///< edge-chasing: fires a deadlock probe
+    int orphan_queries = 0;
+    /// 3PC termination: collected peer states for the current round.
+    std::map<SiteId, AcpState> peer_states;
+    bool termination_running = false;
+  };
+
+  PTxn& Ensure(TxnId txn, TxnTimestamp ts, SiteId coordinator);
+
+  /// Applies a learned decision: installs/discards buffered writes,
+  /// releases CC state, logs, acks `ack_to` (if valid), erases the txn.
+  void ApplyDecision(TxnId txn, bool commit, SiteId ack_to);
+
+  /// Aborts local state without a coordinator decision (victim, orphan
+  /// cleanup). Does not ack anyone.
+  void LocalAbort(TxnId txn);
+
+  void ArmActivityTimer(PTxn& t);
+  void ArmDecisionTimer(PTxn& t);
+  /// Edge-chasing: after probe_delay, if `txn` is still blocked in the
+  /// local CC, emit a probe towards each transaction it waits for.
+  void ArmProbeTimer(TxnId txn);
+  void OnActivityTimeout(TxnId txn);
+  void OnDecisionTimeout(TxnId txn);
+  /// 3PC: runs (or defers) a termination round.
+  void StartTerminationRound(TxnId txn);
+  void FinishTerminationRound(TxnId txn);
+  /// 3PC termination leader, second phase: all live peers were moved to
+  /// pre-commit; broadcast and apply the commit decision.
+  void FinishTerminationCommit(TxnId txn);
+
+  Site* site_;
+  std::map<TxnId, PTxn> txns_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_SITE_PARTICIPANT_H_

@@ -1,0 +1,494 @@
+#include "site/site.h"
+
+#include <cassert>
+
+#include "cc/mvto_manager.h"
+#include "common/string_util.h"
+#include "site/coordinator.h"
+
+namespace rainbow {
+
+Site::Site(SiteId id, Env env) : id_(id), env_(env) {
+  assert(env_.sim && env_.net && env_.config);
+  BuildVolatileState();
+}
+
+Site::~Site() = default;
+
+void Site::BuildVolatileState() {
+  cc_ = CreateCcEngine(env_.config->cc, env_.config->deadlock);
+  if (env_.config->cc == CcKind::kMultiversionTso) {
+    auto* mvto = static_cast<MvtoManager*>(cc_.get());
+    for (const auto& [item, copy] : store_.copies()) {
+      mvto->LoadInitial(item, copy.value, copy.version);
+    }
+  }
+  participants_ = std::make_unique<ParticipantManager>(this);
+  cc_->set_victim_handler([this](TxnId txn, DenyReason reason) {
+    participants_->OnCcVictim(txn, reason);
+  });
+}
+
+void Site::LoadItem(ItemId item, Value initial) {
+  store_.Load(item, initial);
+  if (env_.config->cc == CcKind::kMultiversionTso) {
+    static_cast<MvtoManager*>(cc_.get())->LoadInitial(item, initial, 0);
+  }
+}
+
+void Site::Start() {
+  if (started_) return;
+  started_ = true;
+  env_.net->RegisterHandler(id_, [this](const Message& m) { HandleMessage(m); });
+}
+
+SimTime Site::Now() const { return env_.sim->Now(); }
+
+void Site::SendTo(SiteId to, Payload payload) {
+  env_.net->Send(id_, to, std::move(payload));
+}
+
+void Site::Trace(TraceCategory cat, const std::string& text) {
+  if (env_.trace && env_.trace->enabled()) {
+    env_.trace->Record(Now(), cat, id_, text);
+  }
+}
+
+bool Site::IsSuspected(SiteId s) const {
+  auto it = suspected_until_.find(s);
+  return it != suspected_until_.end() && it->second > Now();
+}
+
+void Site::Suspect(SiteId s) {
+  if (s == id_) return;
+  suspected_until_[s] = Now() + env_.config->suspicion_ttl;
+  Trace(TraceCategory::kSite, StringPrintf("suspecting site %u", s));
+}
+
+std::set<SiteId> Site::SuspectedSet() const {
+  std::set<SiteId> out;
+  for (const auto& [s, until] : suspected_until_) {
+    if (until > Now()) out.insert(s);
+  }
+  return out;
+}
+
+const ReplicaView* Site::CachedView(ItemId item) const {
+  auto it = schema_cache_.find(item);
+  return it == schema_cache_.end() ? nullptr : &it->second;
+}
+
+void Site::CacheView(ItemId item, ReplicaView view) {
+  schema_cache_[item] = std::move(view);
+}
+
+std::optional<bool> Site::KnownDecision(TxnId txn) const {
+  auto it = decided_cache_.find(txn);
+  if (it == decided_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Site::RememberDecision(TxnId txn, bool commit) {
+  decided_cache_[txn] = commit;
+}
+
+size_t Site::active_participants() const {
+  return participants_ ? participants_->size() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Client API
+// ---------------------------------------------------------------------------
+
+void Site::Submit(TxnProgram program, TxnCallback cb,
+                  std::optional<TxnTimestamp> inherit_ts) {
+  if (env_.monitor) env_.monitor->OnSubmit(id_, Now());
+  if (crashed_) {
+    TxnOutcome outcome;
+    outcome.id = TxnId{id_, next_txn_seq_++};
+    outcome.committed = false;
+    outcome.abort_cause = AbortCause::kSiteFailure;
+    outcome.abort_detail = "home site is down";
+    outcome.submitted_at = Now();
+    outcome.finished_at = Now();
+    outcome.home = id_;
+    outcome.num_ops = static_cast<uint32_t>(program.ops.size());
+    if (env_.monitor) env_.monitor->OnComplete(outcome);
+    if (cb) env_.sim->After(0, [cb, outcome] { cb(outcome); });
+    return;
+  }
+  TxnId id{id_, next_txn_seq_++};
+  TxnTimestamp ts;
+  if (inherit_ts.has_value()) {
+    // Restart under the original timestamp (wait-die fairness); the
+    // previous incarnation is globally dead, so reuse is safe.
+    ts = *inherit_ts;
+  } else {
+    // Timestamps must be unique and monotone per site: nudge the clock
+    // component forward if several transactions arrive at one instant.
+    SimTime ts_time = std::max(Now(), last_ts_time_ + 1);
+    last_ts_time_ = ts_time;
+    ts = TxnTimestamp{ts_time, id_};
+  }
+  auto coord = std::make_unique<Coordinator>(this, id, ts, std::move(program),
+                                             std::move(cb));
+  Coordinator* raw = coord.get();
+  coordinators_[id] = std::move(coord);
+  raw->Start();
+}
+
+void Site::CoordinatorFinished(TxnId txn) { coordinators_.erase(txn); }
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void Site::Crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  Trace(TraceCategory::kSite, "CRASH");
+  env_.net->SetSiteUp(id_, false);
+  // Volatile state dies. Clients of in-flight homed transactions get a
+  // site-failure outcome.
+  for (auto& [id, coord] : coordinators_) {
+    coord->OnSiteCrash();
+  }
+  coordinators_.clear();
+  participants_->Shutdown();
+  participants_.reset();
+  cc_.reset();
+  for (auto& [txn, closer] : closers_) closer.retry.Cancel();
+  closers_.clear();
+  decided_cache_.clear();
+  schema_cache_.clear();
+  suspected_until_.clear();
+}
+
+void Site::Recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  Trace(TraceCategory::kSite, "RECOVER");
+  env_.net->SetSiteUp(id_, true);
+
+  auto scan = wal_.Scan();
+  // Redo: apply committed-but-unapplied writes from prepared records
+  // (the crash hit between logging/learning the decision and applying).
+  // Store versioning makes re-application idempotent.
+  for (const auto& [txn, st] : scan) {
+    if (st.prepared && st.decided && st.commit && !st.applied) {
+      for (const auto& w : st.prepared_record.writes) {
+        store_.Apply(w.item, w.value, w.version);
+      }
+      wal_.Append(WalRecord{WalRecordKind::kApplied, txn,
+                            st.prepared_record.coordinator, {}, {}, false});
+      Trace(TraceCategory::kAcp, txn.ToString() + " redo-applied at recovery");
+    }
+  }
+  // Fresh volatile state (the CC engine seeds itself from the redone
+  // store), then decision knowledge from the log.
+  BuildVolatileState();
+  for (const auto& [txn, st] : scan) {
+    if (st.decided) decided_cache_[txn] = st.commit;
+  }
+  // Reinstate in-doubt (prepared, undecided) transactions.
+  for (const WalRecord& rec : wal_.InDoubt()) {
+    bool precommitted = scan.at(rec.txn).precommitted;
+    Trace(TraceCategory::kAcp,
+          rec.txn.ToString() + " reinstated in doubt after recovery");
+    participants_->ReinstateInDoubt(rec, precommitted);
+  }
+  // Re-propagate decisions this site made as coordinator but never
+  // finished acknowledging.
+  for (const auto& d : wal_.DecidedUnended()) {
+    StartCloser(d.txn, d.commit, d.participants);
+    for (SiteId p : d.participants) {
+      SendTo(p, Decision{d.txn, d.commit});
+    }
+  }
+  // Refresh item copies from a live peer.
+  if (env_.config->recovery_refresh) {
+    RequestRefresh();
+  }
+}
+
+void Site::RequestRefresh() {
+  if (store_.copies().empty()) return;
+  RefreshRequest req;
+  for (const auto& [item, copy] : store_.copies()) req.items.push_back(item);
+  // Ask every other site that could hold copies; peers that hold none of
+  // the items reply with an empty list. A site does not know the full
+  // schema locally, so it asks its schema cache first and falls back to
+  // a broadcast.
+  std::set<SiteId> peers;
+  for (const auto& [item, view] : schema_cache_) {
+    for (SiteId s : view.copies) {
+      if (s != id_) peers.insert(s);
+    }
+  }
+  if (peers.empty()) {
+    // Cache was wiped by the crash: broadcast to all registered sites
+    // via the refresh targets the system configured.
+    peers = refresh_peers_;
+  }
+  for (SiteId p : peers) {
+    if (p != id_ && env_.net->IsSiteUp(p)) SendTo(p, req);
+  }
+}
+
+void Site::SetRefreshPeers(std::set<SiteId> peers) {
+  refresh_peers_ = std::move(peers);
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void Site::ToCoordinator(const Message& m, const T& payload) {
+  auto it = coordinators_.find(payload.txn);
+  if (it == coordinators_.end()) {
+    // Late reply for a finished transaction. A granted access means the
+    // replica holds CC state that would otherwise leak until its orphan
+    // timer fires; tell it to abort right away when the transaction is
+    // known-aborted (a known-committed transaction's replicas get the
+    // decision from the closer).
+    if constexpr (std::is_same_v<T, ReadReply> ||
+                  std::is_same_v<T, PrewriteReply>) {
+      auto decided = KnownDecision(payload.txn);
+      if (payload.granted && (!decided.has_value() || !*decided)) {
+        SendTo(m.from, AbortRequest{payload.txn});
+      }
+    }
+    return;
+  }
+  Coordinator* c = it->second.get();
+  if constexpr (std::is_same_v<T, NsLookupReply>) {
+    c->OnLookupReply(payload);
+  } else if constexpr (std::is_same_v<T, ReadReply>) {
+    c->OnReadReply(m.from, payload);
+  } else if constexpr (std::is_same_v<T, PrewriteReply>) {
+    c->OnPrewriteReply(m.from, payload);
+  } else if constexpr (std::is_same_v<T, VoteReply>) {
+    c->OnVote(m.from, payload);
+  } else if constexpr (std::is_same_v<T, PreCommitAck>) {
+    c->OnPreCommitAck(m.from);
+  } else if constexpr (std::is_same_v<T, RemoteAbortNotify>) {
+    c->OnRemoteAbort(payload);
+  }
+}
+
+void Site::HandleMessage(const Message& m) {
+  if (crashed_) return;  // belt and braces; the network already drops
+  // Hearing from a site clears its suspicion.
+  suspected_until_.erase(m.from);
+
+  std::visit(
+      [&](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, NsLookupReply> ||
+                      std::is_same_v<T, ReadReply> ||
+                      std::is_same_v<T, PrewriteReply> ||
+                      std::is_same_v<T, VoteReply> ||
+                      std::is_same_v<T, PreCommitAck> ||
+                      std::is_same_v<T, RemoteAbortNotify>) {
+          ToCoordinator(m, p);
+        } else if constexpr (std::is_same_v<T, ReadRequest>) {
+          participants_->OnRead(m.from, p);
+        } else if constexpr (std::is_same_v<T, PrewriteRequest>) {
+          participants_->OnPrewrite(m.from, p);
+        } else if constexpr (std::is_same_v<T, AbortRequest>) {
+          participants_->OnAbortRequest(p);
+        } else if constexpr (std::is_same_v<T, PrepareRequest>) {
+          participants_->OnPrepare(m.from, p);
+        } else if constexpr (std::is_same_v<T, PreCommitRequest>) {
+          participants_->OnPreCommit(m.from, p);
+        } else if constexpr (std::is_same_v<T, Decision>) {
+          participants_->OnDecision(m.from, p);
+        } else if constexpr (std::is_same_v<T, DecisionInfo>) {
+          participants_->OnDecisionInfo(m.from, p);
+        } else if constexpr (std::is_same_v<T, StateReply>) {
+          participants_->OnStateReply(m.from, p);
+        } else if constexpr (std::is_same_v<T, DecisionQuery>) {
+          HandleDecisionQuery(m.from, p);
+        } else if constexpr (std::is_same_v<T, StateQuery>) {
+          HandleStateQuery(m.from, p);
+        } else if constexpr (std::is_same_v<T, Ack>) {
+          HandleAck(m.from, p);
+        } else if constexpr (std::is_same_v<T, RefreshRequest>) {
+          HandleRefreshRequest(m.from, p);
+        } else if constexpr (std::is_same_v<T, RefreshReply>) {
+          HandleRefreshReply(p);
+        } else if constexpr (std::is_same_v<T, DeadlockProbe>) {
+          HandleDeadlockProbe(p);
+        } else if constexpr (std::is_same_v<T, DeadlockProbeCheck>) {
+          HandleDeadlockProbeCheck(p);
+        } else if constexpr (std::is_same_v<T, NsLookupRequest>) {
+          // Sites are not the name server; ignore.
+        }
+      },
+      m.payload);
+}
+
+void Site::HandleDecisionQuery(SiteId from, const DecisionQuery& q) {
+  DecisionInfo info;
+  info.txn = q.txn;
+  auto decided = KnownDecision(q.txn);
+  if (decided.has_value()) {
+    info.known = true;
+    info.commit = *decided;
+  } else if (coordinators_.contains(q.txn)) {
+    info.known = false;  // still deciding
+  } else if (q.txn.home == id_ &&
+             env_.config->acp == AcpKind::kTwoPhaseCommit) {
+    // Presumed abort: we are the coordinator, we have no decision record
+    // — we cannot have decided commit.
+    info.known = true;
+    info.commit = false;
+  } else {
+    info.known = false;
+  }
+  SendTo(from, info);
+}
+
+void Site::HandleStateQuery(SiteId from, const StateQuery& q) {
+  SendTo(from, StateReply{q.txn, participants_->StateOf(q.txn)});
+}
+
+void Site::HandleAck(SiteId from, const Ack& a) {
+  auto it = closers_.find(a.txn);
+  if (it == closers_.end()) return;
+  it->second.acks->Record(from);
+  CloserMaybeFinish(a.txn);
+}
+
+void Site::HandleRefreshRequest(SiteId from, const RefreshRequest& r) {
+  RefreshReply reply;
+  for (ItemId item : r.items) {
+    auto copy = store_.Get(item);
+    if (copy.ok()) {
+      reply.entries.push_back(RefreshReply::Entry{item, copy->value,
+                                                  copy->version});
+    }
+  }
+  SendTo(from, reply);
+}
+
+void Site::HandleRefreshReply(const RefreshReply& r) {
+  size_t adopted = 0;
+  for (const auto& e : r.entries) {
+    if (store_.AdoptIfNewer(e.item, e.value, e.version)) ++adopted;
+  }
+  if (adopted > 0) {
+    Trace(TraceCategory::kSite,
+          StringPrintf("refresh adopted %zu newer copies", adopted));
+    if (env_.config->cc == CcKind::kMultiversionTso) {
+      auto* mvto = static_cast<MvtoManager*>(cc_.get());
+      for (const auto& e : r.entries) {
+        auto copy = store_.Get(e.item);
+        if (copy.ok() && copy->version == e.version) {
+          mvto->LoadInitial(e.item, e.value, e.version);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-chasing distributed deadlock detection (Chandy–Misra–Haas)
+// ---------------------------------------------------------------------------
+
+namespace {
+// Probe traversal depth cap: cycles are found well before this; it only
+// bounds wandering probes racing against state changes.
+constexpr uint32_t kMaxProbeHops = 32;
+}  // namespace
+
+void Site::HandleDeadlockProbe(const DeadlockProbe& p) {
+  // Delivered at the holder's home site.
+  if (p.holder == p.initiator) {
+    // The waits-for path closed back on the initiator: deadlock.
+    auto it = coordinators_.find(p.initiator);
+    if (it != coordinators_.end()) it->second->AbortAsDeadlockVictim();
+    return;
+  }
+  if (p.hops >= kMaxProbeHops) return;
+  auto it = coordinators_.find(p.holder);
+  if (it == coordinators_.end()) return;  // holder finished: no edge
+  Coordinator* c = it->second.get();
+  if (!c->in_data_op()) return;  // holder is not blocked: path ends
+  // Rate-limit per (blocked op, initiator): dense waits-for graphs have
+  // exponentially many paths, and one traversal per edge is enough.
+  if (!c->ShouldForwardProbe(p.initiator, Now(),
+                             env_.config->probe_delay / 2)) {
+    return;
+  }
+  // Forward: ask every site the holder is waiting on who it is queued
+  // behind there.
+  for (SiteId s : c->outstanding_targets()) {
+    SendTo(s, DeadlockProbeCheck{p.initiator, p.holder, p.hops + 1});
+  }
+}
+
+void Site::HandleDeadlockProbeCheck(const DeadlockProbeCheck& p) {
+  if (p.hops >= kMaxProbeHops || cc_ == nullptr) return;
+  for (TxnId next : cc_->WaitingFor(p.waiter)) {
+    if (next == p.initiator) {
+      // Cycle: tell the initiator's home directly.
+      SendTo(p.initiator.home,
+             DeadlockProbe{p.initiator, p.initiator, p.hops + 1});
+    } else {
+      SendTo(next.home, DeadlockProbe{p.initiator, next, p.hops + 1});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closers
+// ---------------------------------------------------------------------------
+
+void Site::StartCloser(TxnId txn, bool commit,
+                       std::vector<SiteId> participants) {
+  Closer closer;
+  closer.commit = commit;
+  closer.acks = std::make_unique<AckCollector>(std::move(participants));
+  auto [it, inserted] = closers_.insert_or_assign(txn, std::move(closer));
+  (void)inserted;
+  TxnId id = txn;
+  it->second.retry = env_.sim->After(env_.config->ack_retry,
+                                     [this, id] { CloserResend(id); });
+}
+
+void Site::CloserResend(TxnId txn) {
+  auto it = closers_.find(txn);
+  if (it == closers_.end()) return;
+  Closer& closer = it->second;
+  if (closer.acks->Complete()) {
+    CloserMaybeFinish(txn);
+    return;
+  }
+  if (++closer.resends > env_.config->max_ack_resends) {
+    // Leave completion to the participants' own recovery machinery.
+    Trace(TraceCategory::kAcp,
+          txn.ToString() + " closer gave up resending (participant down)");
+    closers_.erase(it);
+    return;
+  }
+  for (SiteId p : closer.acks->Missing()) {
+    SendTo(p, Decision{txn, closer.commit});
+  }
+  TxnId id = txn;
+  closer.retry = env_.sim->After(env_.config->ack_retry,
+                                 [this, id] { CloserResend(id); });
+}
+
+void Site::CloserMaybeFinish(TxnId txn) {
+  auto it = closers_.find(txn);
+  if (it == closers_.end()) return;
+  if (!it->second.acks->Complete()) return;
+  it->second.retry.Cancel();
+  wal_.Append(WalRecord{WalRecordKind::kEnd, txn, id_, {}, {}, false});
+  Trace(TraceCategory::kAcp, txn.ToString() + " fully acknowledged (end)");
+  closers_.erase(it);
+}
+
+}  // namespace rainbow

@@ -1,0 +1,179 @@
+#ifndef RAINBOW_SITE_SITE_H_
+#define RAINBOW_SITE_SITE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/cc_engine.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "rcp/rcp_policy.h"
+#include "site/participant.h"
+#include "site/protocol_config.h"
+#include "sim/simulator.h"
+#include "stats/progress_monitor.h"
+#include "storage/local_store.h"
+#include "storage/wal.h"
+#include "txn/transaction.h"
+#include "verify/history.h"
+
+namespace rainbow {
+
+class Coordinator;
+
+/// A Rainbow site: holds item copies, processes transactions homed here
+/// (one Coordinator per in-flight transaction — the paper's "one thread
+/// per transaction"), and serves as an RCP/ACP participant for
+/// transactions homed elsewhere.
+///
+/// Crash semantics: Crash() destroys all volatile state (CC engine,
+/// participant and coordinator records, schema cache, timers) and stops
+/// network delivery; the LocalStore and Wal persist. Recover() rebuilds
+/// the volatile state, reinstates in-doubt transactions from the WAL,
+/// re-propagates unfinished decisions, and optionally refreshes item
+/// copies from a live peer.
+class Site {
+ public:
+  /// Shared infrastructure injected by RainbowSystem.
+  struct Env {
+    Simulator* sim = nullptr;
+    Network* net = nullptr;
+    TraceLog* trace = nullptr;
+    ProgressMonitor* monitor = nullptr;
+    HistoryRecorder* history = nullptr;
+    const ProtocolConfig* config = nullptr;
+  };
+
+  Site(SiteId id, Env env);
+  ~Site();
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// Loads the initial copy of an item (configuration time).
+  void LoadItem(ItemId item, Value initial);
+
+  /// Registers the network handler. Call once after construction.
+  void Start();
+
+  // --- client API (the WLG / manual panel entry point) ---
+
+  /// Submits a transaction with this site as home. The callback fires
+  /// exactly once, when the transaction commits or aborts. Submitting to
+  /// a crashed site aborts immediately with kSiteFailure.
+  ///
+  /// `inherit_ts` re-runs a restarted transaction under its original
+  /// timestamp — the classic fairness requirement of wait-die /
+  /// wound-wait (a restarted transaction keeps ageing, so it cannot be
+  /// starved by forever being the youngest).
+  void Submit(TxnProgram program, TxnCallback cb,
+              std::optional<TxnTimestamp> inherit_ts = std::nullopt);
+
+  // --- fault injection ---
+  void Crash();
+  void Recover();
+  bool crashed() const { return crashed_; }
+
+  /// Sites a recovering node may ask for fresh item copies (configured
+  /// by RainbowSystem to the set of peers sharing any item with us).
+  void SetRefreshPeers(std::set<SiteId> peers);
+
+  // --- introspection ---
+  SiteId id() const { return id_; }
+  const LocalStore& store() const { return store_; }
+  LocalStore& mutable_store() { return store_; }
+  const Wal& wal() const { return wal_; }
+  CcEngine* cc() { return cc_.get(); }
+  size_t active_coordinators() const { return coordinators_.size(); }
+  size_t active_participants() const;
+
+  // --- services used by Coordinator and ParticipantManager ---
+  Env& env() { return env_; }
+  const ProtocolConfig& config() const { return *env_.config; }
+  SimTime Now() const;
+  void SendTo(SiteId to, Payload payload);
+  void Trace(TraceCategory cat, const std::string& text);
+
+  Wal& mutable_wal() { return wal_; }
+
+  /// Crude failure detector: sites that recently timed out on us.
+  bool IsSuspected(SiteId s) const;
+  void Suspect(SiteId s);
+  std::set<SiteId> SuspectedSet() const;
+
+  /// Site-level schema cache (when config.cache_schema).
+  const ReplicaView* CachedView(ItemId item) const;
+  void CacheView(ItemId item, ReplicaView view);
+
+  /// Decision knowledge: decisions this site logged (as coordinator or
+  /// participant). Used to answer DecisionQuery.
+  std::optional<bool> KnownDecision(TxnId txn) const;
+  void RememberDecision(TxnId txn, bool commit);
+
+  /// Registers the post-decision "closer": resends the decision until
+  /// every participant acks, then logs kEnd.
+  void StartCloser(TxnId txn, bool commit, std::vector<SiteId> participants);
+
+  /// Called by a Coordinator when it is completely finished.
+  void CoordinatorFinished(TxnId txn);
+
+  ParticipantManager* participants() { return participants_.get(); }
+
+ private:
+  friend class Coordinator;
+
+  void HandleMessage(const Message& m);
+  void HandleDecisionQuery(SiteId from, const DecisionQuery& q);
+  void HandleStateQuery(SiteId from, const StateQuery& q);
+  void HandleRefreshRequest(SiteId from, const RefreshRequest& r);
+  void HandleRefreshReply(const RefreshReply& r);
+  void HandleAck(SiteId from, const Ack& a);
+  void HandleDeadlockProbe(const DeadlockProbe& p);
+  void HandleDeadlockProbeCheck(const DeadlockProbeCheck& p);
+
+  /// Routes a coordinator-bound payload; if the coordinator is gone and
+  /// the payload is a granted access, tells the replica to abort.
+  template <typename T>
+  void ToCoordinator(const Message& m, const T& payload);
+
+  void BuildVolatileState();
+
+  struct Closer {
+    bool commit = false;
+    std::unique_ptr<AckCollector> acks;
+    TimerHandle retry;
+    int resends = 0;
+  };
+  void CloserResend(TxnId txn);
+  void CloserMaybeFinish(TxnId txn);
+  void RequestRefresh();
+
+  SiteId id_;
+  Env env_;
+  bool crashed_ = false;
+  bool started_ = false;
+
+  // Durable state.
+  LocalStore store_;
+  Wal wal_;
+
+  // Volatile state (rebuilt on recovery).
+  std::unique_ptr<CcEngine> cc_;
+  std::unique_ptr<ParticipantManager> participants_;
+  std::map<TxnId, std::unique_ptr<Coordinator>> coordinators_;
+  std::map<TxnId, Closer> closers_;
+  std::map<TxnId, bool> decided_cache_;
+  std::map<ItemId, ReplicaView> schema_cache_;
+  std::map<SiteId, SimTime> suspected_until_;
+  std::set<SiteId> refresh_peers_;
+  uint64_t next_txn_seq_ = 1;
+  SimTime last_ts_time_ = -1;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_SITE_SITE_H_

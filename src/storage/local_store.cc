@@ -1,0 +1,33 @@
+#include "storage/local_store.h"
+
+namespace rainbow {
+
+void LocalStore::Load(ItemId item, Value initial) {
+  copies_[item] = ItemCopy{initial, 0};
+}
+
+Result<ItemCopy> LocalStore::Get(ItemId item) const {
+  auto it = copies_.find(item);
+  if (it == copies_.end()) {
+    return Status::NotFound("no copy of item " + std::to_string(item));
+  }
+  return it->second;
+}
+
+bool LocalStore::Apply(ItemId item, Value value, Version version) {
+  auto it = copies_.find(item);
+  if (it == copies_.end()) return false;
+  if (version <= it->second.version) return false;  // stale / duplicate
+  it->second = ItemCopy{value, version};
+  return true;
+}
+
+bool LocalStore::AdoptIfNewer(ItemId item, Value value, Version version) {
+  auto it = copies_.find(item);
+  if (it == copies_.end()) return false;
+  if (version <= it->second.version) return false;
+  it->second = ItemCopy{value, version};
+  return true;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,52 @@
+#ifndef RAINBOW_STORAGE_LOCAL_STORE_H_
+#define RAINBOW_STORAGE_LOCAL_STORE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rainbow {
+
+/// One committed copy of a database item at a site.
+struct ItemCopy {
+  Value value = 0;
+  Version version = 0;
+};
+
+/// The durable committed database at one Rainbow site: item copies with
+/// their version numbers. Survives site crashes (only volatile protocol
+/// state is lost); mutations happen exclusively when transactions commit
+/// or during recovery refresh.
+class LocalStore {
+ public:
+  /// Creates the copy of `item` with its initial value at version 0.
+  /// Loading an existing item resets it (used at configuration time).
+  void Load(ItemId item, Value initial);
+
+  /// True if this site holds a copy of `item`.
+  bool Has(ItemId item) const { return copies_.contains(item); }
+
+  /// Reads the committed copy.
+  Result<ItemCopy> Get(ItemId item) const;
+
+  /// Installs a committed write. `version` must be strictly greater than
+  /// the stored version (enforced: stale applies are ignored, which makes
+  /// re-application after recovery idempotent). Returns true if applied.
+  bool Apply(ItemId item, Value value, Version version);
+
+  /// Adopts `entry` if it is newer than the local copy (recovery
+  /// refresh). Items not hosted here are ignored. Returns true if adopted.
+  bool AdoptIfNewer(ItemId item, Value value, Version version);
+
+  size_t size() const { return copies_.size(); }
+  const std::map<ItemId, ItemCopy>& copies() const { return copies_; }
+
+ private:
+  std::map<ItemId, ItemCopy> copies_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_STORAGE_LOCAL_STORE_H_

@@ -1,0 +1,177 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+
+#include "common/binary_io.h"
+
+namespace rainbow {
+
+const char* WalRecordKindName(WalRecordKind k) {
+  switch (k) {
+    case WalRecordKind::kPrepared:
+      return "prepared";
+    case WalRecordKind::kPreCommitted:
+      return "precommitted";
+    case WalRecordKind::kCommitDecision:
+      return "commit_decision";
+    case WalRecordKind::kAbortDecision:
+      return "abort_decision";
+    case WalRecordKind::kApplied:
+      return "applied";
+    case WalRecordKind::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+void Wal::Append(WalRecord record) { records_.push_back(std::move(record)); }
+
+std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
+  std::unordered_map<TxnId, TxnLogState> out;
+  for (const WalRecord& r : records_) {
+    TxnLogState& st = out[r.txn];
+    switch (r.kind) {
+      case WalRecordKind::kPrepared:
+        st.prepared = true;
+        st.prepared_record = r;
+        break;
+      case WalRecordKind::kPreCommitted:
+        st.precommitted = true;
+        break;
+      case WalRecordKind::kCommitDecision:
+        st.decided = true;
+        st.commit = true;
+        if (!r.participants.empty()) st.decision_participants = r.participants;
+        break;
+      case WalRecordKind::kAbortDecision:
+        st.decided = true;
+        st.commit = false;
+        if (!r.participants.empty()) st.decision_participants = r.participants;
+        break;
+      case WalRecordKind::kApplied:
+        st.applied = true;
+        break;
+      case WalRecordKind::kEnd:
+        st.ended = true;
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<WalRecord> Wal::InDoubt() const {
+  std::vector<WalRecord> out;
+  for (const auto& [txn, st] : Scan()) {
+    if (st.prepared && !st.decided) {
+      out.push_back(st.prepared_record);
+    }
+  }
+  return out;
+}
+
+namespace {
+// "RWAL" + format version 1.
+constexpr uint32_t kWalMagic = 0x4c415752;
+constexpr uint32_t kWalVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> Wal::Serialize() const {
+  Encoder e;
+  e.PutU32(kWalMagic);
+  e.PutU32(kWalVersion);
+  e.PutU32(static_cast<uint32_t>(records_.size()));
+  for (const WalRecord& r : records_) {
+    e.PutU8(static_cast<uint8_t>(r.kind));
+    e.PutTxnId(r.txn);
+    e.PutU32(r.coordinator);
+    e.PutVector(r.writes, [&](const WalRecord::Write& w) {
+      e.PutU32(w.item);
+      e.PutI64(w.value);
+      e.PutU64(w.version);
+    });
+    e.PutVector(r.participants, [&](SiteId s) { e.PutU32(s); });
+    e.PutBool(r.three_phase);
+  }
+  return e.Take();
+}
+
+Status Wal::Deserialize(const std::vector<uint8_t>& buffer) {
+  Decoder d(buffer);
+  RAINBOW_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
+  if (magic != kWalMagic) return Status::InvalidArgument("not a WAL file");
+  RAINBOW_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
+  if (version != kWalVersion) {
+    return Status::InvalidArgument("unsupported WAL version " +
+                                   std::to_string(version));
+  }
+  RAINBOW_ASSIGN_OR_RETURN(uint32_t count, d.GetU32());
+  std::vector<WalRecord> records;
+  records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WalRecord r;
+    RAINBOW_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
+    if (kind > static_cast<uint8_t>(WalRecordKind::kEnd)) {
+      return Status::InvalidArgument("bad record kind");
+    }
+    r.kind = static_cast<WalRecordKind>(kind);
+    RAINBOW_ASSIGN_OR_RETURN(r.txn, d.GetTxnId());
+    RAINBOW_ASSIGN_OR_RETURN(r.coordinator, d.GetU32());
+    RAINBOW_ASSIGN_OR_RETURN(uint32_t writes, d.GetU32());
+    for (uint32_t w = 0; w < writes; ++w) {
+      WalRecord::Write write;
+      RAINBOW_ASSIGN_OR_RETURN(write.item, d.GetU32());
+      RAINBOW_ASSIGN_OR_RETURN(write.value, d.GetI64());
+      RAINBOW_ASSIGN_OR_RETURN(write.version, d.GetU64());
+      r.writes.push_back(write);
+    }
+    RAINBOW_ASSIGN_OR_RETURN(uint32_t participants, d.GetU32());
+    for (uint32_t p = 0; p < participants; ++p) {
+      RAINBOW_ASSIGN_OR_RETURN(SiteId s, d.GetU32());
+      r.participants.push_back(s);
+    }
+    RAINBOW_ASSIGN_OR_RETURN(r.three_phase, d.GetBool());
+    records.push_back(std::move(r));
+  }
+  if (!d.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in WAL file");
+  }
+  records_ = std::move(records);
+  return Status::OK();
+}
+
+Status Wal::SaveToFile(const std::string& path) const {
+  std::vector<uint8_t> bytes = Serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int rc = std::fclose(f);
+  if (written != bytes.size() || rc != 0) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status Wal::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return Deserialize(bytes);
+}
+
+std::vector<Wal::UnendedDecision> Wal::DecidedUnended() const {
+  std::vector<UnendedDecision> out;
+  for (const auto& [txn, st] : Scan()) {
+    if (st.decided && !st.ended && !st.decision_participants.empty()) {
+      out.push_back(UnendedDecision{txn, st.commit, st.decision_participants});
+    }
+  }
+  return out;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,109 @@
+#ifndef RAINBOW_STORAGE_WAL_H_
+#define RAINBOW_STORAGE_WAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rainbow {
+
+/// Record types in a site's write-ahead log.
+enum class WalRecordKind {
+  kPrepared,        ///< participant force-logged YES vote + buffered writes
+  kPreCommitted,    ///< 3PC participant entered the pre-commit state
+  kCommitDecision,  ///< coordinator (or participant) learned: commit
+  kAbortDecision,   ///< coordinator (or participant) learned: abort
+  kApplied,         ///< participant applied the decision locally
+  kEnd,             ///< coordinator received all acks; txn closed
+};
+
+const char* WalRecordKindName(WalRecordKind k);
+
+/// One WAL record. Prepared records carry the buffered writes (with the
+/// final versions from the coordinator) and the participant list needed
+/// for cooperative termination after a crash.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kEnd;
+  TxnId txn;
+  SiteId coordinator = kInvalidSite;
+  struct Write {
+    ItemId item = kInvalidItem;
+    Value value = 0;
+    Version version = 0;
+  };
+  std::vector<Write> writes;          ///< kPrepared only
+  std::vector<SiteId> participants;   ///< kPrepared only
+  bool three_phase = false;           ///< kPrepared only
+};
+
+/// Per-site write-ahead log. In this simulation "durable" means the Wal
+/// object intentionally survives Site::Crash() (which wipes all volatile
+/// protocol state); recovery scans it to find transactions that were
+/// prepared but undecided, and decisions that were made but not fully
+/// acknowledged.
+class Wal {
+ public:
+  void Append(WalRecord record);
+
+  const std::vector<WalRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// Recovery summary for one transaction found in the log.
+  struct TxnLogState {
+    bool prepared = false;
+    bool precommitted = false;
+    bool decided = false;
+    bool commit = false;  ///< valid if decided
+    bool applied = false;
+    bool ended = false;
+    WalRecord prepared_record;  ///< valid if prepared
+    /// Non-empty iff this site logged the decision as the coordinator
+    /// (coordinator decision records carry the participant list).
+    std::vector<SiteId> decision_participants;
+  };
+
+  /// Scans the log and summarizes every transaction that appears in it.
+  std::unordered_map<TxnId, TxnLogState> Scan() const;
+
+  /// Transactions that this site prepared (voted YES) but whose outcome
+  /// it never learned — the "in doubt" set the recovery protocol must
+  /// resolve.
+  std::vector<WalRecord> InDoubt() const;
+
+  /// Decisions this site (as coordinator) logged but never closed with
+  /// an End record; after recovery the decision must be re-propagated to
+  /// the recorded participants.
+  struct UnendedDecision {
+    TxnId txn;
+    bool commit = false;
+    std::vector<SiteId> participants;
+  };
+  std::vector<UnendedDecision> DecidedUnended() const;
+
+  // --- on-disk persistence ---
+  // The simulation treats the in-memory Wal as durable; these let a
+  // session's logs be written out and reloaded across process runs
+  // (e.g. to archive an experiment or hand a crash scenario to
+  // students). The format is the length-prefixed binary record encoding
+  // of common/binary_io.h with a magic header.
+
+  /// Serializes all records.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a buffer produced by Serialize(), replacing the current
+  /// records. Fails (leaving the log unchanged) on any corruption.
+  Status Deserialize(const std::vector<uint8_t>& buffer);
+
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_STORAGE_WAL_H_

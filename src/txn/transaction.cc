@@ -1,0 +1,63 @@
+#include "txn/transaction.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/trace.h"
+
+namespace rainbow {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kRead:
+      return "R";
+    case OpKind::kWrite:
+      return "W";
+    case OpKind::kIncrement:
+      return "I";
+  }
+  return "?";
+}
+
+std::string Op::ToString() const {
+  switch (kind) {
+    case OpKind::kRead:
+      return StringPrintf("R(%u)", item);
+    case OpKind::kWrite:
+      return StringPrintf("W(%u=%lld)", item, static_cast<long long>(value));
+    case OpKind::kIncrement:
+      return StringPrintf("I(%u+=%lld)", item, static_cast<long long>(value));
+  }
+  return "?";
+}
+
+bool TxnProgram::read_only() const {
+  for (const Op& op : ops) {
+    if (op.writes()) return false;
+  }
+  return true;
+}
+
+std::string TxnProgram::ToString() const {
+  std::ostringstream os;
+  if (!label.empty()) os << label << ": ";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i) os << " ";
+    os << ops[i].ToString();
+  }
+  return os.str();
+}
+
+std::string TxnOutcome::ToString() const {
+  std::ostringstream os;
+  os << id.ToString() << " "
+     << (committed ? "COMMIT"
+                   : std::string("ABORT(") + AbortCauseName(abort_cause) + ")")
+     << StringPrintf(" rt=%lldus ops=%u trips=%u",
+                     static_cast<long long>(response_time()), num_ops,
+                     round_trips);
+  if (!committed && !abort_detail.empty()) os << " [" << abort_detail << "]";
+  return os.str();
+}
+
+}  // namespace rainbow

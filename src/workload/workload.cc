@@ -1,0 +1,174 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/system.h"
+
+namespace rainbow {
+
+const char* AccessPatternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kUniform:
+      return "uniform";
+    case AccessPattern::kZipf:
+      return "zipf";
+    case AccessPattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+WorkloadGenerator::WorkloadGenerator(RainbowSystem* system,
+                                     WorkloadConfig config)
+    : system_(system), config_(config), rng_(config.seed) {
+  num_items_ = static_cast<uint32_t>(system_->catalog().schema().num_items());
+  assert(num_items_ > 0);
+  if (config_.pattern == AccessPattern::kZipf) {
+    zipf_ = std::make_unique<ZipfSampler>(num_items_, config_.zipf_theta);
+  }
+}
+
+SiteId WorkloadGenerator::PickHome() {
+  size_t n = system_->num_sites();
+  switch (config_.home) {
+    case WorkloadConfig::HomePolicy::kRoundRobin:
+      return static_cast<SiteId>(next_home_++ % n);
+    case WorkloadConfig::HomePolicy::kRandom:
+      return static_cast<SiteId>(rng_.NextUint(n));
+  }
+  return 0;
+}
+
+ItemId WorkloadGenerator::PickItem() {
+  switch (config_.pattern) {
+    case AccessPattern::kUniform:
+      return static_cast<ItemId>(rng_.NextUint(num_items_));
+    case AccessPattern::kZipf:
+      return static_cast<ItemId>(zipf_->Sample(rng_));
+    case AccessPattern::kHotspot: {
+      uint32_t hot = std::max<uint32_t>(
+          1, static_cast<uint32_t>(num_items_ * config_.hot_fraction));
+      if (rng_.NextBool(config_.hot_prob)) {
+        return static_cast<ItemId>(rng_.NextUint(hot));
+      }
+      if (hot >= num_items_) return static_cast<ItemId>(rng_.NextUint(num_items_));
+      return static_cast<ItemId>(hot + rng_.NextUint(num_items_ - hot));
+    }
+  }
+  return 0;
+}
+
+TxnProgram WorkloadGenerator::GenerateProgram() {
+  TxnProgram program;
+  uint32_t n = config_.ops_min;
+  if (config_.ops_max > config_.ops_min) {
+    n += static_cast<uint32_t>(
+        rng_.NextUint(config_.ops_max - config_.ops_min + 1));
+  }
+  // Items within one transaction are distinct (repeats collapse into the
+  // coordinator's read-own-write path and weaken contention).
+  std::vector<ItemId> chosen;
+  for (uint32_t i = 0; i < n; ++i) {
+    ItemId item = PickItem();
+    for (int attempts = 0;
+         attempts < 8 &&
+         std::find(chosen.begin(), chosen.end(), item) != chosen.end();
+         ++attempts) {
+      item = PickItem();
+    }
+    chosen.push_back(item);
+    if (rng_.NextBool(config_.read_fraction)) {
+      program.ops.push_back(Op::Read(item));
+    } else if (config_.use_increments) {
+      program.ops.push_back(Op::Increment(item, rng_.NextInt(-10, 10)));
+    } else {
+      program.ops.push_back(Op::Write(item, rng_.NextInt(0, 1000)));
+    }
+  }
+  return program;
+}
+
+void WorkloadGenerator::Run(std::function<void()> done) {
+  done_ = std::move(done);
+  if (config_.num_txns == 0) {
+    done_fired_ = true;
+    if (done_) done_();
+    return;
+  }
+  if (config_.arrival == WorkloadConfig::Arrival::kClosed) {
+    uint32_t initial = std::min(config_.mpl, config_.num_txns);
+    for (uint32_t i = 0; i < initial; ++i) SubmitOne();
+    return;
+  }
+  // Open arrivals: schedule the whole Poisson process up front.
+  double mean_gap_us = 1e6 / config_.arrival_rate_tps;
+  SimTime t = system_->sim().Now();
+  for (uint32_t i = 0; i < config_.num_txns; ++i) {
+    t += std::max<SimTime>(1,
+                           static_cast<SimTime>(rng_.NextExponential(mean_gap_us)));
+    system_->sim().At(t, [this] { SubmitOne(); });
+  }
+}
+
+void WorkloadGenerator::SubmitOne() {
+  if (launched_ >= config_.num_txns) return;
+  ++launched_;
+  SubmitProgram(GenerateProgram(), 0);
+}
+
+void WorkloadGenerator::SubmitProgram(TxnProgram program, uint32_t attempt,
+                                      std::optional<TxnTimestamp> inherit_ts) {
+  ++submitted_;
+  SiteId home = PickHome();
+  TxnProgram copy = program;
+  Status s = system_->Submit(
+      home, std::move(copy),
+      [this, program = std::move(program), attempt](const TxnOutcome& o) {
+        OnOutcome(o, program, attempt);
+      },
+      inherit_ts);
+  assert(s.ok());
+  (void)s;
+}
+
+void WorkloadGenerator::OnOutcome(const TxnOutcome& outcome,
+                                  TxnProgram program, uint32_t attempt) {
+  if (!outcome.committed && attempt < config_.max_retries) {
+    ++retries_;
+    // Wait-die fairness: restarts may keep the original timestamp so
+    // the transaction keeps ageing. (Fast-failed submissions to crashed
+    // homes carry no usable timestamp.)
+    std::optional<TxnTimestamp> inherit;
+    if (config_.retry_inherit_timestamp &&
+        outcome.ts.site != kInvalidSite) {
+      inherit = outcome.ts;
+    }
+    system_->sim().After(config_.retry_backoff,
+                         [this, program = std::move(program), attempt,
+                          inherit] {
+                           SubmitProgram(program, attempt + 1, inherit);
+                         });
+    return;
+  }
+  ++completed_;
+  if (config_.arrival == WorkloadConfig::Arrival::kClosed &&
+      launched_ < config_.num_txns) {
+    if (config_.think_time > 0) {
+      system_->sim().After(config_.think_time, [this] { SubmitOne(); });
+    } else {
+      SubmitOne();
+    }
+  }
+  MaybeDone();
+}
+
+void WorkloadGenerator::MaybeDone() {
+  if (done_fired_) return;
+  if (completed_ >= config_.num_txns) {
+    done_fired_ = true;
+    if (done_) done_();
+  }
+}
+
+}  // namespace rainbow

@@ -1,0 +1,112 @@
+#ifndef RAINBOW_WORKLOAD_WORKLOAD_H_
+#define RAINBOW_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace rainbow {
+
+class RainbowSystem;
+
+/// How transactions pick the items they touch.
+enum class AccessPattern {
+  kUniform,  ///< uniform over all items
+  kZipf,     ///< Zipf-distributed ranks (skew = zipf_theta)
+  kHotspot,  ///< hot_prob of accesses hit the first hot_fraction items
+};
+
+const char* AccessPatternName(AccessPattern p);
+
+/// Parameters of the simulated workload — the WLG's automatic mode
+/// (Figure A-2's manual panel corresponds to composing TxnPrograms by
+/// hand and calling RainbowSystem::Submit directly).
+struct WorkloadConfig {
+  uint64_t seed = 42;
+  uint32_t num_txns = 200;  ///< total transactions to generate
+
+  /// Closed system: `mpl` transactions in flight, each completion (plus
+  /// think time) triggers the next submission. Open system: Poisson
+  /// arrivals at `arrival_rate_tps`.
+  enum class Arrival { kClosed, kOpen };
+  Arrival arrival = Arrival::kClosed;
+  uint32_t mpl = 8;
+  SimTime think_time = 0;
+  double arrival_rate_tps = 200;
+
+  uint32_t ops_min = 2;
+  uint32_t ops_max = 6;
+  double read_fraction = 0.75;  ///< probability an op is a read
+  bool use_increments = true;   ///< writes are read-modify-write increments
+
+  AccessPattern pattern = AccessPattern::kUniform;
+  double zipf_theta = 0.8;
+  double hot_fraction = 0.1;
+  double hot_prob = 0.8;
+
+  /// Home-site selection.
+  enum class HomePolicy { kRoundRobin, kRandom };
+  HomePolicy home = HomePolicy::kRoundRobin;
+
+  /// Automatic restarts: an aborted transaction is resubmitted up to
+  /// this many times. 0 disables restarts.
+  uint32_t max_retries = 0;
+  SimTime retry_backoff = Millis(5);
+  /// Restarts keep the original timestamp (wait-die / wound-wait
+  /// fairness: a restarted transaction keeps ageing instead of forever
+  /// being the youngest victim).
+  bool retry_inherit_timestamp = false;
+};
+
+/// Generates and drives a workload against a RainbowSystem — the
+/// paper's workload generator (WLG) component.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(RainbowSystem* system, WorkloadConfig config);
+
+  /// Begins generation. `done` (optional) fires when every generated
+  /// transaction (including retries) has completed. Drive the simulator
+  /// (RunFor / RunToQuiescence) to make progress.
+  void Run(std::function<void()> done = nullptr);
+
+  /// Generates one transaction program (exposed for tests and the
+  /// manual panel's "random transaction" button).
+  TxnProgram GenerateProgram();
+
+  uint64_t submitted() const { return submitted_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t retries() const { return retries_; }
+  bool finished() const { return done_fired_; }
+
+ private:
+  SiteId PickHome();
+  ItemId PickItem();
+  void SubmitOne();
+  void SubmitProgram(TxnProgram program, uint32_t attempt,
+                     std::optional<TxnTimestamp> inherit_ts = std::nullopt);
+  void OnOutcome(const TxnOutcome& outcome, TxnProgram program,
+                 uint32_t attempt);
+  void MaybeDone();
+
+  RainbowSystem* system_;
+  WorkloadConfig config_;
+  Rng rng_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  uint32_t num_items_;
+  uint64_t launched_ = 0;   ///< first-attempt submissions
+  uint64_t submitted_ = 0;  ///< all submissions including retries
+  uint64_t completed_ = 0;  ///< transactions that finished for good
+  uint64_t retries_ = 0;
+  uint64_t next_home_ = 0;
+  std::function<void()> done_;
+  bool done_fired_ = false;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "net/codec.h"
+
+namespace rainbow {
+namespace {
+
+/// Round-trips a payload and returns the decoded copy.
+Payload RoundTrip(const Payload& p) {
+  std::vector<uint8_t> wire = EncodePayload(p);
+  auto decoded = DecodePayload(wire);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  return decoded.ok() ? *decoded : Payload{Ack{}};
+}
+
+TEST(CodecTest, PrimitivesRoundTrip) {
+  Encoder e;
+  e.PutU8(0xab);
+  e.PutU32(0xdeadbeef);
+  e.PutU64(0x0123456789abcdefULL);
+  e.PutI64(-42);
+  e.PutBool(true);
+  e.PutTxnId(TxnId{7, 99});
+  e.PutTimestamp(TxnTimestamp{-5, 3});
+
+  Decoder d(e.buffer());
+  EXPECT_EQ(*d.GetU8(), 0xab);
+  EXPECT_EQ(*d.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*d.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*d.GetI64(), -42);
+  EXPECT_TRUE(*d.GetBool());
+  EXPECT_EQ(*d.GetTxnId(), (TxnId{7, 99}));
+  EXPECT_EQ(*d.GetTimestamp(), (TxnTimestamp{-5, 3}));
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(CodecTest, TruncatedReadsFail) {
+  Encoder e;
+  e.PutU32(5);
+  Decoder d(e.buffer());
+  EXPECT_TRUE(d.GetU32().ok());
+  EXPECT_FALSE(d.GetU8().ok());
+  EXPECT_FALSE(d.GetU64().ok());
+}
+
+TEST(CodecTest, EveryPayloadKindRoundTrips) {
+  TxnId txn{3, 17};
+  TxnTimestamp ts{123456, 3};
+
+  std::vector<Payload> payloads = {
+      NsLookupRequest{txn, 9},
+      NsLookupReply{txn, 9, true, {0, 1, 2}, {2, 1, 1}, 2, 3},
+      ReadRequest{txn, ts, 4},
+      ReadReply{txn, 4, true, DenyReason::kNone, -77, 12},
+      ReadReply{txn, 4, false, DenyReason::kTsoTooLate, 0, 0},
+      PrewriteRequest{txn, ts, 5, 999},
+      PrewriteReply{txn, 5, false, DenyReason::kWounded, 3},
+      AbortRequest{txn},
+      PrepareRequest{txn, {{1, 10}, {2, 11}}, {{4, 3}}, {0, 1, 2}, true},
+      VoteReply{txn, false, DenyReason::kUnknownTxn},
+      Decision{txn, true},
+      Ack{txn},
+      DecisionQuery{txn, 2},
+      DecisionInfo{txn, true, false},
+      PreCommitRequest{txn},
+      PreCommitAck{txn},
+      StateQuery{txn, 1},
+      StateReply{txn, AcpState::kPreCommitted},
+      RemoteAbortNotify{txn, AbortCause::kCcp, DenyReason::kDeadlockVictim},
+      RefreshRequest{{1, 2, 3}},
+      RefreshReply{{{1, 100, 5}, {2, -3, 7}}},
+      DeadlockProbe{txn, TxnId{1, 4}, 3},
+      DeadlockProbeCheck{txn, TxnId{2, 6}, 5},
+  };
+
+  for (const Payload& p : payloads) {
+    Payload q = RoundTrip(p);
+    EXPECT_EQ(MessageKindOf(q), MessageKindOf(p))
+        << MessageKindName(MessageKindOf(p));
+  }
+
+  // Spot-check field fidelity on the richest messages.
+  {
+    auto q = std::get<NsLookupReply>(RoundTrip(payloads[1]));
+    EXPECT_EQ(q.copies, (std::vector<SiteId>{0, 1, 2}));
+    EXPECT_EQ(q.votes, (std::vector<int>{2, 1, 1}));
+    EXPECT_EQ(q.read_quorum, 2);
+    EXPECT_EQ(q.write_quorum, 3);
+  }
+  {
+    auto q = std::get<PrepareRequest>(RoundTrip(payloads[8]));
+    ASSERT_EQ(q.versions.size(), 2u);
+    EXPECT_EQ(q.versions[1].item, 2u);
+    EXPECT_EQ(q.versions[1].version, 11u);
+    EXPECT_EQ(q.participants, (std::vector<SiteId>{0, 1, 2}));
+    EXPECT_TRUE(q.three_phase);
+    ASSERT_EQ(q.validations.size(), 1u);
+    EXPECT_EQ(q.validations[0].item, 4u);
+    EXPECT_EQ(q.validations[0].version, 3u);
+  }
+  {
+    auto q = std::get<ReadReply>(RoundTrip(payloads[3]));
+    EXPECT_EQ(q.value, -77);
+    EXPECT_EQ(q.version, 12u);
+  }
+  {
+    auto q = std::get<RefreshReply>(RoundTrip(payloads[20]));
+    ASSERT_EQ(q.entries.size(), 2u);
+    EXPECT_EQ(q.entries[1].value, -3);
+  }
+  {
+    auto q = std::get<DeadlockProbe>(RoundTrip(payloads[21]));
+    EXPECT_EQ(q.initiator, txn);
+    EXPECT_EQ(q.holder, (TxnId{1, 4}));
+    EXPECT_EQ(q.hops, 3u);
+  }
+}
+
+TEST(CodecTest, DecodeRejectsBadKind) {
+  std::vector<uint8_t> buf = {0xff, 0, 0, 0};
+  EXPECT_FALSE(DecodePayload(buf).ok());
+}
+
+TEST(CodecTest, DecodeRejectsTrailingGarbage) {
+  std::vector<uint8_t> wire = EncodePayload(Payload{Ack{TxnId{0, 1}}});
+  wire.push_back(0);
+  EXPECT_FALSE(DecodePayload(wire).ok());
+}
+
+TEST(CodecTest, DecodeRejectsEveryTruncation) {
+  // Chop the encoding of a complex payload at every length: none may
+  // crash, and all must fail cleanly.
+  std::vector<uint8_t> wire = EncodePayload(
+      Payload{PrepareRequest{TxnId{1, 2}, {{3, 4}}, {{5, 6}}, {0, 1}, false}});
+  for (size_t len = 0; len < wire.size(); ++len) {
+    std::vector<uint8_t> cut(wire.begin(),
+                             wire.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DecodePayload(cut).ok()) << "length " << len;
+  }
+}
+
+TEST(CodecTest, DecodeRejectsBadEnums) {
+  std::vector<uint8_t> wire =
+      EncodePayload(Payload{StateReply{TxnId{0, 1}, AcpState::kPrepared}});
+  wire.back() = 0x77;  // invalid AcpState
+  EXPECT_FALSE(DecodePayload(wire).ok());
+}
+
+TEST(CodecTest, FullMessageRoundTrip) {
+  Message m;
+  m.id = 42;
+  m.from = 3;
+  m.to = kNameServerId;
+  m.sent_at = Millis(17);
+  m.payload = NsLookupRequest{TxnId{3, 8}, 5};
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->id, 42u);
+  EXPECT_EQ(decoded->from, 3u);
+  EXPECT_EQ(decoded->to, kNameServerId);
+  EXPECT_EQ(decoded->sent_at, Millis(17));
+  EXPECT_EQ(decoded->kind(), MessageKind::kNsLookupRequest);
+}
+
+TEST(CodecTest, WholeSystemRunsOverTheWireCodec) {
+  // Every protocol message of a busy session is round-tripped through
+  // the codec; any lossy or incomplete encoding would break the run.
+  SystemConfig system;
+  system.seed = 202;
+  system.num_sites = 4;
+  system.verify_codec = true;
+  system.protocols.acp = AcpKind::kThreePhaseCommit;  // widest message mix
+  system.AddUniformItems(60, 100, 3);
+  WorkloadConfig workload;
+  workload.num_txns = 150;
+  workload.mpl = 6;
+  SessionOptions options;
+  options.check_serializability = true;
+  auto result = RunSession(system, workload, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->committed, 100u);
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/config.h"
+#include "core/session.h"
+
+namespace rainbow {
+namespace {
+
+TEST(ConfigTest, UniformItemsPlacement) {
+  SystemConfig cfg;
+  cfg.num_sites = 4;
+  cfg.AddUniformItems(8, 100, 3);
+  ASSERT_EQ(cfg.items.size(), 8u);
+  for (const ItemConfig& item : cfg.items) {
+    EXPECT_EQ(item.copies.size(), 3u);
+    EXPECT_EQ(item.initial, 100);
+  }
+  // Round-robin placement spreads first copies.
+  EXPECT_EQ(cfg.items[0].copies[0], 0u);
+  EXPECT_EQ(cfg.items[1].copies[0], 1u);
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, ReplicationDegreeClampedToSites) {
+  SystemConfig cfg;
+  cfg.num_sites = 2;
+  cfg.AddUniformItems(1, 0, 5);
+  EXPECT_EQ(cfg.items[0].copies.size(), 2u);
+}
+
+TEST(ConfigTest, ValidateCatchesErrors) {
+  SystemConfig cfg;
+  cfg.num_sites = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.num_sites = 2;
+  EXPECT_FALSE(cfg.Validate().ok());  // no items
+  cfg.AddUniformItems(1, 0, 2);
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.message_loss = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.message_loss = 0;
+  cfg.items[0].copies.push_back(9);  // unknown site
+  cfg.items[0].votes.clear();
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigTest, TextRoundTrip) {
+  SystemConfig cfg;
+  cfg.seed = 777;
+  cfg.num_sites = 5;
+  cfg.enable_trace = true;
+  cfg.latency.distribution = LatencyDistribution::kExponential;
+  cfg.latency.mean = Millis(7);
+  cfg.latency.regions = {0, 0, 1, 1, 1};
+  cfg.latency.inter_region_mean = Millis(30);
+  cfg.message_loss = 0.01;
+  cfg.protocols.rcp = RcpKind::kRowaAvailable;
+  cfg.protocols.cc = CcKind::kMultiversionTso;
+  cfg.protocols.deadlock = DeadlockPolicy::kWoundWait;
+  cfg.protocols.acp = AcpKind::kThreePhaseCommit;
+  cfg.protocols.rcp_broadcast = true;
+  cfg.protocols.cache_schema = false;
+  cfg.protocols.op_timeout = Millis(123);
+  cfg.protocols.readonly_optimization = true;
+  cfg.protocols.probe_delay = Millis(9);
+  cfg.verify_codec = true;
+  ItemConfig item;
+  item.name = "accounts";
+  item.initial = 1000;
+  item.copies = {0, 2, 4};
+  item.votes = {2, 1, 1};
+  item.read_quorum = 2;
+  item.write_quorum = 3;
+  cfg.items.push_back(item);
+  cfg.AddUniformItems(2, 5, 3);
+
+  std::string text = cfg.ToText();
+  auto parsed = SystemConfig::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ(parsed->seed, 777u);
+  EXPECT_EQ(parsed->num_sites, 5u);
+  EXPECT_TRUE(parsed->enable_trace);
+  EXPECT_EQ(parsed->latency.distribution, LatencyDistribution::kExponential);
+  EXPECT_EQ(parsed->latency.mean, Millis(7));
+  EXPECT_EQ(parsed->latency.regions, (std::vector<int>{0, 0, 1, 1, 1}));
+  EXPECT_EQ(parsed->latency.inter_region_mean, Millis(30));
+  EXPECT_DOUBLE_EQ(parsed->message_loss, 0.01);
+  EXPECT_EQ(parsed->protocols.rcp, RcpKind::kRowaAvailable);
+  EXPECT_EQ(parsed->protocols.cc, CcKind::kMultiversionTso);
+  EXPECT_EQ(parsed->protocols.deadlock, DeadlockPolicy::kWoundWait);
+  EXPECT_EQ(parsed->protocols.acp, AcpKind::kThreePhaseCommit);
+  EXPECT_TRUE(parsed->protocols.rcp_broadcast);
+  EXPECT_FALSE(parsed->protocols.cache_schema);
+  EXPECT_EQ(parsed->protocols.op_timeout, Millis(123));
+  EXPECT_TRUE(parsed->protocols.readonly_optimization);
+  EXPECT_EQ(parsed->protocols.probe_delay, Millis(9));
+  EXPECT_TRUE(parsed->verify_codec);
+  ASSERT_EQ(parsed->items.size(), 3u);
+  EXPECT_EQ(parsed->items[0].name, "accounts");
+  EXPECT_EQ(parsed->items[0].initial, 1000);
+  EXPECT_EQ(parsed->items[0].copies, (std::vector<SiteId>{0, 2, 4}));
+  EXPECT_EQ(parsed->items[0].votes, (std::vector<int>{2, 1, 1}));
+  EXPECT_EQ(parsed->items[0].read_quorum, 2);
+  EXPECT_EQ(parsed->items[0].write_quorum, 3);
+  EXPECT_TRUE(parsed->items[1].votes.empty());
+
+  // Round-trip is a fixed point.
+  EXPECT_EQ(parsed->ToText(), text);
+}
+
+TEST(ConfigTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(SystemConfig::FromText("[system]\nbogus_key = 1\n").ok());
+  EXPECT_FALSE(SystemConfig::FromText("[nowhere]\nx = 1\n").ok());
+  EXPECT_FALSE(SystemConfig::FromText("[system]\nnot a kv line\n").ok());
+  EXPECT_FALSE(
+      SystemConfig::FromText("[items]\nitem = too,few,fields\n").ok());
+  EXPECT_FALSE(
+      SystemConfig::FromText("[protocols]\nrcp = PAXOS\n").ok());
+}
+
+TEST(ConfigTest, ParsesAllProtocolNames) {
+  for (const char* rcp : {"QC", "ROWA", "ROWA-A", "PRIMARY"}) {
+    auto parsed = SystemConfig::FromText(std::string("[protocols]\nrcp = ") +
+                                         rcp + "\n");
+    EXPECT_TRUE(parsed.ok()) << rcp;
+  }
+  for (const char* dl :
+       {"wait-die", "wound-wait", "local-wfg", "timeout-only",
+        "edge-chasing"}) {
+    auto parsed = SystemConfig::FromText(
+        std::string("[protocols]\ndeadlock = ") + dl + "\n");
+    EXPECT_TRUE(parsed.ok()) << dl;
+  }
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ConfigTest, ShippedSampleConfigsLoadAndRun) {
+  // The files under configs/ must stay loadable — they are the "saved
+  // session" artifacts the paper's §4.2 describes.
+  for (const char* name :
+       {"classroom_default.rainbow", "georeplicated.rainbow"}) {
+    std::string text = ReadFileOrEmpty(std::string(RAINBOW_SOURCE_DIR) +
+                                       "/configs/" + name);
+    ASSERT_FALSE(text.empty()) << name;
+    auto cfg = SystemConfig::FromText(text);
+    ASSERT_TRUE(cfg.ok()) << name << ": " << cfg.status();
+    ASSERT_TRUE(cfg->Validate().ok()) << name;
+    // And a short session actually runs on it.
+    WorkloadConfig wl;
+    wl.num_txns = 20;
+    wl.mpl = 2;
+    wl.read_fraction = 0.9;  // the geo sample has only 4 hot items
+    auto result = RunSession(*cfg, wl);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status();
+    EXPECT_GT(result->committed, 10u) << name;
+  }
+}
+
+TEST(ConfigTest, ParserIgnoresCommentsAndBlanks) {
+  auto parsed = SystemConfig::FromText(
+      "# a comment\n\n[system]\nseed = 9\n# another\nnum_sites = 2\n"
+      "[items]\nitem = x, 0, 0|1, -, 0, 0\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->seed, 9u);
+  EXPECT_EQ(parsed->num_sites, 2u);
+  ASSERT_EQ(parsed->items.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace rainbow {
+namespace {
+
+Experiment::Point SmallPoint(const std::string& label, uint32_t mpl) {
+  Experiment::Point p;
+  p.label = label;
+  p.system.seed = 9;
+  p.system.num_sites = 3;
+  p.system.AddUniformItems(60, 100, 3);
+  p.workload.seed = 10;
+  p.workload.num_txns = 40;
+  p.workload.mpl = mpl;
+  return p;
+}
+
+TEST(ExperimentTest, RunsSweepAndRendersTable) {
+  Experiment exp("mpl sweep");
+  exp.AddPoint(SmallPoint("1", 1));
+  exp.AddPoint(SmallPoint("4", 4));
+  ASSERT_TRUE(exp.Run().ok());
+  ASSERT_EQ(exp.results().size(), 2u);
+  EXPECT_EQ(exp.results()[0].committed + exp.results()[0].aborted, 40u);
+
+  std::string table =
+      exp.RenderTable({metrics::CommitRate(), metrics::Throughput(),
+                       metrics::MeanResponseMs(), metrics::MsgsPerCommit()});
+  EXPECT_NE(table.find("mpl sweep"), std::string::npos);
+  EXPECT_NE(table.find("commit_rate"), std::string::npos);
+  EXPECT_NE(table.find("1 |"), std::string::npos);
+  EXPECT_NE(table.find("4 |"), std::string::npos);
+
+  std::string chart = exp.RenderChart(metrics::Throughput());
+  EXPECT_NE(chart.find("tput_tps"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(ExperimentTest, FailurePropagatesWithContext) {
+  Experiment exp("bad point");
+  Experiment::Point p;  // no items: invalid configuration
+  p.label = "broken";
+  p.system.num_sites = 2;
+  exp.AddPoint(std::move(p));
+  Status s = exp.Run();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bad point"), std::string::npos);
+  EXPECT_NE(s.message().find("broken"), std::string::npos);
+}
+
+TEST(ExperimentTest, MetricsExtractSensibly) {
+  SessionResult r;
+  r.committed = 80;
+  r.aborted = 20;
+  r.aborted_ccp = 15;
+  r.aborted_rcp = 5;
+  r.commit_rate = 0.8;
+  r.throughput_tps = 123.4;
+  r.mean_response_us = 2500;
+  r.p95_response_us = 9000;
+  r.msgs_per_commit = 17.5;
+  r.mean_blocked_us = 4000;
+  r.max_blocked_us = 20000;
+  r.orphans = 3;
+  EXPECT_DOUBLE_EQ(metrics::CommitRate().get(r), 80.0);
+  EXPECT_DOUBLE_EQ(metrics::Throughput().get(r), 123.4);
+  EXPECT_DOUBLE_EQ(metrics::MeanResponseMs().get(r), 2.5);
+  EXPECT_DOUBLE_EQ(metrics::P95ResponseMs().get(r), 9.0);
+  EXPECT_DOUBLE_EQ(metrics::MsgsPerCommit().get(r), 17.5);
+  EXPECT_DOUBLE_EQ(metrics::AbortRateCcp().get(r), 15.0);
+  EXPECT_DOUBLE_EQ(metrics::AbortRateRcp().get(r), 5.0);
+  EXPECT_DOUBLE_EQ(metrics::AbortRateTotal().get(r), 20.0);
+  EXPECT_DOUBLE_EQ(metrics::Committed().get(r), 80.0);
+  EXPECT_DOUBLE_EQ(metrics::Orphans().get(r), 3.0);
+  EXPECT_DOUBLE_EQ(metrics::MeanBlockedMs().get(r), 4.0);
+  EXPECT_DOUBLE_EQ(metrics::MaxBlockedMs().get(r), 20.0);
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/local_store.h"
+#include "storage/wal.h"
+
+namespace rainbow {
+namespace {
+
+TEST(LocalStoreTest, LoadAndGet) {
+  LocalStore store;
+  store.Load(3, 42);
+  EXPECT_TRUE(store.Has(3));
+  EXPECT_FALSE(store.Has(4));
+  auto copy = store.Get(3);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->value, 42);
+  EXPECT_EQ(copy->version, 0u);
+  EXPECT_FALSE(store.Get(4).ok());
+}
+
+TEST(LocalStoreTest, ApplyAdvancesVersion) {
+  LocalStore store;
+  store.Load(1, 0);
+  EXPECT_TRUE(store.Apply(1, 10, 1));
+  EXPECT_TRUE(store.Apply(1, 20, 2));
+  auto copy = store.Get(1);
+  EXPECT_EQ(copy->value, 20);
+  EXPECT_EQ(copy->version, 2u);
+}
+
+TEST(LocalStoreTest, StaleApplyIgnored) {
+  LocalStore store;
+  store.Load(1, 0);
+  EXPECT_TRUE(store.Apply(1, 10, 2));
+  EXPECT_FALSE(store.Apply(1, 99, 2));  // duplicate version
+  EXPECT_FALSE(store.Apply(1, 99, 1));  // older version
+  EXPECT_EQ(store.Get(1)->value, 10);
+}
+
+TEST(LocalStoreTest, ApplyToUnknownItemFails) {
+  LocalStore store;
+  EXPECT_FALSE(store.Apply(7, 1, 1));
+}
+
+TEST(LocalStoreTest, AdoptIfNewer) {
+  LocalStore store;
+  store.Load(1, 5);
+  EXPECT_TRUE(store.AdoptIfNewer(1, 50, 3));
+  EXPECT_FALSE(store.AdoptIfNewer(1, 40, 2));  // older
+  EXPECT_FALSE(store.AdoptIfNewer(9, 1, 1));   // not hosted
+  EXPECT_EQ(store.Get(1)->value, 50);
+}
+
+WalRecord Prepared(TxnId txn, std::vector<WalRecord::Write> writes,
+                   std::vector<SiteId> participants, bool three_phase = false) {
+  WalRecord r;
+  r.kind = WalRecordKind::kPrepared;
+  r.txn = txn;
+  r.coordinator = txn.home;
+  r.writes = std::move(writes);
+  r.participants = std::move(participants);
+  r.three_phase = three_phase;
+  return r;
+}
+
+TEST(WalTest, ScanSummarizesPerTxn) {
+  Wal wal;
+  TxnId t1{0, 1}, t2{0, 2};
+  wal.Append(Prepared(t1, {{1, 10, 1}}, {0, 1}));
+  wal.Append(WalRecord{WalRecordKind::kCommitDecision, t1, 0, {}, {}, false});
+  wal.Append(WalRecord{WalRecordKind::kApplied, t1, 0, {}, {}, false});
+  wal.Append(Prepared(t2, {}, {0, 2}));
+
+  auto scan = wal.Scan();
+  ASSERT_TRUE(scan.contains(t1));
+  EXPECT_TRUE(scan[t1].prepared);
+  EXPECT_TRUE(scan[t1].decided);
+  EXPECT_TRUE(scan[t1].commit);
+  EXPECT_TRUE(scan[t1].applied);
+  EXPECT_FALSE(scan[t1].ended);
+  EXPECT_TRUE(scan[t2].prepared);
+  EXPECT_FALSE(scan[t2].decided);
+}
+
+TEST(WalTest, InDoubtFindsPreparedUndecided) {
+  Wal wal;
+  TxnId decided{0, 1}, in_doubt{0, 2};
+  wal.Append(Prepared(decided, {}, {0}));
+  wal.Append(WalRecord{WalRecordKind::kAbortDecision, decided, 0, {}, {},
+                       false});
+  wal.Append(Prepared(in_doubt, {{4, 9, 2}}, {0, 1}));
+
+  auto doubts = wal.InDoubt();
+  ASSERT_EQ(doubts.size(), 1u);
+  EXPECT_EQ(doubts[0].txn, in_doubt);
+  ASSERT_EQ(doubts[0].writes.size(), 1u);
+  EXPECT_EQ(doubts[0].writes[0].item, 4u);
+  EXPECT_EQ(doubts[0].writes[0].version, 2u);
+}
+
+TEST(WalTest, DecidedUnendedIsCoordinatorOnly) {
+  Wal wal;
+  TxnId coord_txn{0, 1}, part_txn{2, 7}, closed{0, 3};
+  // Coordinator decision (has participants), never ended.
+  wal.Append(WalRecord{WalRecordKind::kCommitDecision, coord_txn, 0, {},
+                       {0, 1, 2}, false});
+  // Participant decision (no participants): not ours to finish.
+  wal.Append(WalRecord{WalRecordKind::kCommitDecision, part_txn, 2, {}, {},
+                       false});
+  // Coordinator decision that was ended.
+  wal.Append(WalRecord{WalRecordKind::kAbortDecision, closed, 0, {}, {0, 1},
+                       false});
+  wal.Append(WalRecord{WalRecordKind::kEnd, closed, 0, {}, {}, false});
+
+  auto open = wal.DecidedUnended();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].txn, coord_txn);
+  EXPECT_TRUE(open[0].commit);
+  EXPECT_EQ(open[0].participants, (std::vector<SiteId>{0, 1, 2}));
+}
+
+TEST(WalTest, CoordinatorAlsoParticipant) {
+  // A site that prepared (as participant) AND logged the coordinator
+  // decision must still re-propagate the decision after recovery.
+  Wal wal;
+  TxnId txn{0, 1};
+  wal.Append(Prepared(txn, {{1, 5, 1}}, {0, 1}));
+  wal.Append(
+      WalRecord{WalRecordKind::kCommitDecision, txn, 0, {}, {0, 1}, false});
+  auto open = wal.DecidedUnended();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].txn, txn);
+  // And it is not in doubt (the decision is known).
+  EXPECT_TRUE(wal.InDoubt().empty());
+}
+
+TEST(WalTest, SerializeRoundTrip) {
+  Wal wal;
+  TxnId t1{0, 1}, t2{3, 9};
+  wal.Append(Prepared(t1, {{1, 10, 1}, {2, -5, 7}}, {0, 1, 2}, true));
+  wal.Append(WalRecord{WalRecordKind::kCommitDecision, t1, 0, {}, {0, 1},
+                       false});
+  wal.Append(WalRecord{WalRecordKind::kApplied, t1, 0, {}, {}, false});
+  wal.Append(Prepared(t2, {}, {3}));
+  wal.Append(WalRecord{WalRecordKind::kEnd, t1, 0, {}, {}, false});
+
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
+  ASSERT_EQ(loaded.size(), wal.size());
+  for (size_t i = 0; i < wal.size(); ++i) {
+    EXPECT_EQ(loaded.records()[i].kind, wal.records()[i].kind);
+    EXPECT_EQ(loaded.records()[i].txn, wal.records()[i].txn);
+    EXPECT_EQ(loaded.records()[i].participants,
+              wal.records()[i].participants);
+    EXPECT_EQ(loaded.records()[i].writes.size(),
+              wal.records()[i].writes.size());
+  }
+  // Derived views agree too.
+  EXPECT_EQ(loaded.InDoubt().size(), wal.InDoubt().size());
+  EXPECT_EQ(loaded.DecidedUnended().size(), wal.DecidedUnended().size());
+  // Record contents survive.
+  EXPECT_EQ(loaded.records()[0].writes[1].value, -5);
+  EXPECT_EQ(loaded.records()[0].writes[1].version, 7u);
+  EXPECT_TRUE(loaded.records()[0].three_phase);
+}
+
+TEST(WalTest, DeserializeRejectsCorruption) {
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 2, 3}}, {0, 1}));
+  std::vector<uint8_t> good = wal.Serialize();
+
+  Wal target;
+  // Bad magic.
+  std::vector<uint8_t> bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(target.Deserialize(bad).ok());
+  // Truncations at every length must fail cleanly.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(target.Deserialize(cut).ok()) << "length " << len;
+  }
+  // Trailing garbage.
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(target.Deserialize(bad).ok());
+  // A failed load leaves the target unchanged.
+  ASSERT_TRUE(target.Deserialize(good).ok());
+  EXPECT_EQ(target.size(), 1u);
+  EXPECT_FALSE(target.Deserialize(bad).ok());
+  EXPECT_EQ(target.size(), 1u);
+}
+
+TEST(WalTest, FileRoundTrip) {
+  Wal wal;
+  wal.Append(Prepared(TxnId{1, 2}, {{4, 44, 2}}, {0, 1}));
+  wal.Append(WalRecord{WalRecordKind::kAbortDecision, TxnId{1, 2}, 0, {}, {},
+                       false});
+  std::string path = ::testing::TempDir() + "/rainbow_wal_test.bin";
+  ASSERT_TRUE(wal.SaveToFile(path).ok());
+  Wal loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  auto scan = loaded.Scan();
+  const auto& st = scan[TxnId{1, 2}];
+  EXPECT_TRUE(st.prepared);
+  EXPECT_TRUE(st.decided);
+  EXPECT_FALSE(st.commit);
+  EXPECT_FALSE(loaded.LoadFromFile(path + ".missing").ok());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, PreCommittedTracked) {
+  Wal wal;
+  TxnId txn{1, 4};
+  wal.Append(Prepared(txn, {}, {0, 1}, /*three_phase=*/true));
+  wal.Append(
+      WalRecord{WalRecordKind::kPreCommitted, txn, 0, {}, {}, true});
+  auto scan = wal.Scan();
+  EXPECT_TRUE(scan[txn].precommitted);
+  ASSERT_EQ(wal.InDoubt().size(), 1u);
+  EXPECT_TRUE(wal.InDoubt()[0].three_phase);
+}
+
+}  // namespace
+}  // namespace rainbow

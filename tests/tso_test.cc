@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cc/tso_manager.h"
+
+namespace rainbow {
+namespace {
+
+TxnId T(uint64_t n) { return TxnId{0, n}; }
+TxnTimestamp Ts(int64_t n) { return TxnTimestamp{n, 0}; }
+
+struct Probe {
+  std::optional<CcGrant> grant;
+  CcCallback cb() {
+    return [this](const CcGrant& g) { grant = g; };
+  }
+  bool granted() const { return grant.has_value() && grant->granted; }
+  bool denied() const { return grant.has_value() && !grant->granted; }
+  bool pending() const { return !grant.has_value(); }
+};
+
+TEST(TsoTest, ReadsAndWritesInOrderGranted) {
+  TsoManager tso;
+  Probe r1, w2, r3;
+  tso.RequestRead(T(1), Ts(1), 7, r1.cb());
+  EXPECT_TRUE(r1.granted());
+  tso.RequestWrite(T(2), Ts(2), 7, w2.cb());
+  EXPECT_TRUE(w2.granted());
+  tso.Finish(T(2), true);
+  tso.RequestRead(T(3), Ts(3), 7, r3.cb());
+  EXPECT_TRUE(r3.granted());
+}
+
+TEST(TsoTest, LateReadRejected) {
+  TsoManager tso;
+  Probe w, r;
+  tso.RequestWrite(T(5), Ts(5), 7, w.cb());
+  tso.Finish(T(5), true);  // write_ts = 5
+  tso.RequestRead(T(3), Ts(3), 7, r.cb());
+  ASSERT_TRUE(r.denied());
+  EXPECT_EQ(r.grant->reason, DenyReason::kTsoTooLate);
+  EXPECT_EQ(tso.rejections(), 1u);
+}
+
+TEST(TsoTest, LateWriteRejectedByReadTimestamp) {
+  TsoManager tso;
+  Probe r, w;
+  tso.RequestRead(T(5), Ts(5), 7, r.cb());
+  tso.RequestWrite(T(3), Ts(3), 7, w.cb());
+  ASSERT_TRUE(w.denied());
+  EXPECT_EQ(w.grant->reason, DenyReason::kTsoTooLate);
+}
+
+TEST(TsoTest, LateWriteRejectedByWriteTimestamp) {
+  TsoManager tso;
+  Probe w1, w2;
+  tso.RequestWrite(T(5), Ts(5), 7, w1.cb());
+  tso.Finish(T(5), true);
+  tso.RequestWrite(T(3), Ts(3), 7, w2.cb());
+  EXPECT_TRUE(w2.denied());
+}
+
+TEST(TsoTest, AbortedWriteDoesNotAdvanceWriteTs) {
+  TsoManager tso;
+  Probe w1, w2;
+  tso.RequestWrite(T(5), Ts(5), 7, w1.cb());
+  tso.Finish(T(5), false);  // abort
+  tso.RequestWrite(T(3), Ts(3), 7, w2.cb());
+  EXPECT_TRUE(w2.granted());  // 3 < 5 but the write never committed
+}
+
+TEST(TsoTest, ReadWaitsForOlderPendingWrite) {
+  TsoManager tso;
+  Probe w, r;
+  tso.RequestWrite(T(2), Ts(2), 7, w.cb());
+  EXPECT_TRUE(w.granted());
+  tso.RequestRead(T(4), Ts(4), 7, r.cb());
+  EXPECT_TRUE(r.pending());  // must observe T2's outcome (strictness)
+  tso.Finish(T(2), true);
+  EXPECT_TRUE(r.granted());
+}
+
+TEST(TsoTest, ReadOlderThanPendingWriteProceeds) {
+  TsoManager tso;
+  Probe w, r;
+  tso.RequestWrite(T(4), Ts(4), 7, w.cb());
+  tso.RequestRead(T(2), Ts(2), 7, r.cb());
+  // The read precedes the pending write in timestamp order: it reads the
+  // committed value and does not wait.
+  EXPECT_TRUE(r.granted());
+}
+
+TEST(TsoTest, WaitingReadDeniedIfCommitOvertakesIt) {
+  TsoManager tso;
+  Probe w1, r, w2;
+  tso.RequestWrite(T(2), Ts(2), 7, w1.cb());
+  tso.RequestRead(T(3), Ts(3), 7, r.cb());
+  EXPECT_TRUE(r.pending());
+  // A younger write gets queued too.
+  tso.RequestWrite(T(5), Ts(5), 7, w2.cb());
+  EXPECT_TRUE(w2.pending());
+  tso.Finish(T(2), true);  // write_ts = 2 < 3: read fine
+  EXPECT_TRUE(r.granted());
+  EXPECT_TRUE(w2.granted());
+}
+
+TEST(TsoTest, SecondPendingWriteWaits) {
+  TsoManager tso;
+  Probe w1, w2;
+  tso.RequestWrite(T(2), Ts(2), 7, w1.cb());
+  tso.RequestWrite(T(4), Ts(4), 7, w2.cb());
+  EXPECT_TRUE(w2.pending());
+  tso.Finish(T(2), true);
+  EXPECT_TRUE(w2.granted());
+}
+
+TEST(TsoTest, OlderWriteDeniedWhileYoungerPending) {
+  TsoManager tso;
+  Probe w1, w2;
+  tso.RequestWrite(T(4), Ts(4), 7, w1.cb());
+  tso.RequestWrite(T(2), Ts(2), 7, w2.cb());
+  EXPECT_TRUE(w2.denied());  // must precede the granted prewrite
+}
+
+TEST(TsoTest, OwnPendingWriteRegrant) {
+  TsoManager tso;
+  Probe w1, w2;
+  tso.RequestWrite(T(2), Ts(2), 7, w1.cb());
+  tso.RequestWrite(T(2), Ts(2), 7, w2.cb());  // same txn rewrites
+  EXPECT_TRUE(w2.granted());
+}
+
+TEST(TsoTest, FinishDropsWaitingRequestsSilently) {
+  TsoManager tso;
+  Probe w, r;
+  tso.RequestWrite(T(2), Ts(2), 7, w.cb());
+  tso.RequestRead(T(4), Ts(4), 7, r.cb());
+  EXPECT_TRUE(r.pending());
+  tso.Finish(T(4), false);  // the waiting reader aborts
+  EXPECT_EQ(tso.num_waiting(), 0u);
+  tso.Finish(T(2), true);
+  EXPECT_TRUE(r.pending());  // callback never fired
+}
+
+TEST(TsoTest, NoDeadlockYoungerWaitsForOlderOnly) {
+  TsoManager tso;
+  // Build a chain of waits: all point from younger to older.
+  Probe w2, r5, r6;
+  tso.RequestWrite(T(2), Ts(2), 7, w2.cb());
+  tso.RequestRead(T(5), Ts(5), 7, r5.cb());
+  tso.RequestRead(T(6), Ts(6), 7, r6.cb());
+  EXPECT_TRUE(r5.pending());
+  EXPECT_TRUE(r6.pending());
+  tso.Finish(T(2), true);
+  EXPECT_TRUE(r5.granted());
+  EXPECT_TRUE(r6.granted());
+  EXPECT_EQ(tso.num_waiting(), 0u);
+}
+
+TEST(TsoTest, ReadsAdvanceReadTimestampMonotonically) {
+  TsoManager tso;
+  Probe r9, w5;
+  tso.RequestRead(T(9), Ts(9), 7, r9.cb());
+  // An older read does not lower read_ts.
+  Probe r3;
+  tso.RequestRead(T(3), Ts(3), 7, r3.cb());
+  EXPECT_TRUE(r3.granted());  // reads never conflict with reads
+  tso.RequestWrite(T(5), Ts(5), 7, w5.cb());
+  EXPECT_TRUE(w5.denied());  // read_ts is 9
+}
+
+}  // namespace
+}  // namespace rainbow

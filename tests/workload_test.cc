@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "workload/workload.h"
+
+namespace rainbow {
+namespace {
+
+std::unique_ptr<RainbowSystem> MakeSystem(int items = 100) {
+  SystemConfig cfg;
+  cfg.seed = 11;
+  cfg.num_sites = 3;
+  cfg.AddUniformItems(items, 0, 3);
+  auto sys = RainbowSystem::Create(cfg);
+  EXPECT_TRUE(sys.ok());
+  return std::move(sys).value();
+}
+
+TEST(WorkloadTest, ProgramShapeRespectsConfig) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  cfg.ops_min = 3;
+  cfg.ops_max = 7;
+  cfg.read_fraction = 1.0;  // reads only
+  WorkloadGenerator wlg(sys.get(), cfg);
+  for (int i = 0; i < 50; ++i) {
+    TxnProgram p = wlg.GenerateProgram();
+    EXPECT_GE(p.ops.size(), 3u);
+    EXPECT_LE(p.ops.size(), 7u);
+    for (const Op& op : p.ops) EXPECT_EQ(op.kind, OpKind::kRead);
+  }
+}
+
+TEST(WorkloadTest, WriteFractionApproximatelyHolds) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 6;
+  cfg.read_fraction = 0.5;
+  cfg.ops_min = cfg.ops_max = 10;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  int reads = 0, writes = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const Op& op : wlg.GenerateProgram().ops) {
+      (op.kind == OpKind::kRead ? reads : writes)++;
+    }
+  }
+  double frac = static_cast<double>(reads) / (reads + writes);
+  EXPECT_NEAR(frac, 0.5, 0.06);
+}
+
+TEST(WorkloadTest, HotspotSkewsAccesses) {
+  auto sys = MakeSystem(100);
+  WorkloadConfig cfg;
+  cfg.seed = 7;
+  cfg.pattern = AccessPattern::kHotspot;
+  cfg.hot_fraction = 0.1;
+  cfg.hot_prob = 0.9;
+  cfg.ops_min = cfg.ops_max = 4;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  int hot = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (const Op& op : wlg.GenerateProgram().ops) {
+      ++total;
+      if (op.item < 10) ++hot;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hot) / total, 0.6);
+}
+
+TEST(WorkloadTest, DistinctItemsWithinTransaction) {
+  auto sys = MakeSystem(100);
+  WorkloadConfig cfg;
+  cfg.seed = 8;
+  cfg.ops_min = cfg.ops_max = 6;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  for (int i = 0; i < 50; ++i) {
+    TxnProgram p = wlg.GenerateProgram();
+    std::set<ItemId> items;
+    for (const Op& op : p.ops) items.insert(op.item);
+    EXPECT_GE(items.size(), p.ops.size() - 1);  // near-distinct
+  }
+}
+
+TEST(WorkloadTest, ClosedLoopCompletesExactly) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 9;
+  cfg.num_txns = 60;
+  cfg.mpl = 5;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  bool done = false;
+  wlg.Run([&] { done = true; });
+  sys->RunToQuiescence(5'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wlg.completed(), 60u);
+  EXPECT_EQ(sys->monitor().committed() + sys->monitor().aborted_total(), 60u);
+}
+
+TEST(WorkloadTest, OpenArrivalsFollowRate) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 10;
+  cfg.num_txns = 100;
+  cfg.arrival = WorkloadConfig::Arrival::kOpen;
+  cfg.arrival_rate_tps = 1000;  // ~100ms of arrivals
+  WorkloadGenerator wlg(sys.get(), cfg);
+  bool done = false;
+  wlg.Run([&] { done = true; });
+  sys->RunToQuiescence(5'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wlg.completed(), 100u);
+  // All arrivals happened within a few mean interarrival times of 100ms.
+  EXPECT_LT(sys->sim().Now(), Seconds(2));
+}
+
+TEST(WorkloadTest, RetriesResubmitAbortedTransactions) {
+  // High contention + retries: retried transactions eventually commit.
+  SystemConfig sys_cfg;
+  sys_cfg.seed = 12;
+  sys_cfg.num_sites = 3;
+  sys_cfg.AddUniformItems(10, 0, 3);  // small database = conflicts
+  auto sys = RainbowSystem::Create(sys_cfg);
+  ASSERT_TRUE(sys.ok());
+  WorkloadConfig cfg;
+  cfg.seed = 13;
+  cfg.num_txns = 30;
+  cfg.mpl = 4;
+  cfg.ops_min = 2;
+  cfg.ops_max = 3;
+  cfg.read_fraction = 0.3;
+  cfg.max_retries = 10;
+  WorkloadGenerator wlg(sys->get(), cfg);
+  bool done = false;
+  wlg.Run([&] { done = true; });
+  (*sys)->RunToQuiescence(20'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wlg.completed(), 30u);
+  EXPECT_GT(wlg.retries(), 0u);
+  // With retries, most logical transactions commit in the end.
+  EXPECT_GT((*sys)->monitor().committed(), 22u);
+}
+
+TEST(WorkloadTest, RetryCanInheritOriginalTimestamp) {
+  auto sys = MakeSystem(10);
+  TxnOutcome first;
+  bool first_done = false;
+  sys->Submit(0, TxnProgram{{Op::Read(0)}, ""},
+              [&](const TxnOutcome& o) {
+                first = o;
+                first_done = true;
+              })
+      .ok();
+  sys->RunToQuiescence(1'000'000);
+  ASSERT_TRUE(first_done);
+  ASSERT_NE(first.ts.site, kInvalidSite);
+
+  // Resubmit "as a restart" with the inherited timestamp: the new
+  // incarnation must run under the ORIGINAL timestamp.
+  TxnOutcome second;
+  bool second_done = false;
+  sys->Submit(1, TxnProgram{{Op::Read(0)}, ""},
+              [&](const TxnOutcome& o) {
+                second = o;
+                second_done = true;
+              },
+              first.ts)
+      .ok();
+  sys->RunToQuiescence(1'000'000);
+  ASSERT_TRUE(second_done);
+  EXPECT_EQ(second.ts, first.ts);
+  EXPECT_NE(second.id, first.id);  // but it is a fresh transaction
+}
+
+TEST(WorkloadTest, TimestampInheritanceReducesRestartStarvation) {
+  // Wait-die + restarts with fresh timestamps = the restarted
+  // transaction is forever the youngest and keeps dying. Inheriting the
+  // original timestamp lets it age and eventually win. Compare total
+  // retries on an identical contended workload.
+  auto run = [&](bool inherit) {
+    SystemConfig sys_cfg;
+    sys_cfg.seed = 77;
+    sys_cfg.num_sites = 3;
+    sys_cfg.AddUniformItems(6, 0, 3);  // very hot
+    auto sys = RainbowSystem::Create(sys_cfg);
+    EXPECT_TRUE(sys.ok());
+    WorkloadConfig cfg;
+    cfg.seed = 78;
+    cfg.num_txns = 40;
+    cfg.mpl = 6;
+    cfg.ops_min = 2;
+    cfg.ops_max = 3;
+    cfg.read_fraction = 0.2;
+    cfg.max_retries = 25;
+    cfg.retry_inherit_timestamp = inherit;
+    WorkloadGenerator wlg(sys->get(), cfg);
+    bool done = false;
+    wlg.Run([&] { done = true; });
+    (*sys)->RunFor(Seconds(120));
+    EXPECT_TRUE(done);
+    return wlg.retries();
+  };
+  uint64_t retries_fresh = run(false);
+  uint64_t retries_inherit = run(true);
+  EXPECT_LT(retries_inherit, retries_fresh)
+      << "inheriting timestamps should reduce restart churn ("
+      << retries_inherit << " vs " << retries_fresh << ")";
+}
+
+TEST(WorkloadTest, RoundRobinHomesBalance) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 14;
+  cfg.num_txns = 90;
+  cfg.mpl = 3;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  wlg.Run();
+  sys->RunToQuiescence(5'000'000);
+  const auto& homed = sys->monitor().homed_per_site();
+  ASSERT_EQ(homed.size(), 3u);
+  for (const auto& [site, count] : homed) {
+    EXPECT_NEAR(static_cast<double>(count), 30.0, 12.0);
+  }
+  EXPECT_LT(sys->monitor().home_load_cv(), 0.3);
+}
+
+}  // namespace
+}  // namespace rainbow
