@@ -120,6 +120,9 @@ std::string SystemConfig::ToText() const {
   os << "suspicion_ttl = " << protocols.suspicion_ttl << "\n";
   os << "termination_window = " << protocols.termination_window << "\n";
   os << "probe_delay = " << protocols.probe_delay << "\n";
+  os << "rpc_max_attempts = " << protocols.rpc_max_attempts << "\n";
+  os << "rpc_backoff_base = " << protocols.rpc_backoff_base << "\n";
+  os << "rpc_backoff_cap = " << protocols.rpc_backoff_cap << "\n";
   os << "\n[items]\n";
   for (const ItemConfig& item : items) {
     os << "item = " << item.name << ", " << item.initial << ", "
@@ -288,6 +291,13 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(p.termination_window, as_int());
     } else if (key == "probe_delay") {
       RAINBOW_ASSIGN_OR_RETURN(p.probe_delay, as_int());
+    } else if (key == "rpc_max_attempts") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.rpc_max_attempts = static_cast<int>(v);
+    } else if (key == "rpc_backoff_base") {
+      RAINBOW_ASSIGN_OR_RETURN(p.rpc_backoff_base, as_int());
+    } else if (key == "rpc_backoff_cap") {
+      RAINBOW_ASSIGN_OR_RETURN(p.rpc_backoff_cap, as_int());
     } else {
       return Status::InvalidArgument("unknown [protocols] key: " + key);
     }

@@ -60,6 +60,7 @@ Status RainbowSystem::Init() {
   env.monitor = &monitor_;
   env.history = &history_;
   env.config = &config_.protocols;
+  env.seed = config_.seed;
   for (uint32_t i = 0; i < config_.num_sites; ++i) {
     sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), env));
   }

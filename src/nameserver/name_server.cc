@@ -3,16 +3,25 @@
 namespace rainbow {
 
 NameServer::NameServer(Catalog catalog, Network* net, TraceLog* trace)
-    : catalog_(std::move(catalog)), net_(net), trace_(trace) {}
+    : catalog_(std::move(catalog)),
+      net_(net),
+      trace_(trace),
+      rpc_(std::make_unique<RpcEndpoint>(net->sim(), net, kNameServerId,
+                                         /*seed=*/0)) {}
 
 void NameServer::Start() {
-  net_->RegisterHandler(kNameServerId,
-                        [this](const Message& m) { HandleMessage(m); });
+  net_->RegisterHandler(kNameServerId, [this](const Message& m) {
+    if (crashed_) return;
+    RpcDelivery d = rpc_->Accept(m);
+    if (d.consumed) return;  // duplicate lookup, re-answered from cache
+    HandleMessage(m, d.ctx);
+  });
 }
 
 void NameServer::Crash() {
   crashed_ = true;
   net_->SetSiteUp(kNameServerId, false);
+  rpc_->Reset();
 }
 
 void NameServer::Recover() {
@@ -20,8 +29,7 @@ void NameServer::Recover() {
   net_->SetSiteUp(kNameServerId, true);
 }
 
-void NameServer::HandleMessage(const Message& m) {
-  if (crashed_) return;
+void NameServer::HandleMessage(const Message& m, const RpcContext& ctx) {
   const auto* req = std::get_if<NsLookupRequest>(&m.payload);
   if (req == nullptr) return;  // the name server only answers lookups
   ++lookups_served_;
@@ -41,7 +49,11 @@ void NameServer::HandleMessage(const Message& m) {
                    "lookup item " + std::to_string(req->item) +
                        (reply.found ? "" : " (not found)"));
   }
-  net_->Send(kNameServerId, m.from, reply);
+  if (ctx.valid()) {
+    rpc_->Reply(ctx, reply);
+  } else {
+    net_->Send(kNameServerId, m.from, reply);
+  }
 }
 
 }  // namespace rainbow

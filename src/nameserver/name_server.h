@@ -2,10 +2,12 @@
 #define RAINBOW_NAMESERVER_NAME_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "catalog/catalog.h"
 #include "common/trace.h"
 #include "net/network.h"
+#include "net/rpc.h"
 
 namespace rainbow {
 
@@ -33,11 +35,15 @@ class NameServer {
   uint64_t lookups_served() const { return lookups_served_; }
 
  private:
-  void HandleMessage(const Message& m);
+  void HandleMessage(const Message& m, const RpcContext& ctx);
 
   Catalog catalog_;
   Network* net_;
   TraceLog* trace_;
+  /// Replica-side RPC endpoint: suppresses retransmitted lookups and
+  /// re-answers them from the reply cache. The name server never makes
+  /// outgoing calls.
+  std::unique_ptr<RpcEndpoint> rpc_;
   bool crashed_ = false;
   uint64_t lookups_served_ = 0;
 };

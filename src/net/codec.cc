@@ -379,6 +379,8 @@ std::vector<uint8_t> EncodeMessage(const Message& message) {
   e.PutU32(message.from);
   e.PutU32(message.to);
   e.PutI64(message.sent_at);
+  e.PutU64(message.rpc_id);
+  e.PutBool(message.rpc_is_reply);
   std::vector<uint8_t> payload = EncodePayload(message.payload);
   e.PutU32(static_cast<uint32_t>(payload.size()));
   std::vector<uint8_t> out = e.Take();
@@ -393,6 +395,8 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& buf) {
   RAINBOW_ASSIGN_OR_RETURN(m.from, d.GetU32());
   RAINBOW_ASSIGN_OR_RETURN(m.to, d.GetU32());
   RAINBOW_ASSIGN_OR_RETURN(m.sent_at, d.GetI64());
+  RAINBOW_ASSIGN_OR_RETURN(m.rpc_id, d.GetU64());
+  RAINBOW_ASSIGN_OR_RETURN(m.rpc_is_reply, d.GetBool());
   RAINBOW_ASSIGN_OR_RETURN(uint32_t len, d.GetU32());
   if (len != d.remaining()) {
     return Status::InvalidArgument("payload length mismatch");

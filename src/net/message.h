@@ -282,6 +282,12 @@ struct Message {
   SiteId from = kInvalidSite;
   SiteId to = kInvalidSite;
   SimTime sent_at = 0;
+  /// RPC correlation id (net/rpc.h). 0 means "not an RPC message";
+  /// nonzero ids are unique per sending endpoint and stable across
+  /// retransmissions of the same logical request.
+  uint64_t rpc_id = 0;
+  /// Distinguishes the reply leg of an RPC exchange from the request.
+  bool rpc_is_reply = false;
   Payload payload;
 
   MessageKind kind() const { return MessageKindOf(payload); }

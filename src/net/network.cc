@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -74,6 +75,34 @@ std::string NetworkStats::Render() const {
        << by_kind[k];
   }
   os << "\n";
+  os << StringPrintf(
+      "rpc: calls=%llu attempts=%llu retries=%llu timeouts=%llu "
+      "failures=%llu dup_suppressed=%llu\n",
+      static_cast<unsigned long long>(rpc_calls),
+      static_cast<unsigned long long>(rpc_attempts),
+      static_cast<unsigned long long>(rpc_retries),
+      static_cast<unsigned long long>(rpc_timeouts),
+      static_cast<unsigned long long>(rpc_failures),
+      static_cast<unsigned long long>(rpc_duplicates_suppressed));
+  if (rpc_latency.count() > 0) {
+    os << "rpc latency (us): " << rpc_latency.Summary() << "\n";
+  }
+  if (!per_site_delivered.empty()) {
+    // unordered_map iteration order is not deterministic; sort by site id
+    // so renders are stable across runs and platforms.
+    std::vector<std::pair<SiteId, uint64_t>> per_site(
+        per_site_delivered.begin(), per_site_delivered.end());
+    std::sort(per_site.begin(), per_site.end());
+    os << "per-site delivered:";
+    for (const auto& [site, count] : per_site) {
+      if (site == kNameServerId) {
+        os << " ns=" << count;
+      } else {
+        os << " s" << site << "=" << count;
+      }
+    }
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -141,21 +170,36 @@ bool Network::Reachable(SiteId a, SiteId b) const {
 
 void Network::Send(SiteId from, SiteId to, Payload payload) {
   Message msg;
-  msg.id = next_msg_id_++;
   msg.from = from;
   msg.to = to;
-  msg.sent_at = sim_->Now();
   msg.payload = std::move(payload);
+  SendMessage(std::move(msg));
+}
+
+void Network::SendRpc(SiteId from, SiteId to, Payload payload,
+                      uint64_t rpc_id, bool is_reply) {
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.rpc_id = rpc_id;
+  msg.rpc_is_reply = is_reply;
+  msg.payload = std::move(payload);
+  SendMessage(std::move(msg));
+}
+
+void Network::SendMessage(Message msg) {
+  msg.id = next_msg_id_++;
+  msg.sent_at = sim_->Now();
 
   size_t size = PayloadSizeBytes(msg.payload);
   if (verify_codec_) {
     std::vector<uint8_t> wire = EncodePayload(msg.payload);
-    size = wire.size() + 24;  // payload bytes + envelope
+    size = wire.size() + 33;  // payload bytes + envelope
     Result<Payload> decoded = DecodePayload(wire);
     if (!decoded.ok()) {
       stats_.codec_failures++;
       if (trace_ && trace_->enabled()) {
-        trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                        "CODEC FAILURE " + decoded.status().ToString());
       }
       return;
@@ -164,27 +208,27 @@ void Network::Send(SiteId from, SiteId to, Payload payload) {
   }
   stats_.RecordSend(msg, sim_->Now(), size);
 
-  if (!IsSiteUp(from)) {
+  if (!IsSiteUp(msg.from)) {
     stats_.RecordDrop(DropCause::kSourceDown);
     if (trace_ && trace_->enabled()) {
-      trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                      "DROP(source down) " + msg.Describe());
     }
     return;
   }
-  if (from != to && loss_probability_ > 0 &&
+  if (msg.from != msg.to && loss_probability_ > 0 &&
       rng_.NextBool(loss_probability_)) {
     stats_.RecordDrop(DropCause::kRandomLoss);
     if (trace_ && trace_->enabled()) {
-      trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                      "DROP(random) " + msg.Describe());
     }
     return;
   }
 
-  SimTime delay = latency_.SampleDelay(from, to, size);
+  SimTime delay = latency_.SampleDelay(msg.from, msg.to, size);
   if (trace_ && trace_->enabled()) {
-    trace_->Record(sim_->Now(), TraceCategory::kNet, from,
+    trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                    "SEND " + msg.Describe());
   }
   sim_->After(delay, [this, msg = std::move(msg)]() mutable {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -49,6 +50,17 @@ struct NetworkStats {
   std::unordered_map<SiteId, uint64_t> per_site_delivered;
   /// Wire-codec round-trip failures (must stay zero).
   uint64_t codec_failures = 0;
+  /// RPC sub-layer accounting (net/rpc.h). Attempts include the first
+  /// transmission; retries are the retransmissions after an attempt
+  /// timeout; failures are calls that exhausted every attempt.
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_attempts = 0;
+  uint64_t rpc_retries = 0;
+  uint64_t rpc_timeouts = 0;
+  uint64_t rpc_failures = 0;
+  uint64_t rpc_duplicates_suppressed = 0;
+  /// End-to-end latency (first send to reply) of successful RPC calls.
+  Histogram rpc_latency;
 
   uint64_t total_dropped() const;
   uint64_t network_sent() const { return sent - local; }
@@ -86,6 +98,10 @@ class Network {
   /// the simulator. Silently drops (with accounting) if unreachable.
   void Send(SiteId from, SiteId to, Payload payload);
 
+  /// Like Send but stamps the RPC correlation envelope (net/rpc.h).
+  void SendRpc(SiteId from, SiteId to, Payload payload, uint64_t rpc_id,
+               bool is_reply);
+
   /// Random per-message loss probability in [0,1].
   void set_loss_probability(double p) { loss_probability_ = p; }
 
@@ -119,6 +135,7 @@ class Network {
   Simulator* sim() { return sim_; }
 
  private:
+  void SendMessage(Message msg);
   void Deliver(Message msg);
   bool SameGroup(SiteId a, SiteId b) const;
 

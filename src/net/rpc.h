@@ -1,0 +1,163 @@
+#ifndef RAINBOW_NET_RPC_H_
+#define RAINBOW_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace rainbow {
+
+/// Retry/timeout policy for one RPC call. Each attempt gets `timeout`
+/// to produce a reply; after a timeout the request is retransmitted with
+/// exponential backoff: delay doubles per retry from `backoff_base` up
+/// to `backoff_cap`, scaled by a deterministic jitter factor drawn
+/// uniformly from [1 - jitter, 1 + jitter]. With `max_attempts == 0`
+/// the call retries forever (used where the protocol must eventually
+/// hear from a recovering peer, e.g. decision queries).
+struct RpcPolicy {
+  SimTime timeout = Millis(80);  ///< per-attempt reply deadline
+  int max_attempts = 3;          ///< total attempts incl. the first; 0 = ∞
+  SimTime backoff_base = Millis(2);
+  SimTime backoff_cap = Millis(200);
+  double jitter = 0.25;
+};
+
+/// Replica-side handle identifying the request a reply answers. Invalid
+/// (rpc_id == 0) for messages that did not arrive as RPC requests, e.g.
+/// one-way sends or raw messages injected by tests.
+struct RpcContext {
+  SiteId from = kInvalidSite;
+  uint64_t rpc_id = 0;
+
+  bool valid() const { return rpc_id != 0; }
+};
+
+/// Delay before retry number `retries_so_far` (1-based) under `policy`:
+/// capped exponential backoff with jitter drawn from `rng`. Shared by
+/// RpcEndpoint and the workload generator's client-level restarts.
+SimTime RetryBackoffDelay(const RpcPolicy& policy, int retries_so_far,
+                          Rng& rng);
+
+/// Result of feeding a delivered message through RpcEndpoint::Accept.
+struct RpcDelivery {
+  /// True if the endpoint fully handled the message (a reply that
+  /// completed a pending call, or a duplicate request that was
+  /// suppressed). The application must not process consumed messages.
+  bool consumed = false;
+  /// Valid iff the message is a fresh RPC request; pass it back to
+  /// Reply() once the application has an answer.
+  RpcContext ctx;
+};
+
+/// One endpoint of the typed RPC sub-layer, layered on Network. Every
+/// site (and the name server) owns one. It plays both roles:
+///
+///  * Client: Call() stamps a correlation id on the request, arms one
+///    per-attempt timer, retransmits with exponential backoff +
+///    deterministic jitter, and reports the reply — or terminal failure
+///    after max_attempts — to the caller as a Result<Payload>. The
+///    correlation id stays stable across retransmissions.
+///  * Replica: Accept() routes delivered messages. Replies complete
+///    pending calls; duplicate requests (retransmissions whose original
+///    arrived) are suppressed via a per-sender window — if the original
+///    was already answered the cached reply is resent, so resent
+///    ReadRequest / PrewriteRequest / Decision messages are idempotent.
+///
+/// Everything is driven by the shared Simulator, and jitter comes from
+/// a forked deterministic Rng, so runs remain reproducible.
+class RpcEndpoint {
+ public:
+  using ReplyCallback = std::function<void(Result<Payload>)>;
+  using LateReplyHandler = std::function<void(const Message&)>;
+
+  RpcEndpoint(Simulator* sim, Network* net, SiteId self, uint64_t seed);
+  ~RpcEndpoint();
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  /// Starts an RPC call to `to`; `cb` fires exactly once with the reply
+  /// payload or a terminal Status, unless the call is cancelled first.
+  /// Returns a call id usable with Cancel().
+  uint64_t Call(SiteId to, Payload request, const RpcPolicy& policy,
+                ReplyCallback cb);
+
+  /// Cancels a pending call without firing its callback. Returns true
+  /// if the call was still pending. Safe on unknown / completed ids.
+  bool Cancel(uint64_t call_id);
+
+  /// Feeds a message delivered to this site through the RPC layer.
+  /// The caller (the site's network handler) should drop messages with
+  /// `consumed == true` and otherwise dispatch normally, threading
+  /// `ctx` through so request handlers can Reply().
+  RpcDelivery Accept(const Message& m);
+
+  /// Sends the reply for a request previously surfaced by Accept() and
+  /// caches it so retransmitted duplicates are re-answered. No-op for
+  /// invalid contexts (callers handle raw-message replies themselves).
+  void Reply(const RpcContext& ctx, Payload payload);
+
+  /// Observes replies that arrive for calls no longer pending (finished
+  /// or cancelled). The RPC layer still consumes them, but the owner may
+  /// need to compensate — e.g. a granted copy-access reply reaching a
+  /// retired coordinator means the replica holds CC state that must be
+  /// released explicitly, or it leaks until an orphan timer fires.
+  void set_late_reply_handler(LateReplyHandler h) {
+    late_reply_ = std::move(h);
+  }
+
+  /// Crash semantics: drops every pending call (no callbacks fire) and
+  /// forgets the duplicate-suppression windows.
+  void Reset();
+
+  size_t pending_calls() const { return calls_.size(); }
+
+ private:
+  struct PendingCall {
+    SiteId to = kInvalidSite;
+    Payload request;
+    RpcPolicy policy;
+    ReplyCallback cb;
+    int attempts = 0;
+    SimTime started_at = 0;
+    TimerHandle timer;
+  };
+
+  /// Replica-side record of a request: in-progress until Reply() caches
+  /// the answer for duplicate resends.
+  struct ServedRequest {
+    bool done = false;
+    Payload reply;
+  };
+
+  /// Per-sender duplicate-suppression window, bounded in size: ids at
+  /// or below `floor` have been evicted and are treated as duplicates.
+  struct SenderWindow {
+    uint64_t floor = 0;
+    std::map<uint64_t, ServedRequest> entries;
+  };
+
+  void SendAttempt(uint64_t call_id);
+  void OnAttemptTimeout(uint64_t call_id);
+  SimTime BackoffDelay(const RpcPolicy& policy, int retries_so_far);
+  void TrimWindow(SenderWindow& w);
+
+  Simulator* sim_;
+  Network* net_;
+  SiteId self_;
+  Rng rng_;
+  uint64_t next_rpc_id_ = 1;
+  LateReplyHandler late_reply_;
+  std::map<uint64_t, PendingCall> calls_;
+  std::unordered_map<SiteId, SenderWindow> windows_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_NET_RPC_H_

@@ -18,8 +18,17 @@ Coordinator::Coordinator(Site* site, TxnId id, TxnTimestamp ts,
       submitted_at_(site->Now()) {}
 
 Coordinator::~Coordinator() {
-  op_timer_.Cancel();
-  vote_timer_.Cancel();
+  // Cancel every outstanding RPC so no callback can touch a destroyed
+  // coordinator (Finish() destroys *this from inside a callback).
+  if (lookup_call_ != 0) site_->rpc().Cancel(lookup_call_);
+  CancelCalls(access_calls_);
+  CancelCalls(vote_calls_);
+  CancelCalls(precommit_calls_);
+}
+
+void Coordinator::CancelCalls(std::map<SiteId, uint64_t>& calls) {
+  for (auto& [s, call] : calls) site_->rpc().Cancel(call);
+  calls.clear();
 }
 
 void Coordinator::Start() {
@@ -105,15 +114,26 @@ void Coordinator::WithView(ItemId item, AfterLookup next) {
     return;
   }
   phase_ = Phase::kLookup;
-  site_->SendTo(kNameServerId, NsLookupRequest{id_, item});
-  op_timer_.Cancel();
-  op_timer_ = site_->env().sim->After(site_->config().op_timeout,
-                                      [this] { OnOpTimeout(); });
+  lookup_call_ = site_->rpc().Call(
+      kNameServerId, NsLookupRequest{id_, item},
+      site_->MakeRpcPolicy(site_->config().op_timeout),
+      [this](Result<Payload> r) { OnLookupResult(std::move(r)); });
+}
+
+void Coordinator::OnLookupResult(Result<Payload> r) {
+  lookup_call_ = 0;
+  if (!r.ok()) {
+    site_->Suspect(kNameServerId);
+    AbortNow(AbortCause::kRcp, "name-server lookup timed out");
+    return;
+  }
+  if (const auto* reply = std::get_if<NsLookupReply>(&*r)) {
+    OnLookupReply(*reply);
+  }
 }
 
 void Coordinator::OnLookupReply(const NsLookupReply& r) {
   if (phase_ != Phase::kLookup || r.item != cur_item_) return;
-  op_timer_.Cancel();
   ++round_trips_;
   if (!r.found) {
     AbortNow(AbortCause::kOther,
@@ -194,27 +214,65 @@ void Coordinator::StartWrite(ItemId item, Value value) {
 }
 
 void Coordinator::SendAccessRequests() {
+  CancelCalls(access_calls_);
+  RpcPolicy policy = site_->MakeRpcPolicy(site_->config().op_timeout);
   for (SiteId s : cur_outstanding_) {
     contacted_.insert(s);
+    Payload request;
     if (cur_is_write_) {
       // Under primary copy, backups skip CC: the primary's lock already
       // serializes conflicting transactions.
       bool skip_cc = cur_cc_site_ != kInvalidSite && s != cur_cc_site_;
-      site_->SendTo(
-          s, PrewriteRequest{id_, ts_, cur_item_, cur_write_value_, skip_cc});
+      request = PrewriteRequest{id_, ts_, cur_item_, cur_write_value_, skip_cc};
     } else {
-      site_->SendTo(s, ReadRequest{id_, ts_, cur_item_});
+      request = ReadRequest{id_, ts_, cur_item_};
     }
+    access_calls_[s] = site_->rpc().Call(
+        s, std::move(request), policy,
+        [this, s](Result<Payload> r) { OnAccessResult(s, std::move(r)); });
   }
-  op_timer_.Cancel();
-  op_timer_ = site_->env().sim->After(site_->config().op_timeout,
-                                      [this] { OnOpTimeout(); });
+}
+
+void Coordinator::OnAccessResult(SiteId from, Result<Payload> r) {
+  access_calls_.erase(from);
+  if (!r.ok()) {
+    OnAccessFailure(from);
+    return;
+  }
+  if (const auto* rr = std::get_if<ReadReply>(&*r)) {
+    OnReadReply(from, *rr);
+  } else if (const auto* pr = std::get_if<PrewriteReply>(&*r)) {
+    OnPrewriteReply(from, *pr);
+  }
+}
+
+void Coordinator::OnAccessFailure(SiteId from) {
+  // The RPC layer exhausted its retries: suspect the target so the next
+  // transactions plan around it, then check whether the quorum is still
+  // attainable without it.
+  site_->Suspect(from);
+  cur_outstanding_.erase(from);
+  if (cur_require_all_) {
+    AbortNow(AbortCause::kRcp,
+             StringPrintf("operation timeout (site %u silent)", from));
+    return;
+  }
+  const ReplicaView* view = FindView(cur_item_);
+  int possible = cur_votes_got_;
+  if (view != nullptr) {
+    for (SiteId s : cur_outstanding_) possible += view->VoteOf(s);
+  }
+  if (possible < cur_votes_needed_) {
+    AbortNow(AbortCause::kRcp,
+             StringPrintf("operation timeout (quorum unattainable after "
+                          "site %u went silent)",
+                          from));
+  }
 }
 
 void Coordinator::OnReadReply(SiteId from, const ReadReply& r) {
   if (phase_ != Phase::kReadOp || r.item != cur_item_ ||
       !cur_outstanding_.contains(from)) {
-    HandleStrayGrant(from, r.granted);
     return;
   }
   ++round_trips_;
@@ -226,22 +284,9 @@ void Coordinator::OnReadReply(SiteId from, const ReadReply& r) {
   AccessGranted(from, r.version, r.value, true);
 }
 
-void Coordinator::HandleStrayGrant(SiteId from, bool granted) {
-  if (!granted) return;
-  // A late grant (e.g. the surplus reply of a broadcast quorum): the
-  // replica holds CC state for us. Fold it into the commit protocol if
-  // that is still possible; otherwise release it immediately.
-  if (!voting()) {
-    participants_.insert(from);
-  } else if (!participants_.contains(from)) {
-    site_->SendTo(from, AbortRequest{id_});
-  }
-}
-
 void Coordinator::OnPrewriteReply(SiteId from, const PrewriteReply& r) {
   if (phase_ != Phase::kWriteOp || r.item != cur_item_ ||
       !cur_outstanding_.contains(from)) {
-    HandleStrayGrant(from, r.granted);
     return;
   }
   ++round_trips_;
@@ -284,10 +329,10 @@ void Coordinator::AccessDenied(SiteId from, DenyReason reason) {
 }
 
 void Coordinator::OpQuorumReached() {
-  op_timer_.Cancel();
   // Surplus broadcast targets that have not answered are released right
-  // away — unless they already participate via an earlier operation, in
-  // which case their eventual grant is folded in by the stray handler.
+  // away: their calls are cancelled (the RPC layer drops any in-flight
+  // reply) and an AbortRequest frees the CC state a late grant holds.
+  CancelCalls(access_calls_);
   for (SiteId s : cur_outstanding_) {
     if (!participants_.contains(s)) {
       site_->SendTo(s, AbortRequest{id_});
@@ -316,23 +361,6 @@ void Coordinator::OpQuorumReached() {
   NextOp();
 }
 
-void Coordinator::OnOpTimeout() {
-  // Whoever did not reply is now suspected; the next transactions will
-  // plan around them.
-  for (SiteId s : cur_outstanding_) site_->Suspect(s);
-  if (phase_ == Phase::kVoting) {
-    OnVoteTimeout();
-    return;
-  }
-  if (phase_ == Phase::kPreCommit) {
-    OnPreCommitTimeout();
-    return;
-  }
-  AbortNow(AbortCause::kRcp,
-           StringPrintf("operation timeout (%zu sites silent)",
-                        cur_outstanding_.size()));
-}
-
 void Coordinator::BeginCommit() {
   if (participants_.empty()) {
     // Nothing was accessed remotely (empty program): trivial commit.
@@ -354,6 +382,7 @@ void Coordinator::BeginCommit() {
                StringPrintf("%s prepare -> %zu participants",
                             id_.ToString().c_str(), plist.size()));
   bool occ = site_->config().cc == CcKind::kOptimistic;
+  RpcPolicy policy = site_->MakeRpcPolicy(site_->config().vote_timeout);
   for (SiteId p : plist) {
     PrepareRequest prep;
     prep.txn = id_;
@@ -376,11 +405,24 @@ void Coordinator::BeginCommit() {
         }
       }
     }
-    site_->SendTo(p, std::move(prep));
+    vote_calls_[p] = site_->rpc().Call(
+        p, std::move(prep), policy,
+        [this, p](Result<Payload> r) { OnVoteResult(p, std::move(r)); });
   }
-  op_timer_.Cancel();
-  vote_timer_ = site_->env().sim->After(site_->config().vote_timeout,
-                                        [this] { OnVoteTimeout(); });
+}
+
+void Coordinator::OnVoteResult(SiteId from, Result<Payload> r) {
+  vote_calls_.erase(from);
+  if (!r.ok()) {
+    // A silent participant cannot have voted YES; 2PC and 3PC phase 1
+    // both decide abort.
+    site_->Suspect(from);
+    Decide(false, AbortCause::kAcp, "vote collection timed out");
+    return;
+  }
+  if (const auto* v = std::get_if<VoteReply>(&*r)) {
+    OnVote(from, *v);
+  }
 }
 
 void Coordinator::OnVote(SiteId from, const VoteReply& v) {
@@ -394,7 +436,6 @@ void Coordinator::OnVote(SiteId from, const VoteReply& v) {
     return;
   }
   if (!votes_->AllYes()) return;
-  vote_timer_.Cancel();
   if (site_->config().acp == AcpKind::kThreePhaseCommit) {
     phase_ = Phase::kPreCommit;
     std::vector<SiteId> remaining = DecisionParticipants();
@@ -403,34 +444,29 @@ void Coordinator::OnVote(SiteId from, const VoteReply& v) {
       Decide(true, AbortCause::kNone, "");
       return;
     }
+    RpcPolicy policy = site_->MakeRpcPolicy(site_->config().vote_timeout);
     for (SiteId p : remaining) {
-      site_->SendTo(p, PreCommitRequest{id_});
+      precommit_calls_[p] = site_->rpc().Call(
+          p, PreCommitRequest{id_}, policy, [this, p](Result<Payload> r) {
+            if (r.ok()) ++round_trips_;
+            // Terminal failure counts as completion too: every
+            // participant voted YES, so a silent one is prepared (or
+            // better) and its termination protocol converges on commit.
+            OnPreCommitResult(p);
+          });
     }
-    vote_timer_ = site_->env().sim->After(site_->config().vote_timeout,
-                                          [this] { OnPreCommitTimeout(); });
     return;
   }
   Decide(true, AbortCause::kNone, "");
 }
 
-void Coordinator::OnPreCommitAck(SiteId from) {
+void Coordinator::OnPreCommitResult(SiteId from) {
+  precommit_calls_.erase(from);
   if (phase_ != Phase::kPreCommit || !precommit_acks_) return;
-  ++round_trips_;
   precommit_acks_->Record(from);
   if (precommit_acks_->Complete()) {
-    vote_timer_.Cancel();
     Decide(true, AbortCause::kNone, "");
   }
-}
-
-void Coordinator::OnVoteTimeout() {
-  Decide(false, AbortCause::kAcp, "vote collection timed out");
-}
-
-void Coordinator::OnPreCommitTimeout() {
-  // All participants voted YES; silent ones are prepared (or better) and
-  // their termination protocol converges on commit. Proceed.
-  Decide(true, AbortCause::kNone, "");
 }
 
 void Coordinator::OnRemoteAbort(const RemoteAbortNotify& n) {
@@ -446,6 +482,14 @@ void Coordinator::OnRemoteAbort(const RemoteAbortNotify& n) {
            std::string("remote abort: ") + DenyReasonName(n.reason));
 }
 
+void Coordinator::OnStrayGrant(SiteId from) {
+  if (!voting()) {
+    participants_.insert(from);
+  } else if (!participants_.contains(from)) {
+    site_->SendTo(from, AbortRequest{id_});
+  }
+}
+
 std::vector<SiteId> Coordinator::DecisionParticipants() const {
   std::vector<SiteId> out;
   for (SiteId p : votes_->participants()) {
@@ -455,8 +499,6 @@ std::vector<SiteId> Coordinator::DecisionParticipants() const {
 }
 
 void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
-  vote_timer_.Cancel();
-  op_timer_.Cancel();
   // Read-only voters already released everything; only the rest take
   // part in the decision round.
   std::vector<SiteId> plist = DecisionParticipants();
@@ -470,9 +512,8 @@ void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
   site_->RememberDecision(id_, commit);
   site_->Trace(TraceCategory::kAcp,
                id_.ToString() + (commit ? " decision: COMMIT" : " decision: ABORT"));
-  for (SiteId p : plist) {
-    site_->SendTo(p, Decision{id_, commit});
-  }
+  // The closer sends the decision to every participant and keeps
+  // resending (via the RPC layer) until each one acks.
   site_->StartCloser(id_, commit, plist);
   if (commit && site_->env().history && site_->env().history->enabled()) {
     site_->env().history->RecordCommit(id_, accesses_);
@@ -481,8 +522,6 @@ void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
 }
 
 void Coordinator::AbortNow(AbortCause cause, std::string detail) {
-  op_timer_.Cancel();
-  vote_timer_.Cancel();
   std::set<SiteId> targets = contacted_;
   for (SiteId p : participants_) targets.insert(p);
   for (SiteId s : targets) {

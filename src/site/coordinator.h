@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "acp/acp_common.h"
+#include "common/result.h"
 #include "net/message.h"
 #include "rcp/rcp_policy.h"
 #include "sim/simulator.h"
@@ -25,6 +26,11 @@ class Site;
 /// done, the coordinator runs the ACP (2PC or 3PC) across all
 /// participant sites; the decision is then handed to the Site's closer,
 /// which collects acks and logs the end record.
+///
+/// Every request/reply exchange (name-server lookup, copy access, vote
+/// collection, pre-commit round) is an RPC call on the site's endpoint:
+/// the RPC layer owns per-attempt timeouts and retransmission, and the
+/// coordinator reacts to replies or terminal failures per target.
 class Coordinator {
  public:
   Coordinator(Site* site, TxnId id, TxnTimestamp ts, TxnProgram program,
@@ -36,13 +42,14 @@ class Coordinator {
 
   void Start();
 
-  // --- reply handlers (dispatched by Site) ---
-  void OnLookupReply(const NsLookupReply& r);
-  void OnReadReply(SiteId from, const ReadReply& r);
-  void OnPrewriteReply(SiteId from, const PrewriteReply& r);
-  void OnVote(SiteId from, const VoteReply& v);
-  void OnPreCommitAck(SiteId from);
+  /// A participant lost our CC state (victim); dispatched by Site.
   void OnRemoteAbort(const RemoteAbortNotify& n);
+
+  /// A late granted copy-access reply (its RPC call was already
+  /// cancelled — e.g. the surplus reply of a broadcast quorum): the
+  /// replica holds CC state for us. Fold it into the commit protocol if
+  /// that is still possible; otherwise release it immediately.
+  void OnStrayGrant(SiteId from);
 
   /// Home site crashed: deliver a site-failure outcome to the client.
   /// The caller destroys the coordinator afterwards.
@@ -95,19 +102,29 @@ class Coordinator {
 
   void StartRead(ItemId item);
   void StartWrite(ItemId item, Value value);
-  void HandleStrayGrant(SiteId from, bool granted);
   void SendAccessRequests();
+  void OnLookupResult(Result<Payload> r);
+  void OnLookupReply(const NsLookupReply& r);
+  void OnAccessResult(SiteId from, Result<Payload> r);
+  /// Terminal RPC failure of one access target: suspect it and abort if
+  /// the quorum can no longer be assembled from the remaining targets.
+  void OnAccessFailure(SiteId from);
+  void OnReadReply(SiteId from, const ReadReply& r);
+  void OnPrewriteReply(SiteId from, const PrewriteReply& r);
   void AccessGranted(SiteId from, Version version, Value value,
                      bool has_value);
   void AccessDenied(SiteId from, DenyReason reason);
   void OpQuorumReached();
-  void OnOpTimeout();
 
   void BeginCommit();
   std::vector<SiteId> DecisionParticipants() const;
-  void OnVoteTimeout();
-  void OnPreCommitTimeout();
+  void OnVoteResult(SiteId from, Result<Payload> r);
+  void OnVote(SiteId from, const VoteReply& v);
+  void OnPreCommitResult(SiteId from);
   void Decide(bool commit, AbortCause cause, std::string detail);
+
+  /// Cancels every outstanding RPC call in `calls` and clears it.
+  void CancelCalls(std::map<SiteId, uint64_t>& calls);
 
   /// Aborts before any prepare was sent: AbortRequests to every
   /// contacted site, then reports the outcome.
@@ -142,7 +159,13 @@ class Coordinator {
   SiteId cur_cc_site_ = kInvalidSite;  ///< primary copy: sole CC arbiter
   std::map<TxnId, SimTime> probe_forwarded_;  ///< per-op probe dedup
   AfterLookup after_lookup_ = AfterLookup::kRead;
-  TimerHandle op_timer_;
+
+  // Outstanding RPC calls (cancelled by the destructor, so no callback
+  // can outlive the coordinator).
+  uint64_t lookup_call_ = 0;
+  std::map<SiteId, uint64_t> access_calls_;
+  std::map<SiteId, uint64_t> vote_calls_;
+  std::map<SiteId, uint64_t> precommit_calls_;
 
   // Transaction-wide state.
   std::map<ItemId, ReplicaView> local_views_;  ///< when schema caching is off
@@ -170,7 +193,6 @@ class Coordinator {
   std::unique_ptr<VoteCollector> votes_;
   std::unique_ptr<AckCollector> precommit_acks_;
   std::set<SiteId> readonly_voters_;
-  TimerHandle vote_timer_;
 };
 
 }  // namespace rainbow

@@ -14,14 +14,22 @@ ParticipantManager::ParticipantManager(Site* site) : site_(site) {}
 ParticipantManager::~ParticipantManager() { Shutdown(); }
 
 void ParticipantManager::Shutdown() {
-  for (auto& [id, t] : txns_) {
-    t.decision_timer.Cancel();
-    t.activity_timer.Cancel();
-    t.window_timer.Cancel();
-    t.wait_timer.Cancel();
-    t.probe_timer.Cancel();
-  }
+  for (auto& [id, t] : txns_) CancelAll(t);
   txns_.clear();
+}
+
+void ParticipantManager::CancelAll(PTxn& t) {
+  t.decision_timer.Cancel();
+  t.activity_timer.Cancel();
+  t.window_timer.Cancel();
+  t.wait_timer.Cancel();
+  t.probe_timer.Cancel();
+  for (uint64_t c : t.query_calls) site_->rpc().Cancel(c);
+  t.query_calls.clear();
+  if (t.coord_query_call != 0) {
+    site_->rpc().Cancel(t.coord_query_call);
+    t.coord_query_call = 0;
+  }
 }
 
 ParticipantManager::PTxn& ParticipantManager::Ensure(TxnId txn,
@@ -75,7 +83,8 @@ void ParticipantManager::ArmProbeTimer(TxnId txn) {
       });
 }
 
-void ParticipantManager::OnRead(SiteId from, const ReadRequest& req) {
+void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
+                                const RpcContext& ctx) {
   PTxn& t = Ensure(req.txn, req.ts, from);
   if (t.state != AcpState::kActive) return;  // stray after prepare
   ArmActivityTimer(t);
@@ -87,7 +96,7 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req) {
   auto decided = std::make_shared<bool>(false);
   site_->cc()->RequestRead(
       id, req.ts, item,
-      [this, id, item, from, decided](const CcGrant& g) {
+      [this, id, item, from, ctx, decided](const CcGrant& g) {
         *decided = true;
         auto it = txns_.find(id);
         if (it == txns_.end()) return;  // aborted while waiting
@@ -113,7 +122,7 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req) {
             }
           }
         }
-        site_->SendTo(from, reply);
+        site_->Respond(ctx, from, reply);
         if (!reply.granted) LocalAbort(id);
       });
   if (!*decided) {
@@ -121,20 +130,22 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req) {
     if (it == txns_.end()) return;  // denied synchronously and cleaned up
     ArmProbeTimer(id);
     it->second.wait_timer = site_->env().sim->After(
-        site_->config().lock_wait_timeout, [this, id, item, from] {
+        site_->config().lock_wait_timeout, [this, id, item, from, ctx] {
           auto it2 = txns_.find(id);
           if (it2 == txns_.end()) return;
           site_->Trace(TraceCategory::kCcp,
                        id.ToString() + " read wait timeout on item " +
                            std::to_string(item));
           LocalAbort(id);
-          site_->SendTo(from, ReadReply{id, item, false,
-                                        DenyReason::kWaitTimeout, 0, 0});
+          site_->Respond(ctx, from,
+                         ReadReply{id, item, false, DenyReason::kWaitTimeout,
+                                   0, 0});
         });
   }
 }
 
-void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req) {
+void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
+                                    const RpcContext& ctx) {
   PTxn& t = Ensure(req.txn, req.ts, from);
   if (t.state != AcpState::kActive) return;
   ArmActivityTimer(t);
@@ -153,14 +164,14 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req) {
     reply.granted = true;
     auto copy = site_->store().Get(item);
     reply.version = copy.ok() ? copy->version : 0;
-    site_->SendTo(from, reply);
+    site_->Respond(ctx, from, reply);
     return;
   }
 
   auto decided = std::make_shared<bool>(false);
   site_->cc()->RequestWrite(
       id, req.ts, item,
-      [this, id, item, value, from, decided](const CcGrant& g) {
+      [this, id, item, value, from, ctx, decided](const CcGrant& g) {
         *decided = true;
         auto it = txns_.find(id);
         if (it == txns_.end()) return;
@@ -176,7 +187,7 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req) {
           auto copy = site_->store().Get(item);
           reply.version = copy.ok() ? copy->version : 0;
         }
-        site_->SendTo(from, reply);
+        site_->Respond(ctx, from, reply);
         if (!reply.granted) LocalAbort(id);
       });
   if (!*decided) {
@@ -184,15 +195,16 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req) {
     if (it == txns_.end()) return;
     ArmProbeTimer(id);
     it->second.wait_timer = site_->env().sim->After(
-        site_->config().lock_wait_timeout, [this, id, item, from] {
+        site_->config().lock_wait_timeout, [this, id, item, from, ctx] {
           auto it2 = txns_.find(id);
           if (it2 == txns_.end()) return;
           site_->Trace(TraceCategory::kCcp,
                        id.ToString() + " write wait timeout on item " +
                            std::to_string(item));
           LocalAbort(id);
-          site_->SendTo(from, PrewriteReply{id, item, false,
-                                            DenyReason::kWaitTimeout, 0});
+          site_->Respond(ctx, from,
+                         PrewriteReply{id, item, false,
+                                       DenyReason::kWaitTimeout, 0});
         });
   }
 }
@@ -204,24 +216,26 @@ void ParticipantManager::OnAbortRequest(const AbortRequest& req) {
       it->second.state == AcpState::kPreCommitted) {
     // A coordinator never plain-aborts a prepared participant, but a
     // recovered one might; treat as an abort decision (logged).
-    ApplyDecision(req.txn, false, kInvalidSite);
+    ApplyDecision(req.txn, false);
     return;
   }
   LocalAbort(req.txn);
 }
 
-void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req) {
+void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
+                                   const RpcContext& ctx) {
   auto it = txns_.find(req.txn);
   if (it == txns_.end()) {
     // We lost this transaction (crash, victim, orphan cleanup): vote NO.
-    site_->SendTo(from, VoteReply{req.txn, false, DenyReason::kUnknownTxn});
+    site_->Respond(ctx, from,
+                   VoteReply{req.txn, false, DenyReason::kUnknownTxn});
     return;
   }
   PTxn& t = it->second;
   if (t.state != AcpState::kActive) {
     // Duplicate prepare; re-vote YES if prepared.
     if (t.state == AcpState::kPrepared || t.state == AcpState::kPreCommitted) {
-      site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone});
+      site_->Respond(ctx, from, VoteReply{req.txn, true, DenyReason::kNone});
     }
     return;
   }
@@ -262,8 +276,8 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req) {
   if (!valid) {
     site_->Trace(TraceCategory::kCcp,
                  req.txn.ToString() + " failed OCC validation");
-    site_->SendTo(from,
-                  VoteReply{req.txn, false, DenyReason::kValidationFailed});
+    site_->Respond(ctx, from,
+                   VoteReply{req.txn, false, DenyReason::kValidationFailed});
     LocalAbort(req.txn);  // releases any commit locks taken above
     return;
   }
@@ -276,7 +290,8 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req) {
     // and drop out of phase 2 (no prepared record, no decision needed).
     site_->Trace(TraceCategory::kAcp,
                  req.txn.ToString() + " voted READ-ONLY (early release)");
-    site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone, true});
+    site_->Respond(ctx, from,
+                   VoteReply{req.txn, true, DenyReason::kNone, true});
     LocalAbort(req.txn);  // releases CC holds; nothing was written
     return;
   }
@@ -299,12 +314,16 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req) {
   t.prepared_at = site_->Now();
   site_->cc()->MarkPrepared(req.txn);
   t.activity_timer.Cancel();
+  // A pending orphan probe no longer applies once prepared.
+  for (uint64_t c : t.query_calls) site_->rpc().Cancel(c);
+  t.query_calls.clear();
   ArmDecisionTimer(t);
   site_->Trace(TraceCategory::kAcp, req.txn.ToString() + " voted YES");
-  site_->SendTo(from, VoteReply{req.txn, true, DenyReason::kNone});
+  site_->Respond(ctx, from, VoteReply{req.txn, true, DenyReason::kNone});
 }
 
-void ParticipantManager::OnPreCommit(SiteId from, const PreCommitRequest& req) {
+void ParticipantManager::OnPreCommit(SiteId from, const PreCommitRequest& req,
+                                     const RpcContext& ctx) {
   auto it = txns_.find(req.txn);
   if (it == txns_.end()) return;
   PTxn& t = it->second;
@@ -318,44 +337,49 @@ void ParticipantManager::OnPreCommit(SiteId from, const PreCommitRequest& req) {
     t.state = AcpState::kPreCommitted;
   }
   ArmDecisionTimer(t);  // reset patience
-  site_->SendTo(from, PreCommitAck{req.txn});
+  site_->Respond(ctx, from, PreCommitAck{req.txn});
 }
 
-void ParticipantManager::OnDecision(SiteId from, const Decision& d) {
+void ParticipantManager::OnDecision(SiteId from, const Decision& d,
+                                    const RpcContext& ctx) {
   auto it = txns_.find(d.txn);
   if (it == txns_.end()) {
     // Already applied (duplicate / resend): ack idempotently.
-    site_->SendTo(from, Ack{d.txn});
+    site_->Respond(ctx, from, Ack{d.txn});
     return;
   }
-  ApplyDecision(d.txn, d.commit, from);
+  ApplyDecision(d.txn, d.commit, ctx, from);
 }
 
-void ParticipantManager::OnDecisionInfo(SiteId from, const DecisionInfo& info) {
+void ParticipantManager::OnDecisionInfo(const DecisionInfo& info) {
   auto it = txns_.find(info.txn);
   if (it == txns_.end()) return;
-  PTxn& t = it->second;
-  if (!info.known) return;  // keep waiting; retry timer is armed
-  if (t.state == AcpState::kActive) {
+  if (!info.known) return;  // keep waiting; query machinery is armed
+  HandleDecisionNews(info.txn, info);
+}
+
+void ParticipantManager::HandleDecisionNews(TxnId txn,
+                                            const DecisionInfo& info) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !info.known) return;
+  if (it->second.state == AcpState::kActive) {
     // Orphan probe answered: the transaction is finished at the
     // coordinator. If it committed, this site's grant was a surplus one
     // (never in the participant list), so its buffered state is simply
     // discarded — the committed write quorum does not include us.
-    LocalAbort(info.txn);
+    LocalAbort(txn);
     return;
   }
-  ApplyDecision(info.txn, info.commit, from);
+  ApplyDecision(txn, info.commit);
 }
 
-void ParticipantManager::ApplyDecision(TxnId txn, bool commit, SiteId ack_to) {
+void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
+                                       const RpcContext& ack_ctx,
+                                       SiteId ack_to) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   PTxn& t = it->second;
-  t.decision_timer.Cancel();
-  t.activity_timer.Cancel();
-  t.window_timer.Cancel();
-  t.wait_timer.Cancel();
-  t.probe_timer.Cancel();
+  CancelAll(t);
 
   site_->mutable_wal().Append(WalRecord{
       commit ? WalRecordKind::kCommitDecision : WalRecordKind::kAbortDecision,
@@ -385,7 +409,9 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit, SiteId ack_to) {
   site_->Trace(TraceCategory::kAcp,
                txn.ToString() + (commit ? " applied COMMIT" : " applied ABORT"));
   txns_.erase(it);
-  if (ack_to != kInvalidSite) {
+  if (ack_ctx.valid()) {
+    site_->Respond(ack_ctx, ack_ctx.from, Ack{txn});
+  } else if (ack_to != kInvalidSite) {
     site_->SendTo(ack_to, Ack{txn});
   }
 }
@@ -393,12 +419,7 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit, SiteId ack_to) {
 void ParticipantManager::LocalAbort(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
-  PTxn& t = it->second;
-  t.decision_timer.Cancel();
-  t.activity_timer.Cancel();
-  t.window_timer.Cancel();
-  t.wait_timer.Cancel();
-  t.probe_timer.Cancel();
+  CancelAll(it->second);
   site_->cc()->Finish(txn, false);
   txns_.erase(it);
 }
@@ -412,11 +433,7 @@ void ParticipantManager::OnCcVictim(TxnId txn, DenyReason reason) {
                    DenyReasonName(reason));
   // The CC engine already dropped the transaction's holds; clean up the
   // rest and tell the home site so the whole transaction aborts.
-  it->second.decision_timer.Cancel();
-  it->second.activity_timer.Cancel();
-  it->second.window_timer.Cancel();
-  it->second.wait_timer.Cancel();
-  it->second.probe_timer.Cancel();
+  CancelAll(it->second);
   txns_.erase(it);
   site_->SendTo(home, RemoteAbortNotify{txn, AbortCause::kCcp, reason});
 }
@@ -435,21 +452,43 @@ void ParticipantManager::OnActivityTimeout(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end() || it->second.state != AcpState::kActive) return;
   PTxn& t = it->second;
-  // Probe the home site: is this transaction still alive?
-  ++t.orphan_queries;
-  if (t.orphan_queries > 3) {
-    // Home unreachable or silent: unilateral abort is safe before
-    // prepare. This is the "orphan transaction" statistic.
-    site_->Trace(TraceCategory::kTxn,
-                 txn.ToString() + " orphan-cleaned at participant");
-    if (site_->env().monitor) {
-      site_->env().monitor->OnOrphanCleanup(txn, site_->id());
+  // One orphan probe RPC to the home site. The RPC layer retries with
+  // backoff; terminal failure means the home is unreachable and the
+  // unprepared transaction can be aborted unilaterally.
+  RpcPolicy policy = site_->MakeRpcPolicy(site_->config().active_timeout);
+  TxnId id = txn;
+  t.query_calls.push_back(site_->rpc().Call(
+      txn.home, DecisionQuery{txn, site_->id()}, policy,
+      [this, id](Result<Payload> r) { OnOrphanQueryResult(id, r); }));
+}
+
+void ParticipantManager::OnOrphanQueryResult(TxnId txn,
+                                             const Result<Payload>& r) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || it->second.state != AcpState::kActive) return;
+  PTxn& t = it->second;
+  if (r.ok()) {
+    if (const auto* info = std::get_if<DecisionInfo>(&*r);
+        info && info->txn == txn && info->known) {
+      HandleDecisionNews(txn, *info);
+      return;
     }
-    LocalAbort(txn);
-    return;
+    // Inconclusive ("still deciding"): give the coordinator more time,
+    // but not forever — a home that can never vouch for the transaction
+    // (e.g. it crashed and lost the coordinator) leaves an orphan.
+    if (++t.orphan_rounds < 3) {
+      ArmActivityTimer(t);
+      return;
+    }
   }
-  site_->SendTo(txn.home, DecisionQuery{txn, site_->id()});
-  ArmActivityTimer(t);
+  // Home unreachable or repeatedly unable to answer: unilateral abort is
+  // safe before prepare. This is the "orphan transaction" statistic.
+  site_->Trace(TraceCategory::kTxn,
+               txn.ToString() + " orphan-cleaned at participant");
+  if (site_->env().monitor) {
+    site_->env().monitor->OnOrphanCleanup(txn, site_->id());
+  }
+  LocalAbort(txn);
 }
 
 void ParticipantManager::OnDecisionTimeout(TxnId txn) {
@@ -464,14 +503,53 @@ void ParticipantManager::OnDecisionTimeout(TxnId txn) {
     return;
   }
   // 2PC: query the coordinator (presumed abort answers authoritatively),
-  // and optionally the peer participants (cooperative termination).
-  site_->SendTo(t.coordinator, DecisionQuery{txn, site_->id()});
+  // and optionally the peer participants (cooperative termination). The
+  // coordinator query retries forever — a prepared participant may only
+  // resolve through the decision — while peer queries are best-effort.
+  TxnId id = txn;
+  if (t.coord_query_call == 0) {
+    RpcPolicy forever = site_->MakeRpcPolicy(site_->config().decision_retry);
+    forever.max_attempts = 0;
+    forever.backoff_cap =
+        std::min(forever.backoff_cap, site_->config().decision_retry);
+    t.coord_query_call = site_->rpc().Call(
+        t.coordinator, DecisionQuery{txn, site_->id()}, forever,
+        [this, id](Result<Payload> r) {
+          auto it2 = txns_.find(id);
+          if (it2 != txns_.end()) it2->second.coord_query_call = 0;
+          OnDecisionQueryResult(id, r);
+        });
+  }
   if (site_->config().cooperative_termination) {
+    RpcPolicy peer_policy =
+        site_->MakeRpcPolicy(site_->config().decision_retry);
     for (SiteId p : t.participants) {
-      if (p != site_->id()) site_->SendTo(p, DecisionQuery{txn, site_->id()});
+      if (p == site_->id()) continue;
+      t.query_calls.push_back(site_->rpc().Call(
+          p, DecisionQuery{txn, site_->id()}, peer_policy,
+          [this, id](Result<Payload> r) { OnDecisionQueryResult(id, r); }));
     }
   }
+}
+
+void ParticipantManager::OnDecisionQueryResult(TxnId txn,
+                                               const Result<Payload>& r) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  PTxn& t = it->second;
+  if (t.state != AcpState::kPrepared && t.state != AcpState::kPreCommitted) {
+    return;
+  }
+  if (!r.ok()) return;  // peer unreachable; other queries keep going
+  const auto* info = std::get_if<DecisionInfo>(&*r);
+  if (!info || info->txn != txn) return;
+  if (info->known) {
+    HandleDecisionNews(txn, *info);
+    return;
+  }
+  // "Still deciding": pace the next query round.
   TxnId id = txn;
+  t.decision_timer.Cancel();
   t.decision_timer = site_->env().sim->After(
       site_->config().decision_retry, [this, id] { OnDecisionTimeout(id); });
 }
@@ -486,32 +564,46 @@ void ParticipantManager::StartTerminationRound(TxnId txn) {
   t.peer_states[site_->id()] = t.state;
   site_->Trace(TraceCategory::kAcp,
                txn.ToString() + " starting 3PC termination round");
-  for (SiteId p : t.participants) {
-    if (p != site_->id()) site_->SendTo(p, StateQuery{txn, site_->id()});
-  }
+  // One single-attempt StateQuery RPC per peer; silence within the
+  // window is treated as "no state" when the round closes.
+  RpcPolicy policy = site_->MakeRpcPolicy(site_->config().termination_window);
+  policy.max_attempts = 1;
   TxnId id = txn;
+  for (SiteId p : t.participants) {
+    if (p == site_->id()) continue;
+    t.query_calls.push_back(site_->rpc().Call(
+        p, StateQuery{txn, site_->id()}, policy,
+        [this, id, p](Result<Payload> r) {
+          if (!r.ok()) return;
+          if (const auto* reply = std::get_if<StateReply>(&*r);
+              reply && reply->txn == id) {
+            OnTerminationStateReply(id, p, reply->state);
+          }
+        }));
+  }
   t.window_timer = site_->env().sim->After(
       site_->config().termination_window,
       [this, id] { FinishTerminationRound(id); });
 }
 
-void ParticipantManager::OnStateReply(SiteId from, const StateReply& reply) {
-  auto it = txns_.find(reply.txn);
+void ParticipantManager::OnTerminationStateReply(TxnId txn, SiteId from,
+                                                 AcpState state) {
+  auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   PTxn& t = it->second;
   if (!t.termination_running) return;
-  t.peer_states[from] = reply.state;
+  t.peer_states[from] = state;
   // A peer that already knows the decision short-circuits the round.
-  if (reply.state == AcpState::kCommitted) {
+  if (state == AcpState::kCommitted) {
     t.window_timer.Cancel();
     t.termination_running = false;
-    ApplyDecision(reply.txn, true, kInvalidSite);
+    ApplyDecision(txn, true);
     return;
   }
-  if (reply.state == AcpState::kAborted) {
+  if (state == AcpState::kAborted) {
     t.window_timer.Cancel();
     t.termination_running = false;
-    ApplyDecision(reply.txn, false, kInvalidSite);
+    ApplyDecision(txn, false);
     return;
   }
 }
@@ -521,6 +613,8 @@ void ParticipantManager::FinishTerminationRound(TxnId txn) {
   if (it == txns_.end()) return;
   PTxn& t = it->second;
   t.termination_running = false;
+  for (uint64_t c : t.query_calls) site_->rpc().Cancel(c);
+  t.query_calls.clear();
 
   // Leadership: the lowest-id responder leads; everyone else re-arms and
   // waits for that site's decision.
@@ -546,11 +640,10 @@ void ParticipantManager::FinishTerminationRound(TxnId txn) {
     std::vector<SiteId> peers = t.participants;
     site_->mutable_wal().Append(WalRecord{WalRecordKind::kAbortDecision, txn,
                                           t.coordinator, {}, peers, true});
-    for (SiteId p : peers) {
-      if (p != site_->id()) site_->SendTo(p, Decision{txn, false});
-    }
+    // The closer's Decision RPCs notify the peers (and retry until
+    // acked); our own copy is applied directly.
     site_->StartCloser(txn, false, peers);
-    ApplyDecision(txn, false, kInvalidSite);
+    ApplyDecision(txn, false);
     return;
   }
   // Commit path: first move every live peer (and ourselves) to the
@@ -577,11 +670,8 @@ void ParticipantManager::FinishTerminationCommit(TxnId txn) {
   std::vector<SiteId> peers = t.participants;
   site_->mutable_wal().Append(WalRecord{WalRecordKind::kCommitDecision, txn,
                                         t.coordinator, {}, peers, true});
-  for (SiteId p : peers) {
-    if (p != site_->id()) site_->SendTo(p, Decision{txn, true});
-  }
   site_->StartCloser(txn, true, peers);
-  ApplyDecision(txn, true, kInvalidSite);
+  ApplyDecision(txn, true);
 }
 
 void ParticipantManager::ReinstateInDoubt(const WalRecord& prepared,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "net/rpc.h"
 #include "sim/simulator.h"
 #include "storage/wal.h"
 #include "txn/transaction.h"
@@ -20,6 +21,13 @@ class Site;
 /// orphan cleanup. All of its state is volatile — Site::Crash() destroys
 /// the manager; prepared transactions are reinstated from the WAL at
 /// recovery.
+///
+/// Request handlers receive the RpcContext of the incoming request and
+/// answer through Site::Respond, so replies correlate with their
+/// request (and retransmitted requests are answered idempotently by the
+/// RPC layer). Its own recovery queries (decision queries, cooperative
+/// peer queries, 3PC state queries) are RPC calls; the remaining timers
+/// are patience/pacing timers, not resend loops.
 class ParticipantManager {
  public:
   explicit ParticipantManager(Site* site);
@@ -29,14 +37,18 @@ class ParticipantManager {
   ParticipantManager& operator=(const ParticipantManager&) = delete;
 
   // --- message handlers (dispatched by Site) ---
-  void OnRead(SiteId from, const ReadRequest& req);
-  void OnPrewrite(SiteId from, const PrewriteRequest& req);
+  void OnRead(SiteId from, const ReadRequest& req, const RpcContext& ctx);
+  void OnPrewrite(SiteId from, const PrewriteRequest& req,
+                  const RpcContext& ctx);
   void OnAbortRequest(const AbortRequest& req);
-  void OnPrepare(SiteId from, const PrepareRequest& req);
-  void OnPreCommit(SiteId from, const PreCommitRequest& req);
-  void OnDecision(SiteId from, const Decision& d);
-  void OnDecisionInfo(SiteId from, const DecisionInfo& info);
-  void OnStateReply(SiteId from, const StateReply& reply);
+  void OnPrepare(SiteId from, const PrepareRequest& req,
+                 const RpcContext& ctx);
+  void OnPreCommit(SiteId from, const PreCommitRequest& req,
+                   const RpcContext& ctx);
+  void OnDecision(SiteId from, const Decision& d, const RpcContext& ctx);
+  /// Raw (non-RPC) decision info; RPC replies run through the query
+  /// callbacks and land in HandleDecisionNews directly.
+  void OnDecisionInfo(const DecisionInfo& info);
 
   /// Local commit-protocol state of `txn`, for answering StateQuery.
   AcpState StateOf(TxnId txn) const;
@@ -50,7 +62,8 @@ class ParticipantManager {
   /// immediately starts the decision/termination machinery.
   void ReinstateInDoubt(const WalRecord& prepared, bool precommitted);
 
-  /// Cancels every timer (site crash). The manager is unusable after.
+  /// Cancels every timer and pending RPC call (site crash). The manager
+  /// is unusable after.
   void Shutdown();
 
   size_t size() const { return txns_.size(); }
@@ -66,12 +79,21 @@ class ParticipantManager {
     std::map<ItemId, Version> versions;  ///< final versions (from prepare)
     std::vector<SiteId> participants;
     SimTime prepared_at = 0;
-    TimerHandle decision_timer;
-    TimerHandle activity_timer;
-    TimerHandle window_timer;
+    TimerHandle decision_timer;  ///< patience before querying for a decision
+    TimerHandle activity_timer;  ///< idle bound before the orphan probe
+    TimerHandle window_timer;    ///< 3PC termination round window
     TimerHandle wait_timer;  ///< bounds the current CC wait (one op at a time)
     TimerHandle probe_timer;  ///< edge-chasing: fires a deadlock probe
-    int orphan_queries = 0;
+    /// Outstanding recovery RPCs (decision/state queries); cancelled
+    /// whenever the transaction resolves.
+    std::vector<uint64_t> query_calls;
+    /// The one retry-forever DecisionQuery to the coordinator (2PC);
+    /// nonzero while outstanding so rounds do not stack duplicates.
+    uint64_t coord_query_call = 0;
+    /// Inconclusive orphan-probe rounds ("still deciding" answers); a
+    /// third one means the home cannot vouch for the transaction and it
+    /// is cleaned up as an orphan.
+    int orphan_rounds = 0;
     /// 3PC termination: collected peer states for the current round.
     std::map<SiteId, AcpState> peer_states;
     bool termination_running = false;
@@ -80,12 +102,17 @@ class ParticipantManager {
   PTxn& Ensure(TxnId txn, TxnTimestamp ts, SiteId coordinator);
 
   /// Applies a learned decision: installs/discards buffered writes,
-  /// releases CC state, logs, acks `ack_to` (if valid), erases the txn.
-  void ApplyDecision(TxnId txn, bool commit, SiteId ack_to);
+  /// releases CC state, logs, acks through `ack_ctx` (RPC) or to
+  /// `ack_to` (raw), erases the txn.
+  void ApplyDecision(TxnId txn, bool commit, const RpcContext& ack_ctx = {},
+                     SiteId ack_to = kInvalidSite);
 
   /// Aborts local state without a coordinator decision (victim, orphan
   /// cleanup). Does not ack anyone.
   void LocalAbort(TxnId txn);
+
+  /// Cancels every timer and outstanding query call of `t`.
+  void CancelAll(PTxn& t);
 
   void ArmActivityTimer(PTxn& t);
   void ArmDecisionTimer(PTxn& t);
@@ -94,8 +121,15 @@ class ParticipantManager {
   void ArmProbeTimer(TxnId txn);
   void OnActivityTimeout(TxnId txn);
   void OnDecisionTimeout(TxnId txn);
+  /// Completion of the orphan probe RPC fired by the activity timeout.
+  void OnOrphanQueryResult(TxnId txn, const Result<Payload>& r);
+  /// Completion of a 2PC decision query (coordinator or peer).
+  void OnDecisionQueryResult(TxnId txn, const Result<Payload>& r);
+  /// Acts on a decision-query answer (or a raw DecisionInfo).
+  void HandleDecisionNews(TxnId txn, const DecisionInfo& info);
   /// 3PC: runs (or defers) a termination round.
   void StartTerminationRound(TxnId txn);
+  void OnTerminationStateReply(TxnId txn, SiteId from, AcpState state);
   void FinishTerminationRound(TxnId txn);
   /// 3PC termination leader, second phase: all live peers were moved to
   /// pre-commit; broadcast and apply the commit decision.

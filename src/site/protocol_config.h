@@ -70,6 +70,16 @@ struct ProtocolConfig {
   /// Edge-chasing deadlock detection: how long a CC wait must last
   /// before probes are emitted (and the re-probe period).
   SimTime probe_delay = Millis(8);
+
+  // --- RPC sub-layer (net/rpc.h) ---
+  /// Attempts (first transmission + retries) an RPC makes before
+  /// reporting terminal failure to its caller.
+  int rpc_max_attempts = 3;
+  /// First retry backoff; doubles per retry (with jitter) up to
+  /// rpc_backoff_cap.
+  SimTime rpc_backoff_base = Millis(2);
+  /// Upper bound on the exponential retry backoff.
+  SimTime rpc_backoff_cap = Millis(200);
 };
 
 }  // namespace rainbow

@@ -10,6 +10,9 @@ namespace rainbow {
 
 Site::Site(SiteId id, Env env) : id_(id), env_(env) {
   assert(env_.sim && env_.net && env_.config);
+  rpc_ = std::make_unique<RpcEndpoint>(env_.sim, env_.net, id_, env_.seed);
+  rpc_->set_late_reply_handler(
+      [this](const Message& m) { OnLateRpcReply(m); });
   BuildVolatileState();
 }
 
@@ -39,13 +42,38 @@ void Site::LoadItem(ItemId item, Value initial) {
 void Site::Start() {
   if (started_) return;
   started_ = true;
-  env_.net->RegisterHandler(id_, [this](const Message& m) { HandleMessage(m); });
+  env_.net->RegisterHandler(id_, [this](const Message& m) {
+    if (crashed_) return;  // belt and braces; the network already drops
+    // Hearing from a site clears its suspicion — any message counts,
+    // including RPC replies the endpoint consumes below.
+    suspected_until_.erase(m.from);
+    RpcDelivery d = rpc_->Accept(m);
+    if (d.consumed) return;  // completed a call / suppressed a duplicate
+    HandleMessage(m, d.ctx);
+  });
 }
 
 SimTime Site::Now() const { return env_.sim->Now(); }
 
 void Site::SendTo(SiteId to, Payload payload) {
   env_.net->Send(id_, to, std::move(payload));
+}
+
+RpcPolicy Site::MakeRpcPolicy(SimTime timeout) const {
+  RpcPolicy p;
+  p.timeout = timeout;
+  p.max_attempts = config().rpc_max_attempts;
+  p.backoff_base = config().rpc_backoff_base;
+  p.backoff_cap = config().rpc_backoff_cap;
+  return p;
+}
+
+void Site::Respond(const RpcContext& ctx, SiteId to, Payload payload) {
+  if (ctx.valid()) {
+    rpc_->Reply(ctx, std::move(payload));
+  } else {
+    SendTo(to, std::move(payload));
+  }
 }
 
 void Site::Trace(TraceCategory cat, const std::string& text) {
@@ -157,8 +185,8 @@ void Site::Crash() {
   participants_->Shutdown();
   participants_.reset();
   cc_.reset();
-  for (auto& [txn, closer] : closers_) closer.retry.Cancel();
   closers_.clear();
+  rpc_->Reset();  // drops every pending call and the duplicate windows
   decided_cache_.clear();
   schema_cache_.clear();
   suspected_until_.clear();
@@ -201,9 +229,6 @@ void Site::Recover() {
   // finished acknowledging.
   for (const auto& d : wal_.DecidedUnended()) {
     StartCloser(d.txn, d.commit, d.participants);
-    for (SiteId p : d.participants) {
-      SendTo(p, Decision{d.txn, d.commit});
-    }
   }
   // Refresh item copies from a live peer.
   if (env_.config->recovery_refresh) {
@@ -243,77 +268,33 @@ void Site::SetRefreshPeers(std::set<SiteId> peers) {
 // Message handling
 // ---------------------------------------------------------------------------
 
-template <typename T>
-void Site::ToCoordinator(const Message& m, const T& payload) {
-  auto it = coordinators_.find(payload.txn);
-  if (it == coordinators_.end()) {
-    // Late reply for a finished transaction. A granted access means the
-    // replica holds CC state that would otherwise leak until its orphan
-    // timer fires; tell it to abort right away when the transaction is
-    // known-aborted (a known-committed transaction's replicas get the
-    // decision from the closer).
-    if constexpr (std::is_same_v<T, ReadReply> ||
-                  std::is_same_v<T, PrewriteReply>) {
-      auto decided = KnownDecision(payload.txn);
-      if (payload.granted && (!decided.has_value() || !*decided)) {
-        SendTo(m.from, AbortRequest{payload.txn});
-      }
-    }
-    return;
-  }
-  Coordinator* c = it->second.get();
-  if constexpr (std::is_same_v<T, NsLookupReply>) {
-    c->OnLookupReply(payload);
-  } else if constexpr (std::is_same_v<T, ReadReply>) {
-    c->OnReadReply(m.from, payload);
-  } else if constexpr (std::is_same_v<T, PrewriteReply>) {
-    c->OnPrewriteReply(m.from, payload);
-  } else if constexpr (std::is_same_v<T, VoteReply>) {
-    c->OnVote(m.from, payload);
-  } else if constexpr (std::is_same_v<T, PreCommitAck>) {
-    c->OnPreCommitAck(m.from);
-  } else if constexpr (std::is_same_v<T, RemoteAbortNotify>) {
-    c->OnRemoteAbort(payload);
-  }
-}
-
-void Site::HandleMessage(const Message& m) {
-  if (crashed_) return;  // belt and braces; the network already drops
-  // Hearing from a site clears its suspicion.
-  suspected_until_.erase(m.from);
-
+void Site::HandleMessage(const Message& m, const RpcContext& ctx) {
   std::visit(
       [&](const auto& p) {
         using T = std::decay_t<decltype(p)>;
-        if constexpr (std::is_same_v<T, NsLookupReply> ||
-                      std::is_same_v<T, ReadReply> ||
-                      std::is_same_v<T, PrewriteReply> ||
-                      std::is_same_v<T, VoteReply> ||
-                      std::is_same_v<T, PreCommitAck> ||
-                      std::is_same_v<T, RemoteAbortNotify>) {
-          ToCoordinator(m, p);
-        } else if constexpr (std::is_same_v<T, ReadRequest>) {
-          participants_->OnRead(m.from, p);
+        if constexpr (std::is_same_v<T, ReadRequest>) {
+          participants_->OnRead(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, PrewriteRequest>) {
-          participants_->OnPrewrite(m.from, p);
+          participants_->OnPrewrite(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, AbortRequest>) {
           participants_->OnAbortRequest(p);
         } else if constexpr (std::is_same_v<T, PrepareRequest>) {
-          participants_->OnPrepare(m.from, p);
+          participants_->OnPrepare(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, PreCommitRequest>) {
-          participants_->OnPreCommit(m.from, p);
+          participants_->OnPreCommit(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, Decision>) {
-          participants_->OnDecision(m.from, p);
+          participants_->OnDecision(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, DecisionInfo>) {
-          participants_->OnDecisionInfo(m.from, p);
-        } else if constexpr (std::is_same_v<T, StateReply>) {
-          participants_->OnStateReply(m.from, p);
+          // Raw (non-RPC) decision info; normal replies arrive through
+          // the participant's query-call callbacks.
+          participants_->OnDecisionInfo(p);
+        } else if constexpr (std::is_same_v<T, RemoteAbortNotify>) {
+          auto it = coordinators_.find(p.txn);
+          if (it != coordinators_.end()) it->second->OnRemoteAbort(p);
         } else if constexpr (std::is_same_v<T, DecisionQuery>) {
-          HandleDecisionQuery(m.from, p);
+          HandleDecisionQuery(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, StateQuery>) {
-          HandleStateQuery(m.from, p);
-        } else if constexpr (std::is_same_v<T, Ack>) {
-          HandleAck(m.from, p);
+          HandleStateQuery(m.from, p, ctx);
         } else if constexpr (std::is_same_v<T, RefreshRequest>) {
           HandleRefreshRequest(m.from, p);
         } else if constexpr (std::is_same_v<T, RefreshReply>) {
@@ -322,14 +303,50 @@ void Site::HandleMessage(const Message& m) {
           HandleDeadlockProbe(p);
         } else if constexpr (std::is_same_v<T, DeadlockProbeCheck>) {
           HandleDeadlockProbeCheck(p);
-        } else if constexpr (std::is_same_v<T, NsLookupRequest>) {
-          // Sites are not the name server; ignore.
+        } else {
+          // Reply kinds (NsLookupReply, ReadReply, PrewriteReply,
+          // VoteReply, PreCommitAck, StateReply, Ack) reach their
+          // callers through the RPC layer; a raw copy (e.g. injected by
+          // a test, or a surplus termination ack) is ignored.
+          // NsLookupRequest: sites are not the name server.
         }
       },
       m.payload);
 }
 
-void Site::HandleDecisionQuery(SiteId from, const DecisionQuery& q) {
+void Site::OnLateRpcReply(const Message& m) {
+  // A reply whose call already finished or was cancelled. Most are
+  // harmless (surplus votes, stale lookups), but a granted copy access
+  // means the replica holds CC state on our behalf: if the transaction
+  // can still use it, fold it into the commit protocol; otherwise tell
+  // the replica to abort right away, or its locks sit until an orphan
+  // timer fires. (A known-committed transaction's replicas get the
+  // decision from the closer.)
+  TxnId txn;
+  bool granted = false;
+  if (const auto* r = std::get_if<ReadReply>(&m.payload)) {
+    txn = r->txn;
+    granted = r->granted;
+  } else if (const auto* p = std::get_if<PrewriteReply>(&m.payload)) {
+    txn = p->txn;
+    granted = p->granted;
+  } else {
+    return;
+  }
+  if (!granted) return;
+  auto it = coordinators_.find(txn);
+  if (it != coordinators_.end()) {
+    it->second->OnStrayGrant(m.from);
+    return;
+  }
+  auto decided = KnownDecision(txn);
+  if (!decided.has_value() || !*decided) {
+    SendTo(m.from, AbortRequest{txn});
+  }
+}
+
+void Site::HandleDecisionQuery(SiteId from, const DecisionQuery& q,
+                               const RpcContext& ctx) {
   DecisionInfo info;
   info.txn = q.txn;
   auto decided = KnownDecision(q.txn);
@@ -347,18 +364,12 @@ void Site::HandleDecisionQuery(SiteId from, const DecisionQuery& q) {
   } else {
     info.known = false;
   }
-  SendTo(from, info);
+  Respond(ctx, from, info);
 }
 
-void Site::HandleStateQuery(SiteId from, const StateQuery& q) {
-  SendTo(from, StateReply{q.txn, participants_->StateOf(q.txn)});
-}
-
-void Site::HandleAck(SiteId from, const Ack& a) {
-  auto it = closers_.find(a.txn);
-  if (it == closers_.end()) return;
-  it->second.acks->Record(from);
-  CloserMaybeFinish(a.txn);
+void Site::HandleStateQuery(SiteId from, const StateQuery& q,
+                            const RpcContext& ctx) {
+  Respond(ctx, from, StateReply{q.txn, participants_->StateOf(q.txn)});
 }
 
 void Site::HandleRefreshRequest(SiteId from, const RefreshRequest& r) {
@@ -448,44 +459,45 @@ void Site::HandleDeadlockProbeCheck(const DeadlockProbeCheck& p) {
 
 void Site::StartCloser(TxnId txn, bool commit,
                        std::vector<SiteId> participants) {
-  Closer closer;
-  closer.commit = commit;
-  closer.acks = std::make_unique<AckCollector>(std::move(participants));
-  auto [it, inserted] = closers_.insert_or_assign(txn, std::move(closer));
+  auto [it, inserted] = closers_.insert_or_assign(txn, Closer{});
   (void)inserted;
-  TxnId id = txn;
-  it->second.retry = env_.sim->After(env_.config->ack_retry,
-                                     [this, id] { CloserResend(id); });
-}
-
-void Site::CloserResend(TxnId txn) {
-  auto it = closers_.find(txn);
-  if (it == closers_.end()) return;
   Closer& closer = it->second;
-  if (closer.acks->Complete()) {
-    CloserMaybeFinish(txn);
-    return;
-  }
-  if (++closer.resends > env_.config->max_ack_resends) {
-    // Leave completion to the participants' own recovery machinery.
-    Trace(TraceCategory::kAcp,
-          txn.ToString() + " closer gave up resending (participant down)");
+  closer.commit = commit;
+  for (SiteId p : participants) closer.pending.insert(p);
+  if (closer.pending.empty()) {
+    wal_.Append(WalRecord{WalRecordKind::kEnd, txn, id_, {}, {}, false});
+    Trace(TraceCategory::kAcp, txn.ToString() + " fully acknowledged (end)");
     closers_.erase(it);
     return;
   }
-  for (SiteId p : closer.acks->Missing()) {
-    SendTo(p, Decision{txn, closer.commit});
+  // One Decision RPC per participant: the RPC layer resends until the
+  // ack arrives, pacing resends at ack_retry and giving up after
+  // max_ack_resends retransmissions.
+  RpcPolicy policy = MakeRpcPolicy(env_.config->ack_retry);
+  policy.max_attempts = env_.config->max_ack_resends + 1;
+  policy.backoff_cap = std::min(policy.backoff_cap, env_.config->ack_retry);
+  for (SiteId p : closer.pending) {
+    closer.calls[p] = rpc_->Call(
+        p, Decision{txn, commit}, policy,
+        [this, txn, p](Result<Payload> r) { OnCloserReply(txn, p, r.ok()); });
   }
-  TxnId id = txn;
-  closer.retry = env_.sim->After(env_.config->ack_retry,
-                                 [this, id] { CloserResend(id); });
 }
 
-void Site::CloserMaybeFinish(TxnId txn) {
+void Site::OnCloserReply(TxnId txn, SiteId participant, bool ok) {
   auto it = closers_.find(txn);
   if (it == closers_.end()) return;
-  if (!it->second.acks->Complete()) return;
-  it->second.retry.Cancel();
+  Closer& closer = it->second;
+  closer.calls.erase(participant);
+  if (!ok) {
+    // Leave completion to the participants' own recovery machinery.
+    Trace(TraceCategory::kAcp,
+          txn.ToString() + " closer gave up resending (participant down)");
+    for (auto& [s, call] : closer.calls) rpc_->Cancel(call);
+    closers_.erase(it);
+    return;
+  }
+  closer.pending.erase(participant);
+  if (!closer.pending.empty()) return;
   wal_.Append(WalRecord{WalRecordKind::kEnd, txn, id_, {}, {}, false});
   Trace(TraceCategory::kAcp, txn.ToString() + " fully acknowledged (end)");
   closers_.erase(it);

@@ -11,6 +11,7 @@
 #include "common/trace.h"
 #include "common/types.h"
 #include "net/network.h"
+#include "net/rpc.h"
 #include "rcp/rcp_policy.h"
 #include "site/participant.h"
 #include "site/protocol_config.h"
@@ -30,12 +31,17 @@ class Coordinator;
 /// per transaction"), and serves as an RCP/ACP participant for
 /// transactions homed elsewhere.
 ///
+/// All request/reply messaging runs through the site's RpcEndpoint
+/// (net/rpc.h): outgoing requests carry correlation ids and retry with
+/// backoff; incoming duplicates are suppressed. One-way messages
+/// (aborts, notifies, refresh, deadlock probes) use plain sends.
+///
 /// Crash semantics: Crash() destroys all volatile state (CC engine,
-/// participant and coordinator records, schema cache, timers) and stops
-/// network delivery; the LocalStore and Wal persist. Recover() rebuilds
-/// the volatile state, reinstates in-doubt transactions from the WAL,
-/// re-propagates unfinished decisions, and optionally refreshes item
-/// copies from a live peer.
+/// participant and coordinator records, schema cache, timers, pending
+/// RPC calls) and stops network delivery; the LocalStore and Wal
+/// persist. Recover() rebuilds the volatile state, reinstates in-doubt
+/// transactions from the WAL, re-propagates unfinished decisions, and
+/// optionally refreshes item copies from a live peer.
 class Site {
  public:
   /// Shared infrastructure injected by RainbowSystem.
@@ -46,6 +52,7 @@ class Site {
     ProgressMonitor* monitor = nullptr;
     HistoryRecorder* history = nullptr;
     const ProtocolConfig* config = nullptr;
+    uint64_t seed = 0;  ///< system seed; forked per site for RPC jitter
   };
 
   Site(SiteId id, Env env);
@@ -98,6 +105,16 @@ class Site {
   void SendTo(SiteId to, Payload payload);
   void Trace(TraceCategory cat, const std::string& text);
 
+  /// The site's RPC endpoint (request/reply messaging).
+  RpcEndpoint& rpc() { return *rpc_; }
+  /// An RpcPolicy with the given per-attempt timeout and the configured
+  /// rpc_max_attempts / rpc_backoff_* knobs.
+  RpcPolicy MakeRpcPolicy(SimTime timeout) const;
+  /// Replies through the RPC layer when `ctx` is valid (the request
+  /// arrived as an RPC), else falls back to a plain send to `to` (raw
+  /// requests, e.g. injected by tests).
+  void Respond(const RpcContext& ctx, SiteId to, Payload payload);
+
   Wal& mutable_wal() { return wal_; }
 
   /// Crude failure detector: sites that recently timed out on us.
@@ -114,8 +131,8 @@ class Site {
   std::optional<bool> KnownDecision(TxnId txn) const;
   void RememberDecision(TxnId txn, bool commit);
 
-  /// Registers the post-decision "closer": resends the decision until
-  /// every participant acks, then logs kEnd.
+  /// Registers the post-decision "closer": one Decision RPC per
+  /// participant (the RPC layer retries until acked), then logs kEnd.
   void StartCloser(TxnId txn, bool commit, std::vector<SiteId> participants);
 
   /// Called by a Coordinator when it is completely finished.
@@ -126,30 +143,25 @@ class Site {
  private:
   friend class Coordinator;
 
-  void HandleMessage(const Message& m);
-  void HandleDecisionQuery(SiteId from, const DecisionQuery& q);
-  void HandleStateQuery(SiteId from, const StateQuery& q);
+  void HandleMessage(const Message& m, const RpcContext& ctx);
+  void OnLateRpcReply(const Message& m);
+  void HandleDecisionQuery(SiteId from, const DecisionQuery& q,
+                           const RpcContext& ctx);
+  void HandleStateQuery(SiteId from, const StateQuery& q,
+                        const RpcContext& ctx);
   void HandleRefreshRequest(SiteId from, const RefreshRequest& r);
   void HandleRefreshReply(const RefreshReply& r);
-  void HandleAck(SiteId from, const Ack& a);
   void HandleDeadlockProbe(const DeadlockProbe& p);
   void HandleDeadlockProbeCheck(const DeadlockProbeCheck& p);
-
-  /// Routes a coordinator-bound payload; if the coordinator is gone and
-  /// the payload is a granted access, tells the replica to abort.
-  template <typename T>
-  void ToCoordinator(const Message& m, const T& payload);
 
   void BuildVolatileState();
 
   struct Closer {
     bool commit = false;
-    std::unique_ptr<AckCollector> acks;
-    TimerHandle retry;
-    int resends = 0;
+    std::set<SiteId> pending;            ///< participants not yet acked
+    std::map<SiteId, uint64_t> calls;    ///< outstanding Decision RPCs
   };
-  void CloserResend(TxnId txn);
-  void CloserMaybeFinish(TxnId txn);
+  void OnCloserReply(TxnId txn, SiteId participant, bool ok);
   void RequestRefresh();
 
   SiteId id_;
@@ -160,6 +172,10 @@ class Site {
   // Durable state.
   LocalStore store_;
   Wal wal_;
+
+  // The RPC endpoint outlives coordinators/participants (their
+  // destructors cancel pending calls), so it is declared first.
+  std::unique_ptr<RpcEndpoint> rpc_;
 
   // Volatile state (rebuilt on recovery).
   std::unique_ptr<CcEngine> cc_;

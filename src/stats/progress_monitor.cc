@@ -127,6 +127,16 @@ std::string ProgressMonitor::RenderStatistics(const NetworkStats& net,
   t.AddRow({"messages delivered", TablePrinter::Cell(net.delivered).text});
   t.AddRow({"messages dropped", TablePrinter::Cell(net.total_dropped()).text});
   t.AddRow({"message bytes", TablePrinter::Cell(net.bytes).text});
+  t.AddRow({"rpc calls", TablePrinter::Cell(net.rpc_calls).text});
+  t.AddRow({"rpc attempts", TablePrinter::Cell(net.rpc_attempts).text});
+  t.AddRow({"rpc retries", TablePrinter::Cell(net.rpc_retries).text});
+  t.AddRow({"rpc timeouts", TablePrinter::Cell(net.rpc_timeouts).text});
+  t.AddRow({"rpc terminal failures", TablePrinter::Cell(net.rpc_failures).text});
+  t.AddRow({"rpc duplicates suppressed",
+            TablePrinter::Cell(net.rpc_duplicates_suppressed).text});
+  t.AddRow({"mean rpc latency (us)",
+            FormatDouble(net.rpc_latency.count() > 0 ? net.rpc_latency.mean() : 0,
+                         0)});
   double secs = static_cast<double>(duration) / 1e6;
   t.AddRow({"messages per second",
             FormatDouble(secs > 0 ? static_cast<double>(net.network_sent()) / secs : 0, 1)});

@@ -144,7 +144,12 @@ void WorkloadGenerator::OnOutcome(const TxnOutcome& outcome,
         outcome.ts.site != kInvalidSite) {
       inherit = outcome.ts;
     }
-    system_->sim().After(config_.retry_backoff,
+    // Capped exponential backoff (with jitter) between restarts: rapid
+    // retry storms under contention re-collide; spreading the restarts
+    // lets the conflicting winners drain first.
+    SimTime backoff = RetryBackoffDelay(config_.retry_backoff,
+                                        static_cast<int>(attempt) + 1, rng_);
+    system_->sim().After(backoff,
                          [this, program = std::move(program), attempt,
                           inherit] {
                            SubmitProgram(program, attempt + 1, inherit);

@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/rpc.h"
 #include "txn/transaction.h"
 
 namespace rainbow {
@@ -56,7 +57,13 @@ struct WorkloadConfig {
   /// Automatic restarts: an aborted transaction is resubmitted up to
   /// this many times. 0 disables restarts.
   uint32_t max_retries = 0;
-  SimTime retry_backoff = Millis(5);
+  /// Client-level restart pacing: capped exponential backoff with
+  /// jitter, indexed by the attempt number. Shares the RPC layer's
+  /// policy/backoff machinery (timeout and max_attempts are unused at
+  /// this level — max_retries above bounds the restarts).
+  RpcPolicy retry_backoff{/*timeout=*/Millis(0), /*max_attempts=*/0,
+                          /*backoff_base=*/Millis(5),
+                          /*backoff_cap=*/Millis(80), /*jitter=*/0.5};
   /// Restarts keep the original timestamp (wait-die / wound-wait
   /// fairness: a restarted transaction keeps ageing instead of forever
   /// being the youngest victim).

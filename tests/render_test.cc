@@ -158,6 +158,30 @@ TEST(NetworkStatsTest, RenderSummarizes) {
   EXPECT_EQ(stats.per_site_delivered.at(1), 1u);
 }
 
+TEST(NetworkStatsTest, RenderListsPerSiteDeliveriesInSiteOrder) {
+  NetworkStats stats;
+  // Deliver in scrambled site order; the render must not depend on
+  // unordered_map iteration order.
+  for (SiteId to : {SiteId{7}, SiteId{2}, kNameServerId, SiteId{5},
+                    SiteId{2}}) {
+    Message m;
+    m.from = 0;
+    m.to = to;
+    m.payload = Ack{TxnId{0, 1}};
+    stats.RecordSend(m, Millis(1), 60);
+    stats.RecordDeliver(m);
+  }
+  std::string out = stats.Render();
+  size_t line = out.find("per-site delivered:");
+  ASSERT_NE(line, std::string::npos);
+  std::string tail = out.substr(line);
+  tail = tail.substr(0, tail.find('\n'));
+  EXPECT_EQ(tail, "per-site delivered: s2=2 s5=1 s7=1 ns=1");
+  size_t s2 = tail.find("s2="), s5 = tail.find("s5="), s7 = tail.find("s7=");
+  EXPECT_LT(s2, s5);
+  EXPECT_LT(s5, s7);
+}
+
 TEST(TraceLogTest, CapacityBounded) {
   TraceLog log;
   log.set_enabled(true);

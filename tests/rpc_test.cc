@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/system.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace rainbow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Backoff policy
+// ---------------------------------------------------------------------------
+
+TEST(RpcPolicyTest, BackoffIsCappedExponential) {
+  Rng rng(1);
+  RpcPolicy p;
+  p.backoff_base = Millis(2);
+  p.backoff_cap = Millis(20);
+  p.jitter = 0;  // deterministic
+  EXPECT_EQ(RetryBackoffDelay(p, 1, rng), Millis(2));
+  EXPECT_EQ(RetryBackoffDelay(p, 2, rng), Millis(4));
+  EXPECT_EQ(RetryBackoffDelay(p, 3, rng), Millis(8));
+  EXPECT_EQ(RetryBackoffDelay(p, 4, rng), Millis(16));
+  EXPECT_EQ(RetryBackoffDelay(p, 5, rng), Millis(20));  // capped
+  EXPECT_EQ(RetryBackoffDelay(p, 50, rng), Millis(20));
+}
+
+TEST(RpcPolicyTest, JitterStaysWithinBounds) {
+  Rng rng(7);
+  RpcPolicy p;
+  p.backoff_base = Millis(8);
+  p.backoff_cap = Millis(8);
+  p.jitter = 0.25;
+  for (int i = 0; i < 200; ++i) {
+    SimTime d = RetryBackoffDelay(p, 3, rng);
+    EXPECT_GE(d, Millis(6));
+    EXPECT_LE(d, Millis(10));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint behaviour on a two-node network
+// ---------------------------------------------------------------------------
+
+/// A client endpoint at site 0 and an echo server at site 1 with a
+/// fixed, deterministic one-way delay.
+struct RpcHarness {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<RpcEndpoint> client;
+  std::unique_ptr<RpcEndpoint> server;
+  int server_requests = 0;
+  int late_replies = 0;
+
+  explicit RpcHarness(SimTime one_way) {
+    LatencyConfig lat;
+    lat.distribution = LatencyDistribution::kFixed;
+    lat.mean = one_way;
+    lat.min = 0;
+    lat.per_kb = 0;
+    net = std::make_unique<Network>(&sim, lat, Rng(99), nullptr);
+    client = std::make_unique<RpcEndpoint>(&sim, net.get(), 0, 1);
+    server = std::make_unique<RpcEndpoint>(&sim, net.get(), 1, 2);
+    client->set_late_reply_handler(
+        [this](const Message&) { ++late_replies; });
+    net->RegisterHandler(0, [this](const Message& m) { client->Accept(m); });
+    net->RegisterHandler(1, [this](const Message& m) {
+      RpcDelivery d = server->Accept(m);
+      if (d.consumed) return;
+      ++server_requests;
+      server->Reply(d.ctx, Ack{std::get<AbortRequest>(m.payload).txn});
+    });
+  }
+};
+
+TEST(RpcEndpointTest, CallCompletesWithReply) {
+  RpcHarness h(Millis(2));
+  RpcPolicy policy;
+  int callbacks = 0;
+  h.client->Call(1, AbortRequest{TxnId{0, 7}}, policy,
+                 [&](Result<Payload> r) {
+                   ++callbacks;
+                   ASSERT_TRUE(r.ok());
+                   EXPECT_EQ(std::get<Ack>(*r).txn, (TxnId{0, 7}));
+                 });
+  h.sim.RunToQuiescence();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(h.server_requests, 1);
+  EXPECT_EQ(h.net->stats().rpc_calls, 1u);
+  EXPECT_EQ(h.net->stats().rpc_attempts, 1u);
+  EXPECT_EQ(h.net->stats().rpc_retries, 0u);
+  EXPECT_EQ(h.net->stats().rpc_latency.count(), 1u);
+  EXPECT_EQ(h.client->pending_calls(), 0u);
+}
+
+TEST(RpcEndpointTest, SlowNetworkForcesRetriesButOneCallbackAndOneService) {
+  // One-way delay (30ms) far exceeds the per-attempt timeout (10ms):
+  // every attempt "times out" yet eventually arrives. The server must
+  // serve the request once (duplicates suppressed, cached reply
+  // resent), and the client must see exactly one callback; the surplus
+  // cached replies surface as late replies and are dropped.
+  RpcHarness h(Millis(30));
+  RpcPolicy policy;
+  policy.timeout = Millis(10);
+  policy.max_attempts = 0;  // retry until the reply lands
+  policy.backoff_base = Millis(2);
+  policy.jitter = 0;
+  int callbacks = 0;
+  h.client->Call(1, AbortRequest{TxnId{1, 3}}, policy,
+                 [&](Result<Payload> r) {
+                   ++callbacks;
+                   EXPECT_TRUE(r.ok());
+                 });
+  h.sim.RunToQuiescence();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(h.server_requests, 1) << "duplicate requests reached the app";
+  const NetworkStats& st = h.net->stats();
+  EXPECT_GT(st.rpc_retries, 0u);
+  EXPECT_GT(st.rpc_timeouts, 0u);
+  EXPECT_GT(st.rpc_duplicates_suppressed, 0u);
+  EXPECT_GT(h.late_replies, 0) << "cached resends should arrive late";
+  EXPECT_EQ(st.rpc_failures, 0u);
+  EXPECT_EQ(h.client->pending_calls(), 0u);
+}
+
+TEST(RpcEndpointTest, TerminalFailureAfterMaxAttempts) {
+  RpcHarness h(Millis(2));
+  h.net->SetSiteUp(1, false);  // server unreachable: every attempt is lost
+  RpcPolicy policy;
+  policy.timeout = Millis(5);
+  policy.max_attempts = 3;
+  policy.jitter = 0;
+  std::optional<Status> failure;
+  h.client->Call(1, AbortRequest{TxnId{0, 1}}, policy,
+                 [&](Result<Payload> r) {
+                   ASSERT_FALSE(r.ok());
+                   failure = r.status();
+                 });
+  h.sim.RunToQuiescence();
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_EQ(h.net->stats().rpc_attempts, 3u);
+  EXPECT_EQ(h.net->stats().rpc_failures, 1u);
+  EXPECT_EQ(h.client->pending_calls(), 0u);
+}
+
+TEST(RpcEndpointTest, CancelSuppressesCallbackAndLateReplyIsObserved) {
+  RpcHarness h(Millis(2));
+  RpcPolicy policy;
+  int callbacks = 0;
+  uint64_t id = h.client->Call(1, AbortRequest{TxnId{0, 9}}, policy,
+                               [&](Result<Payload>) { ++callbacks; });
+  EXPECT_TRUE(h.client->Cancel(id));
+  EXPECT_FALSE(h.client->Cancel(id));  // idempotent
+  h.sim.RunToQuiescence();
+  EXPECT_EQ(callbacks, 0);
+  // The server still answered; the reply of the cancelled call reaches
+  // the late-reply observer instead of a callback.
+  EXPECT_EQ(h.server_requests, 1);
+  EXPECT_EQ(h.late_replies, 1);
+}
+
+TEST(RpcEndpointTest, ResetDropsAllPendingCalls) {
+  RpcHarness h(Millis(2));
+  RpcPolicy policy;
+  int callbacks = 0;
+  for (int i = 0; i < 4; ++i) {
+    h.client->Call(1, AbortRequest{TxnId{0, static_cast<uint64_t>(i)}},
+                   policy, [&](Result<Payload>) { ++callbacks; });
+  }
+  EXPECT_EQ(h.client->pending_calls(), 4u);
+  h.client->Reset();  // crash semantics
+  EXPECT_EQ(h.client->pending_calls(), 0u);
+  h.sim.RunToQuiescence();
+  EXPECT_EQ(callbacks, 0);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the full protocol stack over a lossy network
+// ---------------------------------------------------------------------------
+
+TEST(RpcLossyNetworkTest, TransactionsCompleteDespiteLoss) {
+  // 5% of messages vanish. The RPC layer's retransmissions and
+  // duplicate suppression must carry a quorum-consensus / 2PL workload
+  // to completion: every transaction either commits or aborts cleanly.
+  SystemConfig cfg;
+  cfg.seed = 4242;
+  cfg.num_sites = 4;
+  cfg.message_loss = 0.05;
+  cfg.protocols.rcp = RcpKind::kQuorumConsensus;
+  cfg.protocols.cc = CcKind::kTwoPhaseLocking;
+  cfg.AddUniformItems(40, 100, 3);
+  auto sys = RainbowSystem::Create(cfg);
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+
+  WorkloadConfig wl;
+  wl.seed = 17;
+  wl.num_txns = 200;
+  wl.mpl = 6;
+  WorkloadGenerator wlg(&s, wl);
+  bool done = false;
+  wlg.Run([&] { done = true; });
+  s.RunFor(Seconds(60));
+  EXPECT_TRUE(done) << "workload did not drain under loss";
+  s.RunFor(Seconds(3));
+
+  const ProgressMonitor& mon = s.monitor();
+  uint64_t finished = mon.committed() + mon.aborted_total();
+  EXPECT_GE(finished, wlg.submitted())
+      << "transactions vanished instead of committing or aborting";
+  EXPECT_GE(static_cast<double>(finished), 0.99 * 200.0);
+  EXPECT_GT(mon.committed(), 100u);
+  EXPECT_TRUE(s.CheckReplicaConsistency(false).ok());
+
+  // The loss really exercised the retry machinery.
+  const NetworkStats& st = s.net().stats();
+  EXPECT_GT(st.dropped[static_cast<size_t>(DropCause::kRandomLoss)], 0u);
+  EXPECT_GT(st.rpc_retries, 0u);
+  EXPECT_GT(st.rpc_duplicates_suppressed, 0u);
+
+  // And the counters are rendered for operators.
+  std::string stats = mon.RenderStatistics(st, Seconds(60));
+  EXPECT_NE(stats.find("rpc retries"), std::string::npos);
+  EXPECT_NE(stats.find("rpc duplicates suppressed"), std::string::npos);
+  std::string net_render = st.Render();
+  EXPECT_NE(net_render.find("rpc:"), std::string::npos);
+  EXPECT_NE(net_render.find("dup_suppressed="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rainbow

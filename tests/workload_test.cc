@@ -193,6 +193,13 @@ TEST(WorkloadTest, TimestampInheritanceReducesRestartStarvation) {
     cfg.read_fraction = 0.2;
     cfg.max_retries = 25;
     cfg.retry_inherit_timestamp = inherit;
+    // Pin restart pacing to a flat, jitter-free 5ms so the two runs
+    // differ only in timestamp inheritance (exponential pacing would
+    // confound the comparison, and jitter draws would desynchronize the
+    // generator streams between the runs).
+    cfg.retry_backoff.backoff_base = Millis(5);
+    cfg.retry_backoff.backoff_cap = Millis(5);
+    cfg.retry_backoff.jitter = 0.0;
     WorkloadGenerator wlg(sys->get(), cfg);
     bool done = false;
     wlg.Run([&] { done = true; });
