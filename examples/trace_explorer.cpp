@@ -1,0 +1,147 @@
+// Trace explorer: runs a workload against a configured Rainbow instance
+// with structured tracing at full detail, then shows what the trace
+// subsystem can answer — the per-transaction summary, the ASCII
+// timeline of the most contended transaction (the "execution window"
+// view of the paper's GUI), and a Chrome trace_event JSON export that
+// loads in chrome://tracing or https://ui.perfetto.dev.
+//
+// Build & run:  ./build/examples/trace_explorer [config.rainbow]
+//                   [--txns N] [--out trace.json] [--selfdiff]
+//
+// --selfdiff runs the same seeded configuration twice and diffs the two
+// exports byte-for-byte; CI uses it as the determinism regression gate
+// (exit status 1 on any divergence).
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/system.h"
+#include "stats/trace_export.h"
+#include "workload/workload.h"
+
+using namespace rainbow;
+
+namespace {
+
+Result<SystemConfig> LoadConfig(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot open " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return SystemConfig::FromText(text.str());
+}
+
+/// The transaction whose timeline is most instructive: most CC blocks,
+/// ties broken towards more events.
+TxnId MostContended(const TraceCollector& c) {
+  TxnId best;
+  size_t best_blocks = 0, best_events = 0;
+  for (TxnId txn : c.Transactions()) {
+    std::vector<TraceRecord> events = c.ForTxn(txn);
+    size_t blocks = 0;
+    for (const TraceRecord& r : events) {
+      if (r.kind == TraceEventKind::kCcBlock) ++blocks;
+    }
+    if (!best.valid() || blocks > best_blocks ||
+        (blocks == best_blocks && events.size() > best_events)) {
+      best = txn;
+      best_blocks = blocks;
+      best_events = events.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path =
+      std::string(RAINBOW_SOURCE_DIR) + "/configs/classroom_default.rainbow";
+  std::string out_path;
+  uint32_t num_txns = 30;
+  bool selfdiff = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--selfdiff") {
+      selfdiff = true;
+    } else if (arg == "--txns" && i + 1 < argc) {
+      num_txns = static_cast<uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      config_path = arg;
+    } else {
+      std::cerr << "usage: trace_explorer [config.rainbow] [--txns N] "
+                   "[--out trace.json] [--selfdiff]\n";
+      return 2;
+    }
+  }
+
+  auto loaded = LoadConfig(config_path);
+  if (!loaded.ok()) {
+    std::cerr << "config: " << loaded.status() << "\n";
+    return 1;
+  }
+  SystemConfig cfg = *loaded;
+  cfg.trace_enabled = true;
+  cfg.trace_detail = TraceDetail::kFull;
+
+  WorkloadConfig wl;
+  wl.seed = cfg.seed;
+  wl.num_txns = num_txns;
+  wl.mpl = 4;
+  wl.max_retries = 3;
+
+  if (selfdiff) {
+    auto diff = SameSeedTraceDiff(cfg, wl);
+    if (!diff.ok()) {
+      std::cerr << "selfdiff: " << diff.status() << "\n";
+      return 1;
+    }
+    std::cout << "same-seed trace diff: " << diff->Describe() << "\n";
+    return diff->identical ? 0 : 1;
+  }
+
+  auto created = RainbowSystem::Create(cfg);
+  if (!created.ok()) {
+    std::cerr << "create failed: " << created.status() << "\n";
+    return 1;
+  }
+  RainbowSystem& sys = **created;
+  WorkloadGenerator gen(&sys, wl);
+  gen.Run();
+  sys.RunToQuiescence();
+
+  const TraceCollector& trace = sys.collector();
+  std::cout << "config: " << config_path << "\n";
+  std::cout << "transactions: " << gen.completed() << " completed, "
+            << gen.retries() << " retries, " << trace.records().size()
+            << " trace events\n\n";
+
+  std::cout << "--- per-transaction summary ---\n"
+            << RenderTraceSummary(trace) << "\n";
+
+  TxnId pick = MostContended(trace);
+  if (pick.valid()) {
+    std::cout << "--- most contended transaction ---\n"
+              << RenderTxnTimeline(trace, pick) << "\n";
+  }
+
+  std::cout << "--- execution window (tail) ---\n"
+            << ProgressMonitor::RenderExecutionWindow(trace, 20);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << ChromeTraceJson(trace);
+    std::cout << "\nwrote Chrome trace to " << out_path
+              << " (load it in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  return 0;
+}

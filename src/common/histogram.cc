@@ -94,13 +94,16 @@ double Histogram::stddev() const {
 int64_t Histogram::Percentile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The rank-1 element is the minimum, but a bucket's upper edge can
+  // exceed it; answer q=0 exactly rather than through the buckets.
+  if (q == 0.0) return min_;
   uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
   if (rank == 0) rank = 1;
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
     if (seen >= rank) {
-      return std::min(BucketUpper(b), max_);
+      return std::clamp(BucketUpper(b), min_, max_);
     }
   }
   return max_;

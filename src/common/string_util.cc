@@ -44,6 +44,22 @@ Result<int64_t> ParseInt(std::string_view s) {
   return static_cast<int64_t>(v);
 }
 
+Result<uint64_t> ParseUint64(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return Status::InvalidArgument("empty integer");
+  std::string buf(s);
+  if (buf[0] == '-') {
+    return Status::InvalidArgument("negative: '" + buf + "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
 Result<double> ParseDouble(std::string_view s) {
   s = TrimWhitespace(s);
   if (s.empty()) return Status::InvalidArgument("empty number");

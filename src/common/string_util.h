@@ -20,6 +20,10 @@ std::string_view TrimWhitespace(std::string_view s);
 /// Parses a signed decimal integer; the whole string must be consumed.
 Result<int64_t> ParseInt(std::string_view s);
 
+/// Parses an unsigned decimal integer covering the full uint64 range
+/// (ParseInt rejects values above INT64_MAX — e.g. large RNG seeds).
+Result<uint64_t> ParseUint64(std::string_view s);
+
 /// Parses a floating-point number; the whole string must be consumed.
 Result<double> ParseDouble(std::string_view s);
 

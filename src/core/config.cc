@@ -79,6 +79,8 @@ std::string SystemConfig::ToText() const {
   os << "enable_trace = " << (enable_trace ? "true" : "false") << "\n";
   os << "record_history = " << (record_history ? "true" : "false") << "\n";
   os << "stats_bucket = " << stats_bucket << "\n";
+  os << "trace_enabled = " << (trace_enabled ? "true" : "false") << "\n";
+  os << "trace_detail = " << TraceDetailName(trace_detail) << "\n";
   os << "\n[network]\n";
   os << "distribution = " << LatencyDistributionName(latency.distribution)
      << "\n";
@@ -160,8 +162,8 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
 
   if (section == "system") {
     if (key == "seed") {
-      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
-      cfg.seed = static_cast<uint64_t>(v);
+      // Full uint64 range: RNG seeds above INT64_MAX must reload.
+      RAINBOW_ASSIGN_OR_RETURN(cfg.seed, ParseUint64(value));
     } else if (key == "num_sites") {
       RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
       cfg.num_sites = static_cast<uint32_t>(v);
@@ -171,6 +173,18 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(cfg.record_history, as_bool());
     } else if (key == "stats_bucket") {
       RAINBOW_ASSIGN_OR_RETURN(cfg.stats_bucket, as_int());
+    } else if (key == "trace_enabled") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.trace_enabled, as_bool());
+    } else if (key == "trace_detail") {
+      if (value == "off") {
+        cfg.trace_detail = TraceDetail::kOff;
+      } else if (value == "protocol") {
+        cfg.trace_detail = TraceDetail::kProtocol;
+      } else if (value == "full") {
+        cfg.trace_detail = TraceDetail::kFull;
+      } else {
+        return Status::InvalidArgument("unknown trace_detail: " + value);
+      }
     } else {
       return Status::InvalidArgument("unknown [system] key: " + key);
     }

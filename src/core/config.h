@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "net/latency_model.h"
 #include "site/protocol_config.h"
@@ -42,6 +43,13 @@ struct SystemConfig {
   bool enable_trace = false;
   bool record_history = false;
   SimTime stats_bucket = Millis(100);
+
+  /// Structured per-transaction tracing (TraceCollector). Off by default:
+  /// the collector adds zero allocations to the message hot path when
+  /// disabled. `trace_detail` selects protocol-level events only or the
+  /// full feed including per-message send/receive/drop records.
+  bool trace_enabled = false;
+  TraceDetail trace_detail = TraceDetail::kProtocol;
 
   /// Adds `count` items named "x0".."x<count-1>", each with
   /// `replication_degree` copies placed round-robin across the sites,

@@ -20,6 +20,8 @@ Result<std::unique_ptr<RainbowSystem>> RainbowSystem::Create(
 
 Status RainbowSystem::Init() {
   trace_.set_enabled(config_.enable_trace);
+  collector_.set_detail(config_.trace_enabled ? config_.trace_detail
+                                              : TraceDetail::kOff);
   history_.set_enabled(config_.record_history);
   monitor_.set_bucket_width(config_.stats_bucket);
 
@@ -27,6 +29,7 @@ Status RainbowSystem::Init() {
   net_ = std::make_unique<Network>(&sim_, config_.latency, root.Fork(),
                                    &trace_);
   net_->set_loss_probability(config_.message_loss);
+  net_->set_collector(&collector_);
   net_->set_verify_codec(config_.verify_codec);
   net_->stats().bucket_width = config_.stats_bucket;
 
@@ -57,6 +60,7 @@ Status RainbowSystem::Init() {
   env.sim = &sim_;
   env.net = net_.get();
   env.trace = &trace_;
+  env.collector = &collector_;
   env.monitor = &monitor_;
   env.history = &history_;
   env.config = &config_.protocols;

@@ -40,6 +40,8 @@ class RainbowSystem {
   size_t num_sites() const { return sites_.size(); }
   ProgressMonitor& monitor() { return monitor_; }
   TraceLog& trace() { return trace_; }
+  TraceCollector& collector() { return collector_; }
+  const TraceCollector& collector() const { return collector_; }
   HistoryRecorder& history() { return history_; }
   const Catalog& catalog() const { return catalog_; }
   const SystemConfig& config() const { return config_; }
@@ -85,6 +87,7 @@ class RainbowSystem {
   SystemConfig config_;
   Simulator sim_;
   TraceLog trace_;
+  TraceCollector collector_;
   Rng client_rng_;
   ProgressMonitor monitor_;
   HistoryRecorder history_;

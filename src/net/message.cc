@@ -211,12 +211,14 @@ size_t PayloadSizeBytes(const Payload& p) {
 namespace {
 
 /// Extracts the TxnId from payloads that carry one; returns invalid id
-/// for refresh messages.
+/// for refresh messages. Probes are attributed to their initiator.
 struct TxnVisitor {
   template <typename T>
   TxnId operator()(const T& t) const {
     if constexpr (requires { t.txn; }) {
       return t.txn;
+    } else if constexpr (requires { t.initiator; }) {
+      return t.initiator;
     } else {
       return TxnId{};
     }
@@ -225,8 +227,10 @@ struct TxnVisitor {
 
 }  // namespace
 
+TxnId PayloadTxnId(const Payload& p) { return std::visit(TxnVisitor{}, p); }
+
 std::string Message::Describe() const {
-  TxnId txn = std::visit(TxnVisitor{}, payload);
+  TxnId txn = PayloadTxnId(payload);
   std::string out = MessageKindName(kind());
   if (txn.valid()) {
     out += " ";

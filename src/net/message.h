@@ -273,6 +273,11 @@ using Payload =
 /// Returns the MessageKind tag for a payload.
 MessageKind MessageKindOf(const Payload& p);
 
+/// The transaction a payload belongs to, or an invalid TxnId for
+/// payloads that are not transaction-scoped (refresh traffic). Deadlock
+/// probes are attributed to the initiator whose cycle they chase.
+TxnId PayloadTxnId(const Payload& p);
+
 /// Approximate wire size in bytes, for byte-traffic statistics.
 size_t PayloadSizeBytes(const Payload& p);
 

@@ -77,13 +77,14 @@ std::string NetworkStats::Render() const {
   os << "\n";
   os << StringPrintf(
       "rpc: calls=%llu attempts=%llu retries=%llu timeouts=%llu "
-      "failures=%llu dup_suppressed=%llu\n",
+      "failures=%llu dup_suppressed=%llu stale_readmitted=%llu\n",
       static_cast<unsigned long long>(rpc_calls),
       static_cast<unsigned long long>(rpc_attempts),
       static_cast<unsigned long long>(rpc_retries),
       static_cast<unsigned long long>(rpc_timeouts),
       static_cast<unsigned long long>(rpc_failures),
-      static_cast<unsigned long long>(rpc_duplicates_suppressed));
+      static_cast<unsigned long long>(rpc_duplicates_suppressed),
+      static_cast<unsigned long long>(rpc_stale_readmitted));
   if (rpc_latency.count() > 0) {
     os << "rpc latency (us): " << rpc_latency.Summary() << "\n";
   }
@@ -109,6 +110,19 @@ std::string NetworkStats::Render() const {
 Network::Network(Simulator* sim, LatencyConfig latency, Rng rng,
                  TraceLog* trace)
     : sim_(sim), latency_(latency, rng.Fork()), rng_(rng), trace_(trace) {}
+
+void Network::EmitMessageEvent(TraceEventKind kind, const Message& m,
+                               SiteId at, const char* note) {
+  std::string detail = MessageKindName(m.kind());
+  if (note[0] != '\0') {
+    detail += " ";
+    detail += note;
+  }
+  collector_->Emit(TraceRecord{sim_->Now(), kind, PayloadTxnId(m.payload), at,
+                               at == m.from ? m.to : m.from, kInvalidItem,
+                               static_cast<int64_t>(m.rpc_id),
+                               std::move(detail)});
+}
 
 void Network::RegisterHandler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
@@ -214,6 +228,10 @@ void Network::SendMessage(Message msg) {
       trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                      "DROP(source down) " + msg.Describe());
     }
+    if (collector_ && collector_->full()) {
+      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+                       DropCauseName(DropCause::kSourceDown));
+    }
     return;
   }
   if (msg.from != msg.to && loss_probability_ > 0 &&
@@ -223,6 +241,10 @@ void Network::SendMessage(Message msg) {
       trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                      "DROP(random) " + msg.Describe());
     }
+    if (collector_ && collector_->full()) {
+      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+                       DropCauseName(DropCause::kRandomLoss));
+    }
     return;
   }
 
@@ -230,6 +252,9 @@ void Network::SendMessage(Message msg) {
   if (trace_ && trace_->enabled()) {
     trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                    "SEND " + msg.Describe());
+  }
+  if (collector_ && collector_->full()) {
+    EmitMessageEvent(TraceEventKind::kMsgSend, msg, msg.from, "");
   }
   sim_->After(delay, [this, msg = std::move(msg)]() mutable {
     Deliver(std::move(msg));
@@ -245,12 +270,20 @@ void Network::Deliver(Message msg) {
       trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
                      "DROP(dest down) " + msg.Describe());
     }
+    if (collector_ && collector_->full()) {
+      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+                       DropCauseName(DropCause::kDestinationDown));
+    }
     return;
   }
   if (msg.from != msg.to) {
     auto key = std::minmax(msg.from, msg.to);
     if (down_links_.contains({key.first, key.second})) {
       stats_.RecordDrop(DropCause::kLinkDown);
+      if (collector_ && collector_->full()) {
+        EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+                         DropCauseName(DropCause::kLinkDown));
+      }
       return;
     }
     if (!SameGroup(msg.from, msg.to)) {
@@ -258,6 +291,10 @@ void Network::Deliver(Message msg) {
       if (trace_ && trace_->enabled()) {
         trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
                        "DROP(partition) " + msg.Describe());
+      }
+      if (collector_ && collector_->full()) {
+        EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+                         DropCauseName(DropCause::kPartition));
       }
       return;
     }
@@ -271,6 +308,9 @@ void Network::Deliver(Message msg) {
   if (trace_ && trace_->enabled()) {
     trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
                    "RECV " + msg.Describe());
+  }
+  if (collector_ && collector_->full()) {
+    EmitMessageEvent(TraceEventKind::kMsgRecv, msg, msg.to, "");
   }
   it->second(msg);
 }

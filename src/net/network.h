@@ -59,6 +59,10 @@ struct NetworkStats {
   uint64_t rpc_timeouts = 0;
   uint64_t rpc_failures = 0;
   uint64_t rpc_duplicates_suppressed = 0;
+  /// Retransmissions whose id had been evicted from the suppression
+  /// window (so no cached reply existed) and were served again rather
+  /// than silently dropped.
+  uint64_t rpc_stale_readmitted = 0;
   /// End-to-end latency (first send to reply) of successful RPC calls.
   Histogram rpc_latency;
 
@@ -134,15 +138,23 @@ class Network {
 
   Simulator* sim() { return sim_; }
 
+  /// Structured tracing: at kFull detail every send/recv/drop is
+  /// recorded against the payload's transaction. Optional; null
+  /// disables. No cost on the hot path below kFull.
+  void set_collector(TraceCollector* c) { collector_ = c; }
+
  private:
   void SendMessage(Message msg);
   void Deliver(Message msg);
+  void EmitMessageEvent(TraceEventKind kind, const Message& m, SiteId at,
+                        const char* note);
   bool SameGroup(SiteId a, SiteId b) const;
 
   Simulator* sim_;
   LatencyModel latency_;
   Rng rng_;
   TraceLog* trace_;
+  TraceCollector* collector_ = nullptr;
   double loss_probability_ = 0;
   bool verify_codec_ = false;
   uint64_t next_msg_id_ = 1;

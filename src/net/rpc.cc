@@ -53,6 +53,16 @@ void RpcEndpoint::SendAttempt(uint64_t call_id) {
   NetworkStats& stats = net_->stats();
   stats.rpc_attempts++;
   if (c.attempts > 1) stats.rpc_retries++;
+  if (collector_ && collector_->enabled()) {
+    bool retry = c.attempts > 1;
+    if (retry || collector_->full()) {
+      collector_->Emit(TraceRecord{
+          sim_->Now(),
+          retry ? TraceEventKind::kRpcRetry : TraceEventKind::kRpcAttempt,
+          PayloadTxnId(c.request), self_, c.to, kInvalidItem, c.attempts,
+          std::string(MessageKindName(MessageKindOf(c.request)))});
+    }
+  }
   net_->SendRpc(self_, c.to, c.request, call_id, /*is_reply=*/false);
   c.timer = sim_->After(c.policy.timeout,
                         [this, call_id] { OnAttemptTimeout(call_id); });
@@ -66,6 +76,12 @@ void RpcEndpoint::OnAttemptTimeout(uint64_t call_id) {
   stats.rpc_timeouts++;
   if (c.policy.max_attempts > 0 && c.attempts >= c.policy.max_attempts) {
     stats.rpc_failures++;
+    if (collector_ && collector_->enabled()) {
+      collector_->Emit(TraceRecord{
+          sim_->Now(), TraceEventKind::kRpcFailure, PayloadTxnId(c.request),
+          self_, c.to, kInvalidItem, c.attempts,
+          std::string(MessageKindName(MessageKindOf(c.request)))});
+    }
     ReplyCallback cb = std::move(c.cb);
     SiteId to = c.to;
     int attempts = c.attempts;
@@ -123,11 +139,6 @@ RpcDelivery RpcEndpoint::Accept(const Message& m) {
 
   // Request leg: suppress retransmitted duplicates per sender.
   SenderWindow& w = windows_[m.from];
-  if (m.rpc_id <= w.floor) {
-    out.consumed = true;
-    net_->stats().rpc_duplicates_suppressed++;
-    return out;
-  }
   auto it = w.entries.find(m.rpc_id);
   if (it != w.entries.end()) {
     out.consumed = true;
@@ -139,6 +150,15 @@ RpcDelivery RpcEndpoint::Accept(const Message& m) {
                     /*is_reply=*/true);
     }
     return out;
+  }
+  if (m.rpc_id <= w.floor) {
+    // The window rotated past this id and its cached reply is gone. The
+    // sender is still retransmitting, so its call is still pending:
+    // suppressing silently would starve it forever (fatal for
+    // retry-forever calls such as decision queries). Request handlers
+    // are duplicate-tolerant, so re-admit it as a fresh request and let
+    // the application answer again.
+    net_->stats().rpc_stale_readmitted++;
   }
   w.entries[m.rpc_id] = ServedRequest{};
   TrimWindow(w);

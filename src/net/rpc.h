@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -116,6 +117,10 @@ class RpcEndpoint {
   /// forgets the duplicate-suppression windows.
   void Reset();
 
+  /// Structured tracing of retries and terminal failures (and, at full
+  /// detail, every attempt). Optional; null disables.
+  void set_collector(TraceCollector* c) { collector_ = c; }
+
   size_t pending_calls() const { return calls_.size(); }
 
  private:
@@ -151,6 +156,7 @@ class RpcEndpoint {
   Simulator* sim_;
   Network* net_;
   SiteId self_;
+  TraceCollector* collector_ = nullptr;
   Rng rng_;
   uint64_t next_rpc_id_ = 1;
   LateReplyHandler late_reply_;

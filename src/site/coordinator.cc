@@ -182,6 +182,15 @@ void Coordinator::StartRead(ItemId item) {
                StringPrintf("%s read quorum for item %u: %zu targets",
                             id_.ToString().c_str(), item,
                             plan->targets.size()));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kQuorumPlan;
+    rec.txn = id_;
+    rec.item = item;
+    rec.arg = static_cast<int64_t>(plan->targets.size());
+    rec.detail = "read";
+    site_->EmitTrace(std::move(rec));
+  }
   SendAccessRequests();
 }
 
@@ -210,6 +219,15 @@ void Coordinator::StartWrite(ItemId item, Value value) {
                StringPrintf("%s write quorum for item %u: %zu targets",
                             id_.ToString().c_str(), item,
                             plan->targets.size()));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kQuorumPlan;
+    rec.txn = id_;
+    rec.item = item;
+    rec.arg = static_cast<int64_t>(plan->targets.size());
+    rec.detail = "write";
+    site_->EmitTrace(std::move(rec));
+  }
   SendAccessRequests();
 }
 
@@ -329,6 +347,15 @@ void Coordinator::AccessDenied(SiteId from, DenyReason reason) {
 }
 
 void Coordinator::OpQuorumReached() {
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kQuorumReached;
+    rec.txn = id_;
+    rec.item = cur_item_;
+    rec.arg = cur_votes_got_;
+    rec.detail = cur_is_write_ ? "write" : "read";
+    site_->EmitTrace(std::move(rec));
+  }
   // Surplus broadcast targets that have not answered are released right
   // away: their calls are cancelled (the RPC layer drops any in-flight
   // reply) and an AbortRequest frees the CC state a late grant holds.
@@ -381,6 +408,14 @@ void Coordinator::BeginCommit() {
   site_->Trace(TraceCategory::kAcp,
                StringPrintf("%s prepare -> %zu participants",
                             id_.ToString().c_str(), plist.size()));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kPrepare;
+    rec.txn = id_;
+    rec.arg = static_cast<int64_t>(plist.size());
+    rec.detail = three_phase ? "3PC" : "2PC";
+    site_->EmitTrace(std::move(rec));
+  }
   bool occ = site_->config().cc == CcKind::kOptimistic;
   RpcPolicy policy = site_->MakeRpcPolicy(site_->config().vote_timeout);
   for (SiteId p : plist) {
@@ -512,6 +547,13 @@ void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
   site_->RememberDecision(id_, commit);
   site_->Trace(TraceCategory::kAcp,
                id_.ToString() + (commit ? " decision: COMMIT" : " decision: ABORT"));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kDecision;
+    rec.txn = id_;
+    rec.arg = commit ? 1 : 0;
+    site_->EmitTrace(std::move(rec));
+  }
   // The closer sends the decision to every participant and keeps
   // resending (via the RPC layer) until each one acks.
   site_->StartCloser(id_, commit, plist);
@@ -550,6 +592,20 @@ void Coordinator::Finish(bool committed, AbortCause cause,
   }
 
   site_->Trace(TraceCategory::kTxn, outcome.ToString());
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = committed ? TraceEventKind::kTxnCommit : TraceEventKind::kTxnAbort;
+    rec.txn = id_;
+    rec.arg = static_cast<int64_t>(round_trips_);
+    if (!committed) {
+      rec.detail = AbortCauseName(outcome.abort_cause);
+      if (!outcome.abort_detail.empty()) {
+        rec.detail += ": ";
+        rec.detail += outcome.abort_detail;
+      }
+    }
+    site_->EmitTrace(std::move(rec));
+  }
   if (site_->env().monitor) site_->env().monitor->OnComplete(outcome);
   if (cb_) {
     // Deliver asynchronously so client code (e.g. a closed-loop workload

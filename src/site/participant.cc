@@ -32,6 +32,38 @@ void ParticipantManager::CancelAll(PTxn& t) {
   }
 }
 
+void ParticipantManager::EmitCcOutcome(TxnId txn, ItemId item,
+                                       const CcGrant& g) {
+  if (!site_->tracing()) return;
+  TraceRecord rec;
+  rec.kind = g.granted ? TraceEventKind::kCcGrant : TraceEventKind::kCcDeny;
+  rec.txn = txn;
+  rec.item = item;
+  if (!g.granted) rec.detail = DenyReasonName(g.reason);
+  site_->EmitTrace(std::move(rec));
+}
+
+void ParticipantManager::EmitCcBlocked(TxnId txn, ItemId item) {
+  if (!site_->tracing()) return;
+  TraceRecord rec;
+  rec.kind = TraceEventKind::kCcBlock;
+  rec.txn = txn;
+  rec.item = item;
+  site_->EmitTrace(std::move(rec));
+}
+
+void ParticipantManager::EmitVote(TxnId txn, SiteId coordinator, bool yes,
+                                  const char* note) {
+  if (!site_->tracing()) return;
+  TraceRecord rec;
+  rec.kind = TraceEventKind::kVote;
+  rec.txn = txn;
+  rec.peer = coordinator;
+  rec.arg = yes ? 1 : 0;
+  rec.detail = note;
+  site_->EmitTrace(std::move(rec));
+}
+
 ParticipantManager::PTxn& ParticipantManager::Ensure(TxnId txn,
                                                      TxnTimestamp ts,
                                                      SiteId coordinator) {
@@ -91,6 +123,14 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
 
   TxnId id = req.txn;
   ItemId item = req.item;
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kReadRequest;
+    rec.txn = id;
+    rec.peer = from;
+    rec.item = item;
+    site_->EmitTrace(std::move(rec));
+  }
   // Detect whether the CC engine answers synchronously; if not, a
   // lock-wait timer bounds the wait.
   auto decided = std::make_shared<bool>(false);
@@ -102,6 +142,7 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
         if (it == txns_.end()) return;  // aborted while waiting
         it->second.wait_timer.Cancel();
         it->second.probe_timer.Cancel();
+        EmitCcOutcome(id, item, g);
         ReadReply reply;
         reply.txn = id;
         reply.item = item;
@@ -128,6 +169,7 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
   if (!*decided) {
     auto it = txns_.find(id);
     if (it == txns_.end()) return;  // denied synchronously and cleaned up
+    EmitCcBlocked(id, item);
     ArmProbeTimer(id);
     it->second.wait_timer = site_->env().sim->After(
         site_->config().lock_wait_timeout, [this, id, item, from, ctx] {
@@ -153,6 +195,15 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
   TxnId id = req.txn;
   ItemId item = req.item;
   Value value = req.value;
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kPrewriteRequest;
+    rec.txn = id;
+    rec.peer = from;
+    rec.item = item;
+    if (req.skip_cc) rec.detail = "skip_cc";
+    site_->EmitTrace(std::move(rec));
+  }
 
   if (req.skip_cc) {
     // Primary-copy backup path: buffer the write without CC — the
@@ -177,6 +228,7 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
         if (it == txns_.end()) return;
         it->second.wait_timer.Cancel();
         it->second.probe_timer.Cancel();
+        EmitCcOutcome(id, item, g);
         PrewriteReply reply;
         reply.txn = id;
         reply.item = item;
@@ -193,6 +245,7 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
   if (!*decided) {
     auto it = txns_.find(id);
     if (it == txns_.end()) return;
+    EmitCcBlocked(id, item);
     ArmProbeTimer(id);
     it->second.wait_timer = site_->env().sim->After(
         site_->config().lock_wait_timeout, [this, id, item, from, ctx] {
@@ -227,6 +280,7 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
   auto it = txns_.find(req.txn);
   if (it == txns_.end()) {
     // We lost this transaction (crash, victim, orphan cleanup): vote NO.
+    EmitVote(req.txn, from, false, DenyReasonName(DenyReason::kUnknownTxn));
     site_->Respond(ctx, from,
                    VoteReply{req.txn, false, DenyReason::kUnknownTxn});
     return;
@@ -276,6 +330,8 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
   if (!valid) {
     site_->Trace(TraceCategory::kCcp,
                  req.txn.ToString() + " failed OCC validation");
+    EmitVote(req.txn, from, false,
+             DenyReasonName(DenyReason::kValidationFailed));
     site_->Respond(ctx, from,
                    VoteReply{req.txn, false, DenyReason::kValidationFailed});
     LocalAbort(req.txn);  // releases any commit locks taken above
@@ -290,6 +346,7 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
     // and drop out of phase 2 (no prepared record, no decision needed).
     site_->Trace(TraceCategory::kAcp,
                  req.txn.ToString() + " voted READ-ONLY (early release)");
+    EmitVote(req.txn, from, true, "read-only");
     site_->Respond(ctx, from,
                    VoteReply{req.txn, true, DenyReason::kNone, true});
     LocalAbort(req.txn);  // releases CC holds; nothing was written
@@ -319,6 +376,7 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
   t.query_calls.clear();
   ArmDecisionTimer(t);
   site_->Trace(TraceCategory::kAcp, req.txn.ToString() + " voted YES");
+  EmitVote(req.txn, from, true, "");
   site_->Respond(ctx, from, VoteReply{req.txn, true, DenyReason::kNone});
 }
 
@@ -408,6 +466,14 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
       WalRecord{WalRecordKind::kApplied, txn, t.coordinator, {}, {}, false});
   site_->Trace(TraceCategory::kAcp,
                txn.ToString() + (commit ? " applied COMMIT" : " applied ABORT"));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kDecisionApplied;
+    rec.txn = txn;
+    rec.peer = t.coordinator;
+    rec.arg = commit ? 1 : 0;
+    site_->EmitTrace(std::move(rec));
+  }
   txns_.erase(it);
   if (ack_ctx.valid()) {
     site_->Respond(ack_ctx, ack_ctx.from, Ack{txn});
@@ -431,6 +497,14 @@ void ParticipantManager::OnCcVictim(TxnId txn, DenyReason reason) {
   site_->Trace(TraceCategory::kCcp,
                txn.ToString() + std::string(" chosen as CC victim: ") +
                    DenyReasonName(reason));
+  if (site_->tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kCcVictim;
+    rec.txn = txn;
+    rec.peer = home;
+    rec.detail = DenyReasonName(reason);
+    site_->EmitTrace(std::move(rec));
+  }
   // The CC engine already dropped the transaction's holds; clean up the
   // rest and tell the home site so the whole transaction aborts.
   CancelAll(it->second);

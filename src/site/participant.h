@@ -14,6 +14,7 @@
 namespace rainbow {
 
 class Site;
+struct CcGrant;
 
 /// The replica/participant half of a Rainbow site: serves copy accesses
 /// under the local CC engine, buffers prewrites, and runs the
@@ -113,6 +114,12 @@ class ParticipantManager {
 
   /// Cancels every timer and outstanding query call of `t`.
   void CancelAll(PTxn& t);
+
+  /// Structured tracing of the local CC's answer (grant / deny / victim)
+  /// and of a request parked behind a conflict.
+  void EmitCcOutcome(TxnId txn, ItemId item, const CcGrant& g);
+  void EmitCcBlocked(TxnId txn, ItemId item);
+  void EmitVote(TxnId txn, SiteId coordinator, bool yes, const char* note);
 
   void ArmActivityTimer(PTxn& t);
   void ArmDecisionTimer(PTxn& t);

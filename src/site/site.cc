@@ -11,6 +11,7 @@ namespace rainbow {
 Site::Site(SiteId id, Env env) : id_(id), env_(env) {
   assert(env_.sim && env_.net && env_.config);
   rpc_ = std::make_unique<RpcEndpoint>(env_.sim, env_.net, id_, env_.seed);
+  rpc_->set_collector(env_.collector);
   rpc_->set_late_reply_handler(
       [this](const Message& m) { OnLateRpcReply(m); });
   BuildVolatileState();
@@ -80,6 +81,13 @@ void Site::Trace(TraceCategory cat, const std::string& text) {
   if (env_.trace && env_.trace->enabled()) {
     env_.trace->Record(Now(), cat, id_, text);
   }
+}
+
+void Site::EmitTrace(TraceRecord rec) {
+  if (!tracing()) return;
+  rec.time = Now();
+  if (rec.site == kInvalidSite) rec.site = id_;
+  env_.collector->Emit(std::move(rec));
 }
 
 bool Site::IsSuspected(SiteId s) const {
@@ -157,6 +165,14 @@ void Site::Submit(TxnProgram program, TxnCallback cb,
     SimTime ts_time = std::max(Now(), last_ts_time_ + 1);
     last_ts_time_ = ts_time;
     ts = TxnTimestamp{ts_time, id_};
+  }
+  if (tracing()) {
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kTxnSubmit;
+    rec.txn = id;
+    rec.arg = static_cast<int64_t>(program.ops.size());
+    if (inherit_ts.has_value()) rec.detail = "restart";
+    EmitTrace(std::move(rec));
   }
   auto coord = std::make_unique<Coordinator>(this, id, ts, std::move(program),
                                              std::move(cb));

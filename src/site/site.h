@@ -49,6 +49,7 @@ class Site {
     Simulator* sim = nullptr;
     Network* net = nullptr;
     TraceLog* trace = nullptr;
+    TraceCollector* collector = nullptr;  ///< structured per-txn tracing
     ProgressMonitor* monitor = nullptr;
     HistoryRecorder* history = nullptr;
     const ProtocolConfig* config = nullptr;
@@ -104,6 +105,15 @@ class Site {
   SimTime Now() const;
   void SendTo(SiteId to, Payload payload);
   void Trace(TraceCategory cat, const std::string& text);
+
+  /// Structured tracing. Check tracing() BEFORE constructing a
+  /// TraceRecord so disabled tracing costs one branch, no allocations.
+  bool tracing() const {
+    return env_.collector && env_.collector->enabled();
+  }
+  /// Stamps time and site, then forwards to the collector. Callers may
+  /// leave `rec.site` set when the event concerns a different site.
+  void EmitTrace(TraceRecord rec);
 
   /// The site's RPC endpoint (request/reply messaging).
   RpcEndpoint& rpc() { return *rpc_; }

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "common/table.h"
+#include "common/trace.h"
 
 namespace rainbow {
 
@@ -179,6 +180,29 @@ std::string ProgressMonitor::RenderMessageChart(const NetworkStats& net) {
         static_cast<double>(net.per_bucket[i]));
   }
   return AsciiChart("network messages per bucket (x = time in ms)", series);
+}
+
+std::string ProgressMonitor::RenderExecutionWindow(
+    const TraceCollector& collector, size_t last_n) {
+  const std::vector<TraceRecord>& all = collector.records();
+  size_t begin = (last_n == 0 || all.size() <= last_n) ? 0
+                                                       : all.size() - last_n;
+  TablePrinter t({"time_us", "txn", "site", "event", "item", "detail"});
+  for (size_t i = begin; i < all.size(); ++i) {
+    const TraceRecord& r = all[i];
+    t.AddRow({r.time, r.txn.valid() ? r.txn.ToString() : std::string("-"),
+              r.site == kInvalidSite ? std::string("-")
+                                     : std::to_string(r.site),
+              TraceEventKindName(r.kind),
+              r.item == kInvalidItem ? std::string("-")
+                                     : std::to_string(r.item),
+              r.detail});
+  }
+  std::ostringstream os;
+  os << "execution window (" << (all.size() - begin) << " of " << all.size()
+     << " events)\n"
+     << t.ToString();
+  return os.str();
 }
 
 void ProgressMonitor::Reset() {

@@ -14,6 +14,8 @@
 
 namespace rainbow {
 
+class TraceCollector;
+
 /// The paper's Progress Monitor (PM): collects execution statistics for
 /// a Rainbow instance and renders them — the C++ stand-in for the GUI's
 /// "Tx Processing" and "Display" menus. The §3 list of output statistics
@@ -95,6 +97,12 @@ class ProgressMonitor {
   /// ASCII chart of network messages per time bucket (series kept by
   /// the NetworkStats passed in).
   static std::string RenderMessageChart(const NetworkStats& net);
+
+  /// The GUI's live "execution window": the most recent `last_n`
+  /// structured trace events as an aligned table (all of them when
+  /// last_n is 0). Requires tracing enabled on the collector.
+  static std::string RenderExecutionWindow(const TraceCollector& collector,
+                                           size_t last_n = 40);
 
   void Reset();
 

@@ -94,6 +94,45 @@ TEST(HistogramTest, BasicStats) {
   EXPECT_NEAR(static_cast<double>(h.Percentile(0.95)), 95, 7);
 }
 
+TEST(HistogramTest, PercentileZeroIsMin) {
+  Histogram h;
+  h.Add(37);
+  h.Add(9000);
+  EXPECT_EQ(h.Percentile(0.0), 37);
+  EXPECT_EQ(h.Percentile(1.0), 9000);
+}
+
+TEST(HistogramTest, PercentileBoundedByMinMax) {
+  // Property: for any recorded data and any quantile, the approximate
+  // percentile stays within the exact [min, max] envelope — the bucket
+  // upper bound must never leak above max or below min.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Histogram h;
+    int n = static_cast<int>(rng.NextInt(1, 200));
+    for (int i = 0; i < n; ++i) {
+      // Spread across several powers of two to hit many buckets.
+      h.Add(rng.NextInt(0, int64_t{1} << rng.NextInt(1, 40)));
+    }
+    for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+      int64_t p = h.Percentile(q);
+      EXPECT_GE(p, h.min()) << "trial " << trial << " q=" << q;
+      EXPECT_LE(p, h.max()) << "trial " << trial << " q=" << q;
+    }
+    EXPECT_EQ(h.Percentile(0.0), h.min()) << "trial " << trial;
+  }
+}
+
+TEST(HistogramTest, PercentileOfSingleValueIsExact) {
+  for (int64_t v : {0, 1, 5, 1000, 123456789}) {
+    Histogram h;
+    h.Add(v);
+    for (double q : {0.0, 0.5, 1.0}) {
+      EXPECT_EQ(h.Percentile(q), v) << "v=" << v << " q=" << q;
+    }
+  }
+}
+
 TEST(HistogramTest, MergeCombines) {
   Histogram a, b;
   a.Add(10);

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/rng.h"
 #include "core/config.h"
 #include "core/session.h"
 
@@ -110,6 +111,110 @@ TEST(ConfigTest, TextRoundTrip) {
 
   // Round-trip is a fixed point.
   EXPECT_EQ(parsed->ToText(), text);
+}
+
+SystemConfig RandomConfig(Rng& rng) {
+  SystemConfig cfg;
+  cfg.seed = rng.Next();
+  cfg.num_sites = static_cast<uint32_t>(rng.NextInt(1, 8));
+  cfg.enable_trace = rng.NextBool(0.5);
+  cfg.record_history = rng.NextBool(0.5);
+  cfg.stats_bucket = Millis(rng.NextInt(1, 1000));
+  cfg.trace_enabled = rng.NextBool(0.5);
+  cfg.trace_detail = static_cast<TraceDetail>(rng.NextInt(0, 2));
+
+  cfg.latency.distribution = static_cast<LatencyDistribution>(
+      rng.NextInt(0, 2));
+  cfg.latency.mean = rng.NextInt(1, 100000);
+  cfg.latency.min = rng.NextInt(0, 1000);
+  cfg.latency.per_kb = rng.NextInt(0, 500);
+  cfg.latency.local = rng.NextInt(0, 100);
+  if (rng.NextBool(0.3)) {
+    for (uint32_t i = 0; i < cfg.num_sites; ++i) {
+      cfg.latency.regions.push_back(static_cast<int>(rng.NextUint(3)));
+    }
+    cfg.latency.inter_region_mean = rng.NextInt(1, 200000);
+  }
+  // message_loss must survive the 6-decimal text format exactly.
+  cfg.message_loss = static_cast<double>(rng.NextInt(0, 500000)) / 1e6;
+  cfg.verify_codec = rng.NextBool(0.5);
+
+  cfg.protocols.rcp = static_cast<RcpKind>(rng.NextInt(0, 3));
+  cfg.protocols.cc = static_cast<CcKind>(rng.NextInt(0, 3));
+  cfg.protocols.deadlock = static_cast<DeadlockPolicy>(rng.NextInt(0, 4));
+  cfg.protocols.acp = static_cast<AcpKind>(rng.NextInt(0, 1));
+  cfg.protocols.rcp_broadcast = rng.NextBool(0.5);
+  cfg.protocols.cache_schema = rng.NextBool(0.5);
+  cfg.protocols.cooperative_termination = rng.NextBool(0.5);
+  cfg.protocols.recovery_refresh = rng.NextBool(0.5);
+  cfg.protocols.readonly_optimization = rng.NextBool(0.5);
+  cfg.protocols.ordered_access = rng.NextBool(0.5);
+  cfg.protocols.op_timeout = rng.NextInt(1, 1000000);
+  cfg.protocols.lock_wait_timeout = rng.NextInt(1, 1000000);
+  cfg.protocols.vote_timeout = rng.NextInt(1, 1000000);
+  cfg.protocols.decision_timeout = rng.NextInt(1, 1000000);
+  cfg.protocols.decision_retry = rng.NextInt(1, 1000000);
+  cfg.protocols.active_timeout = rng.NextInt(1, 1000000);
+  cfg.protocols.ack_retry = rng.NextInt(1, 1000000);
+  cfg.protocols.max_ack_resends = static_cast<int>(rng.NextInt(0, 20));
+  cfg.protocols.suspicion_ttl = rng.NextInt(1, 10000000);
+  cfg.protocols.termination_window = rng.NextInt(1, 1000000);
+  cfg.protocols.probe_delay = rng.NextInt(1, 1000000);
+  cfg.protocols.rpc_max_attempts = static_cast<int>(rng.NextInt(0, 10));
+  cfg.protocols.rpc_backoff_base = rng.NextInt(1, 100000);
+  cfg.protocols.rpc_backoff_cap = rng.NextInt(1, 1000000);
+
+  int num_items = static_cast<int>(rng.NextInt(1, 12));
+  for (int i = 0; i < num_items; ++i) {
+    ItemConfig item;
+    item.name = "it" + std::to_string(i);
+    item.initial = rng.NextInt(-1000, 1000);
+    int copies = static_cast<int>(rng.NextInt(1, cfg.num_sites));
+    for (int c = 0; c < copies; ++c) {
+      item.copies.push_back(
+          static_cast<SiteId>((i + c) % cfg.num_sites));
+    }
+    if (rng.NextBool(0.4)) {
+      for (int c = 0; c < copies; ++c) {
+        item.votes.push_back(static_cast<int>(rng.NextInt(1, 3)));
+      }
+    }
+    item.read_quorum = static_cast<int>(rng.NextUint(3));
+    item.write_quorum = static_cast<int>(rng.NextUint(3));
+    cfg.items.push_back(item);
+  }
+  return cfg;
+}
+
+TEST(ConfigPropertyTest, SaveParseSaveIsByteIdentical) {
+  // Save() normalizes; parsing that normal form and saving again must
+  // reproduce it byte for byte for arbitrary configurations. This is
+  // the "saved session" contract: a config file written by one session
+  // reloads into an equivalent instance in the next.
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    SystemConfig cfg = RandomConfig(rng);
+    std::string saved = cfg.ToText();
+    auto parsed = SystemConfig::FromText(saved);
+    ASSERT_TRUE(parsed.ok()) << "trial " << trial << ": " << parsed.status()
+                             << "\n" << saved;
+    EXPECT_EQ(parsed->ToText(), saved) << "trial " << trial;
+  }
+}
+
+TEST(ConfigPropertyTest, TraceKnobsRoundTrip) {
+  for (TraceDetail d :
+       {TraceDetail::kOff, TraceDetail::kProtocol, TraceDetail::kFull}) {
+    SystemConfig cfg;
+    cfg.trace_enabled = true;
+    cfg.trace_detail = d;
+    auto parsed = SystemConfig::FromText(cfg.ToText());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_TRUE(parsed->trace_enabled);
+    EXPECT_EQ(parsed->trace_detail, d);
+  }
+  EXPECT_FALSE(
+      SystemConfig::FromText("[system]\ntrace_detail = loud\n").ok());
 }
 
 TEST(ConfigTest, ParserRejectsGarbage) {

@@ -1,0 +1,156 @@
+// Regression tests for EventQueue / TimerHandle cancellation edge
+// cases: cancelling an event that already fired, cancelling twice, and
+// cancelling from inside a running callback must all be safe no-ops
+// that report false — and none of them may corrupt the live count that
+// empty()/size() (and thus the simulator's idle detection) rely on.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace rainbow {
+namespace {
+
+TEST(EventQueueCancelTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId id = q.Schedule(5, [&] { ++fired; });
+  auto ev = q.PopNext();
+  ev.cb();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueCancelTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  EventQueue::EventId id = q.Schedule(5, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueCancelTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(12345));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancelTest, SelfCancelInsideCallbackIsSafe) {
+  // The callback is removed from the queue before it runs, so a
+  // callback cancelling its own id must see "already fired" and must
+  // not decrement the live count a second time.
+  EventQueue q;
+  EventQueue::EventId id = 0;
+  bool self_cancel_result = true;
+  id = q.Schedule(1, [&] { self_cancel_result = q.Cancel(id); });
+  q.Schedule(2, [] {});
+  auto ev = q.PopNext();
+  ev.cb();
+  EXPECT_FALSE(self_cancel_result);
+  EXPECT_EQ(q.size(), 1u);  // only the second event remains
+  EXPECT_FALSE(q.empty());
+  q.PopNext().cb();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancelTest, CallbackCancellingAnotherPendingEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventQueue::EventId victim = q.Schedule(10, [&] { fired += 100; });
+  q.Schedule(1, [&] {
+    ++fired;
+    EXPECT_TRUE(q.Cancel(victim));
+  });
+  while (!q.empty()) q.PopNext().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueCancelTest, LiveCountSurvivesMixedOperations) {
+  EventQueue q;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 20; ++i) ids.push_back(q.Schedule(i, [] {}));
+  EXPECT_EQ(q.size(), 20u);
+  // Cancel every other event, some of them twice.
+  for (int i = 0; i < 20; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[i]));
+    EXPECT_FALSE(q.Cancel(ids[i]));
+  }
+  EXPECT_EQ(q.size(), 10u);
+  size_t popped = 0;
+  while (!q.empty()) {
+    q.PopNext();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 10u);
+  EXPECT_EQ(q.size(), 0u);
+  // Cancelling fired events after the fact changes nothing.
+  for (int i = 1; i < 20; i += 2) EXPECT_FALSE(q.Cancel(ids[i]));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueCancelTest, NextTimeAfterCancellingEverything) {
+  EventQueue q;
+  auto a = q.Schedule(3, [] {});
+  auto b = q.Schedule(7, [] {});
+  EXPECT_EQ(q.NextTime(), 3);
+  q.Cancel(a);
+  EXPECT_EQ(q.NextTime(), 7);
+  q.Cancel(b);
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimerHandleTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h = sim.After(10, [&] { ++fired; });
+  sim.RunToQuiescence();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.Cancel());
+  EXPECT_FALSE(h.Cancel());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(TimerHandleTest, SelfCancelInsideOwnCallback) {
+  Simulator sim;
+  TimerHandle h;
+  bool result = true;
+  h = sim.After(5, [&] { result = h.Cancel(); });
+  sim.RunToQuiescence();
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(TimerHandleTest, RearmedHandleCancelsOnlyTheNewTimer) {
+  // A handle overwritten with a new timer (the site code's rearm
+  // pattern) must control the new event, and the fired-then-rearmed
+  // sequence must leave the pending count exact.
+  Simulator sim;
+  int fired = 0;
+  TimerHandle h = sim.After(1, [&] { ++fired; });
+  sim.RunToQuiescence();
+  ASSERT_EQ(fired, 1);
+  h = sim.After(1, [&] { fired += 10; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(h.Cancel());
+  sim.RunToQuiescence();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(TimerHandleTest, DefaultHandleIsInert) {
+  TimerHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h.Cancel());
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -181,6 +181,99 @@ TEST(RpcEndpointTest, ResetDropsAllPendingCalls) {
 }
 
 // ---------------------------------------------------------------------------
+// Duplicate-window rotation (floor eviction)
+// ---------------------------------------------------------------------------
+
+Message ForgedRequest(SiteId from, SiteId to, uint64_t rpc_id) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.rpc_id = rpc_id;
+  m.payload = AbortRequest{TxnId{from, rpc_id}};
+  return m;
+}
+
+TEST(RpcEndpointTest, StaleIdBelowFloorIsReadmittedNotSwallowed) {
+  // Regression: once the per-sender window rotates past an id, a
+  // retransmission of that id used to be suppressed with no cached
+  // reply to resend — the caller (possibly a retry-forever decision
+  // query) starved silently. It must be re-admitted as a fresh request.
+  RpcHarness h(Millis(2));
+
+  RpcDelivery first = h.server->Accept(ForgedRequest(0, 1, 1));
+  ASSERT_FALSE(first.consumed);
+  ASSERT_TRUE(first.ctx.valid());
+  h.server->Reply(first.ctx, Ack{TxnId{0, 1}});
+
+  // While the id is still in the window, a duplicate is suppressed and
+  // the cached reply is resent.
+  RpcDelivery dup = h.server->Accept(ForgedRequest(0, 1, 1));
+  EXPECT_TRUE(dup.consumed);
+  EXPECT_FALSE(dup.ctx.valid());
+  EXPECT_EQ(h.net->stats().rpc_duplicates_suppressed, 1u);
+  EXPECT_EQ(h.net->stats().rpc_stale_readmitted, 0u);
+
+  // Rotate the window far past id 1 (capacity is 256 entries).
+  for (uint64_t id = 1000; id < 1400; ++id) {
+    RpcDelivery d = h.server->Accept(ForgedRequest(0, 1, id));
+    ASSERT_FALSE(d.consumed);
+  }
+
+  // The same retransmission now falls below the floor: it must surface
+  // to the application again instead of vanishing.
+  RpcDelivery stale = h.server->Accept(ForgedRequest(0, 1, 1));
+  EXPECT_FALSE(stale.consumed) << "stale retransmission was swallowed";
+  ASSERT_TRUE(stale.ctx.valid());
+  EXPECT_EQ(h.net->stats().rpc_stale_readmitted, 1u);
+  h.server->Reply(stale.ctx, Ack{TxnId{0, 1}});
+
+  // Windows are per sender: another sender's id 1 is simply fresh.
+  RpcDelivery other = h.server->Accept(ForgedRequest(2, 1, 1));
+  EXPECT_FALSE(other.consumed);
+  EXPECT_EQ(h.net->stats().rpc_stale_readmitted, 1u);
+
+  h.sim.RunToQuiescence();  // flush the replies sent above
+}
+
+TEST(RpcEndpointTest, RetryForeverCallSurvivesWindowRotation) {
+  // End to end: the reply to call #1 is lost, and before the client's
+  // retransmission lands the server's window rotates past the call's
+  // id. With silent suppression the client would retransmit forever;
+  // re-admission lets the exchange complete.
+  RpcHarness h(Millis(2));
+  RpcPolicy policy;
+  policy.timeout = Millis(30);
+  policy.max_attempts = 0;  // retry forever
+  policy.backoff_base = Millis(2);
+  policy.jitter = 0;
+
+  int callbacks = 0;
+  h.client->Call(1, AbortRequest{TxnId{0, 5}}, policy,
+                 [&](Result<Payload> r) {
+                   ++callbacks;
+                   EXPECT_TRUE(r.ok());
+                 });
+  // Take the client down around the reply's delivery so only the reply
+  // leg is lost (request out at 0ms, reply in flight 2ms..4ms).
+  h.sim.After(Millis(1), [&] { h.net->SetSiteUp(0, false); });
+  h.sim.After(Millis(6), [&] { h.net->SetSiteUp(0, true); });
+  // Before the ~30ms retransmission, hammer the server with enough
+  // other traffic from the same sender to rotate its window.
+  h.sim.After(Millis(10), [&] {
+    for (uint64_t id = 10000; id < 10400; ++id) {
+      RpcDelivery d = h.server->Accept(ForgedRequest(0, 1, id));
+      ASSERT_FALSE(d.consumed);
+      h.server->Reply(d.ctx, Ack{TxnId{0, id}});
+    }
+  });
+
+  h.sim.RunUntil(Seconds(2));
+  EXPECT_EQ(callbacks, 1) << "retry-forever call starved after rotation";
+  EXPECT_GT(h.net->stats().rpc_stale_readmitted, 0u);
+  EXPECT_EQ(h.client->pending_calls(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // End to end: the full protocol stack over a lossy network
 // ---------------------------------------------------------------------------
 
