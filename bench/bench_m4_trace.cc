@@ -29,8 +29,18 @@ void* operator new(std::size_t size) {
   throw std::bad_alloc();
 }
 
+// The replacement operator new above is malloc-based, so free() is the
+// matching deallocator; GCC cannot see the pairing and misfires
+// -Wmismatched-new-delete at call sites inlined into these definitions.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace rainbow {
 namespace {

@@ -39,7 +39,7 @@ class OccManager final : public CcEngine {
 
   bool TryCommitLock(TxnId txn, ItemId item, bool exclusive) override;
   void Finish(TxnId txn, bool commit) override;
-  void MarkPrepared(TxnId txn) override {}
+  void MarkPrepared(TxnId) override {}
   bool Tracks(TxnId txn) const override { return txns_.contains(txn); }
   std::string name() const override { return "OCC"; }
 

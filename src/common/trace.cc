@@ -113,6 +113,8 @@ const char* TraceEventKindName(TraceEventKind k) {
       return "quorum_plan";
     case TraceEventKind::kQuorumReached:
       return "quorum_reached";
+    case TraceEventKind::kReadDone:
+      return "read_done";
     case TraceEventKind::kReadRequest:
       return "read_request";
     case TraceEventKind::kPrewriteRequest:
@@ -133,6 +135,8 @@ const char* TraceEventKindName(TraceEventKind k) {
       return "decision";
     case TraceEventKind::kDecisionApplied:
       return "decision_applied";
+    case TraceEventKind::kWriteApplied:
+      return "write_applied";
     case TraceEventKind::kRpcAttempt:
       return "rpc_attempt";
     case TraceEventKind::kRpcRetry:

@@ -83,6 +83,7 @@ enum class TraceEventKind {
   kTxnSubmit,        ///< home site accepted the transaction (arg = #ops)
   kQuorumPlan,       ///< coordinator resolved replicas for an op (arg = #targets)
   kQuorumReached,    ///< enough replica grants for an op (arg = #grants)
+  kReadDone,         ///< coordinator completed a read op (arg = version used)
   kReadRequest,      ///< replica received a read for `item`
   kPrewriteRequest,  ///< replica received a prewrite for `item`
   kCcGrant,          ///< replica CC granted access to `item`
@@ -93,6 +94,7 @@ enum class TraceEventKind {
   kVote,             ///< participant voted (arg = 1 yes / 0 no)
   kDecision,         ///< coordinator decided (arg = 1 commit / 0 abort)
   kDecisionApplied,  ///< participant applied the decision (arg = 1 commit)
+  kWriteApplied,     ///< replica installed a committed write (arg = version)
   kRpcAttempt,       ///< kFull only: an RPC request transmission (arg = attempt#)
   kRpcRetry,         ///< RPC retransmission after a timeout (arg = attempt#)
   kRpcFailure,       ///< RPC call exhausted its attempts (arg = #attempts)

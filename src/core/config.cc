@@ -81,6 +81,7 @@ std::string SystemConfig::ToText() const {
   os << "stats_bucket = " << stats_bucket << "\n";
   os << "trace_enabled = " << (trace_enabled ? "true" : "false") << "\n";
   os << "trace_detail = " << TraceDetailName(trace_detail) << "\n";
+  os << "verify_history = " << (verify_history ? "true" : "false") << "\n";
   os << "\n[network]\n";
   os << "distribution = " << LatencyDistributionName(latency.distribution)
      << "\n";
@@ -175,6 +176,8 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(cfg.stats_bucket, as_int());
     } else if (key == "trace_enabled") {
       RAINBOW_ASSIGN_OR_RETURN(cfg.trace_enabled, as_bool());
+    } else if (key == "verify_history") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.verify_history, as_bool());
     } else if (key == "trace_detail") {
       if (value == "off") {
         cfg.trace_detail = TraceDetail::kOff;

@@ -51,6 +51,12 @@ struct SystemConfig {
   bool trace_enabled = false;
   TraceDetail trace_detail = TraceDetail::kProtocol;
 
+  /// Opt-in correctness gate: after a session's workload drains, run the
+  /// offline protocol-invariant checker (verify/checker.h) over the
+  /// structured trace and fail the session on any violation. Forces
+  /// trace_enabled (at >= protocol detail) for the run.
+  bool verify_history = false;
+
   /// Adds `count` items named "x0".."x<count-1>", each with
   /// `replication_degree` copies placed round-robin across the sites,
   /// one vote per copy and majority quorums.

@@ -11,7 +11,9 @@ void Experiment::AddPoint(Point point) { points_.push_back(std::move(point)); }
 Status Experiment::Run() {
   results_.clear();
   for (const Point& p : points_) {
-    auto r = RunSession(p.system, p.workload, p.options);
+    SessionOptions options = p.options;
+    options.verify_history |= verify_history_;
+    auto r = RunSession(p.system, p.workload, options);
     if (!r.ok()) {
       return Status(r.status().code(),
                     title_ + " point '" + p.label + "': " +

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include "verify/checker.h"
 #include "verify/history.h"
 
 namespace rainbow {
@@ -9,6 +10,13 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
                                  const SessionOptions& options) {
   SystemConfig sys_cfg = system_config;
   if (options.check_serializability) sys_cfg.record_history = true;
+  if (options.verify_history) sys_cfg.verify_history = true;
+  if (sys_cfg.verify_history && !sys_cfg.trace_enabled) {
+    // The checker consumes the structured trace; protocol detail is
+    // enough (per-message records are not needed).
+    sys_cfg.trace_enabled = true;
+    sys_cfg.trace_detail = TraceDetail::kProtocol;
+  }
 
   auto created = RainbowSystem::Create(sys_cfg);
   RAINBOW_RETURN_IF_ERROR(created.status());
@@ -63,9 +71,12 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
   r.dropped = net.total_dropped();
   uint64_t finished = r.committed + r.aborted;
   r.msgs_per_commit =
-      r.committed ? static_cast<double>(r.net_messages) / r.committed : 0;
-  r.msgs_per_txn =
-      finished ? static_cast<double>(r.net_messages) / finished : 0;
+      r.committed ? static_cast<double>(r.net_messages) /
+                        static_cast<double>(r.committed)
+                  : 0;
+  r.msgs_per_txn = finished ? static_cast<double>(r.net_messages) /
+                                  static_cast<double>(finished)
+                            : 0;
   r.mean_blocked_us = pm.blocked_times().mean();
   r.max_blocked_us = pm.blocked_times().max();
   r.load_cv = pm.home_load_cv();
@@ -75,6 +86,13 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
   if (options.check_serializability) {
     RAINBOW_RETURN_IF_ERROR(
         CheckConflictSerializable(sys.history().transactions()));
+  }
+  if (sys_cfg.verify_history) {
+    CheckReport report = sys.VerifyHistory();
+    r.verify_report = report.Render();
+    if (!report.ok()) {
+      return Status::Internal("history check failed:\n" + r.verify_report);
+    }
   }
   return r;
 }

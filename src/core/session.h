@@ -47,6 +47,7 @@ struct SessionResult {
 
   std::string stats_table;   ///< full §3 rendering
   std::string session_log;   ///< Figure-5 lines (when kept)
+  std::string verify_report; ///< invariant-checker report (when enabled)
 };
 
 /// Options for RunSession beyond system + workload config.
@@ -64,6 +65,11 @@ struct SessionOptions {
   /// After the workload drains, verify conflict-serializability of the
   /// committed history (requires config.record_history).
   bool check_serializability = false;
+  /// After the workload drains, run the full protocol-invariant checker
+  /// (verify/checker.h) over the structured trace; any violation fails
+  /// the session with the rendered report. Equivalent to setting
+  /// SystemConfig::verify_history.
+  bool verify_history = false;
 };
 
 /// Configures a Rainbow instance, drives a workload through it (with

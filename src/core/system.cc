@@ -155,4 +155,9 @@ Status RainbowSystem::CheckReplicaConsistency(
   return Status::OK();
 }
 
+CheckReport RainbowSystem::VerifyHistory() const {
+  HistoryChecker checker(config_);
+  return checker.Check(collector_);
+}
+
 }  // namespace rainbow

@@ -16,6 +16,7 @@
 #include "sim/simulator.h"
 #include "site/site.h"
 #include "stats/progress_monitor.h"
+#include "verify/checker.h"
 #include "verify/history.h"
 
 namespace rainbow {
@@ -79,6 +80,12 @@ class RainbowSystem {
   /// copies never disagree at the same version, and (for ROWA with no
   /// permanent failures) all copies converged to the same version.
   Status CheckReplicaConsistency(bool require_full_convergence) const;
+
+  /// Runs the offline protocol-invariant checker (verify/checker.h)
+  /// over this instance's structured trace: serializability, 2PC
+  /// atomicity, replication invariants, 2PL lock discipline. Requires
+  /// tracing (config.trace_enabled) to have been on during the run.
+  CheckReport VerifyHistory() const;
 
  private:
   explicit RainbowSystem(SystemConfig config);

@@ -64,6 +64,7 @@ struct EncodeVisitor {
     e.PutU8(static_cast<uint8_t>(m.reason));
     e.PutI64(m.value);
     e.PutU64(m.version);
+    e.PutU64(m.epoch);
   }
   void operator()(const PrewriteRequest& m) {
     e.PutTxnId(m.txn);
@@ -78,6 +79,7 @@ struct EncodeVisitor {
     e.PutBool(m.granted);
     e.PutU8(static_cast<uint8_t>(m.reason));
     e.PutU64(m.version);
+    e.PutU64(m.epoch);
   }
   void operator()(const AbortRequest& m) { e.PutTxnId(m.txn); }
   void operator()(const PrepareRequest& m) {
@@ -194,6 +196,7 @@ Result<Payload> DecodeBody(MessageKind kind, Decoder& d) {
       RAINBOW_ASSIGN_OR_RETURN(m.reason, GetDenyReason(d));
       RAINBOW_ASSIGN_OR_RETURN(m.value, d.GetI64());
       RAINBOW_ASSIGN_OR_RETURN(m.version, d.GetU64());
+      RAINBOW_ASSIGN_OR_RETURN(m.epoch, d.GetU64());
       return Payload{m};
     }
     case MessageKind::kPrewriteRequest: {
@@ -212,6 +215,7 @@ Result<Payload> DecodeBody(MessageKind kind, Decoder& d) {
       RAINBOW_ASSIGN_OR_RETURN(m.granted, d.GetBool());
       RAINBOW_ASSIGN_OR_RETURN(m.reason, GetDenyReason(d));
       RAINBOW_ASSIGN_OR_RETURN(m.version, d.GetU64());
+      RAINBOW_ASSIGN_OR_RETURN(m.epoch, d.GetU64());
       return Payload{m};
     }
     case MessageKind::kAbortRequest: {

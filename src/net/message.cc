@@ -178,9 +178,9 @@ size_t PayloadSizeBytes(const Payload& p) {
       return 24 + r.copies.size() * 8;
     }
     size_t operator()(const ReadRequest&) const { return 24; }
-    size_t operator()(const ReadReply&) const { return 32; }
+    size_t operator()(const ReadReply&) const { return 40; }
     size_t operator()(const PrewriteRequest&) const { return 32; }
-    size_t operator()(const PrewriteReply&) const { return 24; }
+    size_t operator()(const PrewriteReply&) const { return 32; }
     size_t operator()(const AbortRequest&) const { return 12; }
     size_t operator()(const PrepareRequest& r) const {
       return 16 + r.versions.size() * 12 + r.validations.size() * 12 +

@@ -92,6 +92,11 @@ struct ReadReply {
   DenyReason reason = DenyReason::kNone;
   Value value = 0;
   Version version = 0;
+  /// Replica incarnation at grant time. A coordinator that sees two
+  /// grants from the same site under different epochs knows the site
+  /// restarted in between — its volatile CC state (locks, buffered
+  /// prewrites) for this transaction is gone — and must abort.
+  uint64_t epoch = 0;
 };
 
 /// Coordinator -> replica: pre-write this copy (CC write access; the new
@@ -115,7 +120,8 @@ struct PrewriteReply {
   ItemId item = kInvalidItem;
   bool granted = false;
   DenyReason reason = DenyReason::kNone;
-  Version version = 0;  ///< version before the write
+  Version version = 0;      ///< version before the write
+  uint64_t epoch = 0;       ///< replica incarnation (see ReadReply::epoch)
 };
 
 /// Coordinator -> participant: abort before any prepare was sent.

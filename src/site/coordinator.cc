@@ -299,6 +299,7 @@ void Coordinator::OnReadReply(SiteId from, const ReadReply& r) {
     AccessDenied(from, r.reason);
     return;
   }
+  if (!GrantEpochOk(from, r.epoch)) return;
   AccessGranted(from, r.version, r.value, true);
 }
 
@@ -313,8 +314,20 @@ void Coordinator::OnPrewriteReply(SiteId from, const PrewriteReply& r) {
     AccessDenied(from, r.reason);
     return;
   }
+  if (!GrantEpochOk(from, r.epoch)) return;
   write_sites_[cur_item_].insert(from);
   AccessGranted(from, r.version, 0, false);
+}
+
+bool Coordinator::GrantEpochOk(SiteId from, uint64_t epoch) {
+  auto [it, inserted] = grant_epochs_.try_emplace(from, epoch);
+  if (inserted || it->second == epoch) return true;
+  // The replica restarted between two of our grants: every lock or
+  // buffered prewrite it held for us died with its volatile state, so
+  // the accesses we already counted there are void.
+  AbortNow(AbortCause::kSiteFailure,
+           StringPrintf("site %u restarted mid-transaction", from));
+  return false;
 }
 
 void Coordinator::AccessGranted(SiteId from, Version version, Value value,
@@ -377,6 +390,16 @@ void Coordinator::OpQuorumReached() {
   // Read complete.
   read_slots_[cur_op_original_] = cur_best_value_;
   accesses_.push_back(CommittedAccess{cur_item_, false, cur_max_version_});
+  if (site_->tracing()) {
+    // The version the transaction logically read (max over the quorum) —
+    // the history checker builds wr/rw precedence edges from this.
+    TraceRecord rec;
+    rec.kind = TraceEventKind::kReadDone;
+    rec.txn = id_;
+    rec.item = cur_item_;
+    rec.arg = static_cast<int64_t>(cur_max_version_);
+    site_->EmitTrace(std::move(rec));
+  }
   if (cur_increment_pending_) {
     cur_increment_pending_ = false;
     // The read phase of the INCREMENT observed the value; the write

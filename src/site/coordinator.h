@@ -111,6 +111,12 @@ class Coordinator {
   void OnAccessFailure(SiteId from);
   void OnReadReply(SiteId from, const ReadReply& r);
   void OnPrewriteReply(SiteId from, const PrewriteReply& r);
+  /// Checks the replica-incarnation epoch a grant carried against the
+  /// epoch of this transaction's earlier grants from the same site. A
+  /// mismatch means the site restarted mid-transaction — the locks and
+  /// buffered prewrites it held for us died with it — so the transaction
+  /// aborts. Returns false when the transaction was aborted.
+  bool GrantEpochOk(SiteId from, uint64_t epoch);
   void AccessGranted(SiteId from, Version version, Value value,
                      bool has_value);
   void AccessDenied(SiteId from, DenyReason reason);
@@ -171,6 +177,7 @@ class Coordinator {
   std::map<ItemId, ReplicaView> local_views_;  ///< when schema caching is off
   std::set<SiteId> contacted_;
   std::set<SiteId> participants_;
+  std::map<SiteId, uint64_t> grant_epochs_;  ///< replica epoch per grant site
   std::map<ItemId, Value> write_buffer_;
   std::map<ItemId, Version> write_base_version_;
   std::map<ItemId, std::set<SiteId>> write_sites_;

@@ -117,6 +117,14 @@ void ParticipantManager::ArmProbeTimer(TxnId txn) {
 
 void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
                                 const RpcContext& ctx) {
+  if (doomed_.contains(req.txn)) {
+    // This site already aborted the transaction unilaterally; recreating
+    // state for it now would resurrect it after its locks were freed.
+    site_->Respond(ctx, from,
+                   ReadReply{req.txn, req.item, false, DenyReason::kUnknownTxn,
+                             0, 0, site_->epoch()});
+    return;
+  }
   PTxn& t = Ensure(req.txn, req.ts, from);
   if (t.state != AcpState::kActive) return;  // stray after prepare
   ArmActivityTimer(t);
@@ -142,12 +150,14 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
         if (it == txns_.end()) return;  // aborted while waiting
         it->second.wait_timer.Cancel();
         it->second.probe_timer.Cancel();
+        if (g.granted) it->second.granted_any = true;
         EmitCcOutcome(id, item, g);
         ReadReply reply;
         reply.txn = id;
         reply.item = item;
         reply.granted = g.granted;
         reply.reason = g.reason;
+        reply.epoch = site_->epoch();
         if (g.granted) {
           if (g.has_value) {
             reply.value = g.value;
@@ -164,7 +174,10 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
           }
         }
         site_->Respond(ctx, from, reply);
-        if (!reply.granted) LocalAbort(id);
+        if (!reply.granted) {
+          if (it->second.granted_any) doomed_.insert(id);
+          LocalAbort(id);
+        }
       });
   if (!*decided) {
     auto it = txns_.find(id);
@@ -178,16 +191,23 @@ void ParticipantManager::OnRead(SiteId from, const ReadRequest& req,
           site_->Trace(TraceCategory::kCcp,
                        id.ToString() + " read wait timeout on item " +
                            std::to_string(item));
+          if (it2->second.granted_any) doomed_.insert(id);
           LocalAbort(id);
           site_->Respond(ctx, from,
                          ReadReply{id, item, false, DenyReason::kWaitTimeout,
-                                   0, 0});
+                                   0, 0, site_->epoch()});
         });
   }
 }
 
 void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
                                     const RpcContext& ctx) {
+  if (doomed_.contains(req.txn)) {
+    site_->Respond(ctx, from,
+                   PrewriteReply{req.txn, req.item, false,
+                                 DenyReason::kUnknownTxn, 0, site_->epoch()});
+    return;
+  }
   PTxn& t = Ensure(req.txn, req.ts, from);
   if (t.state != AcpState::kActive) return;
   ArmActivityTimer(t);
@@ -209,10 +229,12 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
     // Primary-copy backup path: buffer the write without CC — the
     // primary's lock serialized conflicting transactions already.
     t.buffered[item] = value;
+    t.granted_any = true;
     PrewriteReply reply;
     reply.txn = id;
     reply.item = item;
     reply.granted = true;
+    reply.epoch = site_->epoch();
     auto copy = site_->store().Get(item);
     reply.version = copy.ok() ? copy->version : 0;
     site_->Respond(ctx, from, reply);
@@ -228,19 +250,24 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
         if (it == txns_.end()) return;
         it->second.wait_timer.Cancel();
         it->second.probe_timer.Cancel();
+        if (g.granted) it->second.granted_any = true;
         EmitCcOutcome(id, item, g);
         PrewriteReply reply;
         reply.txn = id;
         reply.item = item;
         reply.granted = g.granted;
         reply.reason = g.reason;
+        reply.epoch = site_->epoch();
         if (g.granted) {
           it->second.buffered[item] = value;
           auto copy = site_->store().Get(item);
           reply.version = copy.ok() ? copy->version : 0;
         }
         site_->Respond(ctx, from, reply);
-        if (!reply.granted) LocalAbort(id);
+        if (!reply.granted) {
+          if (it->second.granted_any) doomed_.insert(id);
+          LocalAbort(id);
+        }
       });
   if (!*decided) {
     auto it = txns_.find(id);
@@ -254,10 +281,12 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
           site_->Trace(TraceCategory::kCcp,
                        id.ToString() + " write wait timeout on item " +
                            std::to_string(item));
+          if (it2->second.granted_any) doomed_.insert(id);
           LocalAbort(id);
           site_->Respond(ctx, from,
                          PrewriteReply{id, item, false,
-                                       DenyReason::kWaitTimeout, 0});
+                                       DenyReason::kWaitTimeout, 0,
+                                       site_->epoch()});
         });
   }
 }
@@ -334,6 +363,7 @@ void ParticipantManager::OnPrepare(SiteId from, const PrepareRequest& req,
              DenyReasonName(DenyReason::kValidationFailed));
     site_->Respond(ctx, from,
                    VoteReply{req.txn, false, DenyReason::kValidationFailed});
+    if (t.granted_any) doomed_.insert(req.txn);
     LocalAbort(req.txn);  // releases any commit locks taken above
     return;
   }
@@ -459,8 +489,17 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
       if (vi == t.versions.end()) continue;  // stray prewrite, no version
       site_->mutable_store().Apply(item, value, vi->second);
       site_->cc()->OnApply(txn, item, value, vi->second);
+      if (site_->tracing()) {
+        TraceRecord rec;
+        rec.kind = TraceEventKind::kWriteApplied;
+        rec.txn = txn;
+        rec.item = item;
+        rec.arg = static_cast<int64_t>(vi->second);
+        site_->EmitTrace(std::move(rec));
+      }
     }
   }
+  if (!commit) doomed_.insert(txn);
   site_->cc()->Finish(txn, commit);
   site_->mutable_wal().Append(
       WalRecord{WalRecordKind::kApplied, txn, t.coordinator, {}, {}, false});
@@ -506,7 +545,12 @@ void ParticipantManager::OnCcVictim(TxnId txn, DenyReason reason) {
     site_->EmitTrace(std::move(rec));
   }
   // The CC engine already dropped the transaction's holds; clean up the
-  // rest and tell the home site so the whole transaction aborts.
+  // rest and tell the home site so the whole transaction aborts. If the
+  // victim held grants here, remember it: should the notify be lost, a
+  // later operation of the same transaction must be denied rather than
+  // silently recreating state with the released locks gone. A victim that
+  // was only waiting held nothing, so a retransmission may start over.
+  if (it->second.granted_any) doomed_.insert(txn);
   CancelAll(it->second);
   txns_.erase(it);
   site_->SendTo(home, RemoteAbortNotify{txn, AbortCause::kCcp, reason});
@@ -753,6 +797,7 @@ void ParticipantManager::ReinstateInDoubt(const WalRecord& prepared,
   PTxn& t = Ensure(prepared.txn, TxnTimestamp{0, prepared.txn.home},
                    prepared.coordinator);
   t.state = precommitted ? AcpState::kPreCommitted : AcpState::kPrepared;
+  t.granted_any = true;
   t.three_phase = prepared.three_phase;
   t.participants = prepared.participants;
   t.prepared_at = site_->Now();

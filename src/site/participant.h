@@ -76,6 +76,11 @@ class ParticipantManager {
     SiteId coordinator = kInvalidSite;
     AcpState state = AcpState::kActive;
     bool three_phase = false;
+    /// True once any CC request was granted here. A unilateral abort only
+    /// needs to doom the transaction (see `doomed_`) when it released
+    /// something; aborting a purely-waiting transaction leaves nothing a
+    /// retransmitted request could unsafely resurrect.
+    bool granted_any = false;
     std::map<ItemId, Value> buffered;    ///< prewritten values
     std::map<ItemId, Version> versions;  ///< final versions (from prepare)
     std::vector<SiteId> participants;
@@ -144,6 +149,14 @@ class ParticipantManager {
 
   Site* site_;
   std::map<TxnId, PTxn> txns_;
+  /// Transactions this site aborted unilaterally (CC victim, wait
+  /// timeout, orphan cleanup, abort decision). A later request for one
+  /// of them — a retransmission whose deny reply was lost, or a next
+  /// operation racing the abort notify — must NOT recreate fresh state:
+  /// the locks it once held are gone and conflicting work may have
+  /// slipped through, so resurrecting it silently breaks two-phase
+  /// locking. Requests for doomed transactions are denied instead.
+  std::set<TxnId> doomed_;
 };
 
 }  // namespace rainbow

@@ -211,6 +211,7 @@ void Site::Crash() {
 void Site::Recover() {
   if (!crashed_) return;
   crashed_ = false;
+  ++epoch_;
   Trace(TraceCategory::kSite, "RECOVER");
   env_.net->SetSiteUp(id_, true);
 

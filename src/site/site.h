@@ -86,6 +86,13 @@ class Site {
   void Recover();
   bool crashed() const { return crashed_; }
 
+  /// Incarnation number: bumped on every recovery. Copy-access grants
+  /// carry it so a coordinator can tell that a replica restarted between
+  /// two of its grants (all volatile CC state it held for the
+  /// transaction — locks, buffered prewrites, timestamp table entries —
+  /// died with the crash) and abort instead of committing on amnesia.
+  uint64_t epoch() const { return epoch_; }
+
   /// Sites a recovering node may ask for fresh item copies (configured
   /// by RainbowSystem to the set of peers sharing any item with us).
   void SetRefreshPeers(std::set<SiteId> peers);
@@ -177,6 +184,7 @@ class Site {
   SiteId id_;
   Env env_;
   bool crashed_ = false;
+  uint64_t epoch_ = 0;
   bool started_ = false;
 
   // Durable state.

@@ -53,12 +53,16 @@ uint64_t ProgressMonitor::aborted(AbortCause cause) const {
 
 double ProgressMonitor::commit_rate() const {
   uint64_t finished = committed_ + aborted_total();
-  return finished ? static_cast<double>(committed_) / finished : 0.0;
+  return finished
+             ? static_cast<double>(committed_) / static_cast<double>(finished)
+             : 0.0;
 }
 
 double ProgressMonitor::abort_rate(AbortCause cause) const {
   uint64_t finished = committed_ + aborted_total();
-  return finished ? static_cast<double>(aborted(cause)) / finished : 0.0;
+  return finished ? static_cast<double>(aborted(cause)) /
+                        static_cast<double>(finished)
+                  : 0.0;
 }
 
 double ProgressMonitor::throughput_tps(SimTime duration) const {

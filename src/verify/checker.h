@@ -1,0 +1,120 @@
+#ifndef RAINBOW_VERIFY_CHECKER_H_
+#define RAINBOW_VERIFY_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "common/types.h"
+#include "core/config.h"
+
+namespace rainbow {
+
+/// The invariant classes the offline history checker verifies. Each
+/// class corresponds to one protocol layer of the paper's architecture:
+/// serializability to the CCP, atomicity to the ACP, replication to the
+/// RCP, and lock discipline to the 2PL engine specifically.
+enum class InvariantKind {
+  kQuorumConfig,     ///< static: R+W > N and 2W > N per item
+  kSerializability,  ///< committed history is conflict-serializable
+  kAtomicity,        ///< 2PC/3PC: one decision, full vote set for commit
+  kReplication,      ///< per-replica version monotonicity, install agreement
+  kLockDiscipline,   ///< 2PL: no acquisition after the first release
+};
+
+const char* InvariantKindName(InvariantKind k);
+
+/// One detected invariant violation. `code` is a stable machine-readable
+/// identifier (e.g. "precedence-cycle", "split-decision"); `message` is
+/// the human explanation, including the offending cycle for
+/// serializability violations. Optional fields are sentinel-valued when
+/// the violation is not scoped to a transaction / item / site.
+struct Violation {
+  InvariantKind invariant = InvariantKind::kSerializability;
+  std::string code;
+  TxnId txn;
+  ItemId item = kInvalidItem;
+  SiteId site = kInvalidSite;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+/// Machine-readable result of one checker run plus the statistics the
+/// ASCII report prints. `ok()` is the gate tests and CI assert on.
+struct CheckReport {
+  std::vector<Violation> violations;
+
+  size_t events = 0;         ///< trace records consumed
+  size_t dropped = 0;        ///< records the collector evicted (capacity)
+  bool truncated = false;    ///< dropped > 0: trace passes were skipped
+  size_t committed = 0;      ///< committed transactions seen in the trace
+  size_t aborted = 0;        ///< aborted transactions seen in the trace
+  size_t graph_nodes = 0;    ///< precedence-graph transactions
+  size_t graph_edges = 0;    ///< precedence-graph conflict edges
+
+  bool ok() const { return violations.empty(); }
+  size_t CountFor(InvariantKind kind) const;
+
+  /// ASCII report: a per-invariant summary table (TablePrinter) followed
+  /// by one line per violation.
+  std::string Render() const;
+};
+
+/// Offline protocol-invariant checker: consumes the structured trace of
+/// a finished run (common/trace.h TraceCollector) and statically
+/// analyzes the execution history. Every simulation becomes a
+/// self-checking experiment: a buggy CC / RCP / ACP combination that
+/// terminates cleanly still fails here.
+///
+/// Checked invariants:
+///  1. Conflict-serializability — a precedence graph over the committed
+///     transactions (ww edges along each item's version order, wr from
+///     a version's writer to its readers, rw from a version's readers
+///     to the next version's writer) must be acyclic. A violation
+///     message prints one offending cycle.
+///  2. 2PC/3PC atomicity — no transaction applies COMMIT at one replica
+///     and ABORT at another, and no coordinator commit decision without
+///     a full set of YES votes.
+///  3. Replication — installed versions are strictly monotone per
+///     replica, every (item, version) is installed by exactly one
+///     transaction, and (statically) quorum configurations intersect
+///     (R + W > N, 2W > N).
+///  4. 2PL lock discipline — no committed transaction is granted access
+///     at a participating replica after its first release point (a
+///     read-only early release or an applied decision): the classic
+///     growing/shrinking-phase rule. Only checked when the configured
+///     CC is 2PL.
+///
+/// Reads are taken from coordinator-side kReadDone records (the version
+/// actually used — the max over the read quorum), writes from replica-
+/// side kWriteApplied records. Requires trace_detail >= kProtocol; when
+/// the collector dropped records (capacity), trace-based passes are
+/// skipped and the report is marked truncated.
+class HistoryChecker {
+ public:
+  explicit HistoryChecker(SystemConfig config);
+
+  /// Runs every applicable invariant pass and returns the full report.
+  CheckReport Check(const TraceCollector& trace) const;
+
+  // Individual passes, exposed so tests can target one invariant class
+  // with a hand-built (deliberately violating) trace.
+  void CheckQuorumConfig(CheckReport& report) const;
+  void CheckSerializability(const TraceCollector& trace,
+                            CheckReport& report) const;
+  void CheckAtomicity(const TraceCollector& trace, CheckReport& report) const;
+  void CheckReplication(const TraceCollector& trace,
+                        CheckReport& report) const;
+  void CheckLockDiscipline(const TraceCollector& trace,
+                           CheckReport& report) const;
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_VERIFY_CHECKER_H_

@@ -157,6 +157,8 @@ void WorkloadGenerator::OnOutcome(const TxnOutcome& outcome,
     return;
   }
   ++completed_;
+  worst_attempts_ = std::max(worst_attempts_, attempt + 1);
+  if (!outcome.committed) ++gave_up_;
   if (config_.arrival == WorkloadConfig::Arrival::kClosed &&
       launched_ < config_.num_txns) {
     if (config_.think_time > 0) {

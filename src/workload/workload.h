@@ -88,6 +88,11 @@ class WorkloadGenerator {
   uint64_t submitted() const { return submitted_; }
   uint64_t completed() const { return completed_; }
   uint64_t retries() const { return retries_; }
+  /// Starvation tail: most attempts any single transaction needed before
+  /// it finished (committed or gave up).
+  uint32_t worst_attempts() const { return worst_attempts_; }
+  /// Transactions that exhausted max_retries without committing.
+  uint64_t gave_up() const { return gave_up_; }
   bool finished() const { return done_fired_; }
 
  private:
@@ -109,6 +114,8 @@ class WorkloadGenerator {
   uint64_t submitted_ = 0;  ///< all submissions including retries
   uint64_t completed_ = 0;  ///< transactions that finished for good
   uint64_t retries_ = 0;
+  uint32_t worst_attempts_ = 0;
+  uint64_t gave_up_ = 0;
   uint64_t next_home_ = 0;
   std::function<void()> done_;
   bool done_fired_ = false;
