@@ -14,6 +14,11 @@
 //   auto N MPL READFRAC      simulated workload generation
 //   run MS                   advance virtual time
 //   crash S | recover S      inject a site failure / recovery
+//   linkdown A B | linkup A B | linkdown1 A B | linkup1 A B
+//   loss A B P | delay A B M | dup A B P | reorder A B J
+//   partition G | G ... | heal | clearlinks | crashns | recoverns
+//                            the full fault vocabulary of
+//                            fault/fault_script.h, applied immediately
 //   stats                    Tx-processing statistics (§3 list)
 //   log                      per-transaction session log (Figure 5)
 //   saveconfig FILE | quit
@@ -28,6 +33,7 @@
 #include "common/string_util.h"
 #include "core/config.h"
 #include "core/system.h"
+#include "fault/fault_script.h"
 #include "workload/workload.h"
 
 namespace {
@@ -90,7 +96,9 @@ class SessionShell {
     if (cmd == "quit" || cmd == "exit") return false;
     if (cmd == "help") {
       std::cout << "commands: sites latency protocol item start submit auto "
-                   "run crash recover stats log saveconfig quit\n";
+                   "run crash recover linkdown linkup linkdown1 linkup1 loss "
+                   "delay dup reorder partition heal clearlinks crashns "
+                   "recoverns stats log saveconfig quit\n";
     } else if (cmd == "sites") {
       is >> config_.num_sites;
     } else if (cmd == "latency") {
@@ -120,19 +128,17 @@ class SessionShell {
       int64_t ms = 0;
       is >> ms;
       if (RequireSystem()) sys_->RunFor(Millis(ms));
-    } else if (cmd == "crash") {
-      SiteId s = 0;
-      is >> s;
+    } else if (IsFaultVerb(cmd)) {
+      // The whole fault-script vocabulary (fault/fault_script.h) is
+      // available as interactive verbs, applied at the current time.
       if (RequireSystem()) {
-        sys_->CrashSite(s);
-        std::cout << "site " << s << " crashed\n";
-      }
-    } else if (cmd == "recover") {
-      SiteId s = 0;
-      is >> s;
-      if (RequireSystem()) {
-        sys_->RecoverSite(s);
-        std::cout << "site " << s << " recovering\n";
+        Result<FaultEvent> e = ParseFaultCommand(line, sys_->sim().Now());
+        if (!e.ok()) {
+          std::cout << "bad fault command: " << e.status() << "\n";
+        } else {
+          injector_->ApplyNow(*e);
+          std::cout << "fault applied: " << FormatFaultEvent(*e) << "\n";
+        }
       }
     } else if (cmd == "stats") {
       if (RequireSystem()) {
@@ -183,6 +189,7 @@ class SessionShell {
       return;
     }
     sys_ = std::move(created).value();
+    injector_ = std::make_unique<FaultInjector>(sys_.get());
     sys_->monitor().set_keep_outcomes(true);
     std::cout << "Rainbow instance up: " << config_.num_sites << " sites, "
               << config_.items.size() << " items, RCP="
@@ -248,6 +255,13 @@ class SessionShell {
               << "% reads); advance time with 'run'\n";
   }
 
+  static bool IsFaultVerb(const std::string& cmd) {
+    for (size_t k = 0; k < kNumFaultKinds; ++k) {
+      if (cmd == FaultKindName(static_cast<FaultEvent::Kind>(k))) return true;
+    }
+    return false;
+  }
+
   bool RequireSystem() {
     if (!sys_) {
       std::cout << "no running instance — configure and 'start' first\n";
@@ -258,6 +272,7 @@ class SessionShell {
 
   SystemConfig config_;
   std::unique_ptr<RainbowSystem> sys_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<WorkloadGenerator> wlg_;
 };
 

@@ -82,6 +82,9 @@ std::string SystemConfig::ToText() const {
   os << "trace_enabled = " << (trace_enabled ? "true" : "false") << "\n";
   os << "trace_detail = " << TraceDetailName(trace_detail) << "\n";
   os << "verify_history = " << (verify_history ? "true" : "false") << "\n";
+  os << "nemesis_seed = " << nemesis_seed << "\n";
+  os << "nemesis_profile = " << nemesis_profile << "\n";
+  os << "nemesis_rounds = " << nemesis_rounds << "\n";
   os << "\n[network]\n";
   os << "distribution = " << LatencyDistributionName(latency.distribution)
      << "\n";
@@ -110,6 +113,8 @@ std::string SystemConfig::ToText() const {
      << (protocols.recovery_refresh ? "true" : "false") << "\n";
   os << "readonly_optimization = "
      << (protocols.readonly_optimization ? "true" : "false") << "\n";
+  os << "epoch_fencing = " << (protocols.epoch_fencing ? "true" : "false")
+     << "\n";
   os << "ordered_access = "
      << (protocols.ordered_access ? "true" : "false") << "\n";
   os << "op_timeout = " << protocols.op_timeout << "\n";
@@ -178,6 +183,13 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(cfg.trace_enabled, as_bool());
     } else if (key == "verify_history") {
       RAINBOW_ASSIGN_OR_RETURN(cfg.verify_history, as_bool());
+    } else if (key == "nemesis_seed") {
+      RAINBOW_ASSIGN_OR_RETURN(cfg.nemesis_seed, ParseUint64(value));
+    } else if (key == "nemesis_profile") {
+      cfg.nemesis_profile = value;
+    } else if (key == "nemesis_rounds") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      cfg.nemesis_rounds = static_cast<uint32_t>(v);
     } else if (key == "trace_detail") {
       if (value == "off") {
         cfg.trace_detail = TraceDetail::kOff;
@@ -283,6 +295,8 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(p.recovery_refresh, as_bool());
     } else if (key == "readonly_optimization") {
       RAINBOW_ASSIGN_OR_RETURN(p.readonly_optimization, as_bool());
+    } else if (key == "epoch_fencing") {
+      RAINBOW_ASSIGN_OR_RETURN(p.epoch_fencing, as_bool());
     } else if (key == "ordered_access") {
       RAINBOW_ASSIGN_OR_RETURN(p.ordered_access, as_bool());
     } else if (key == "op_timeout") {

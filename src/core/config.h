@@ -57,6 +57,13 @@ struct SystemConfig {
   /// trace_enabled (at >= protocol detail) for the run.
   bool verify_history = false;
 
+  /// Nemesis fuzzing knobs (fault/nemesis.h): base seed, intensity
+  /// profile name ("calm", "flaky", "havoc") and number of rounds, so a
+  /// saved config fully describes a push-button fuzz run.
+  uint64_t nemesis_seed = 1;
+  std::string nemesis_profile = "flaky";
+  uint32_t nemesis_rounds = 10;
+
   /// Adds `count` items named "x0".."x<count-1>", each with
   /// `replication_degree` copies placed round-robin across the sites,
   /// one vote per copy and majority quorums.

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include "fault/fault_script.h"
 #include "verify/checker.h"
 #include "verify/history.h"
 
@@ -25,6 +26,12 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
 
   FaultInjector injector(&sys);
   injector.ScheduleAll(options.faults);
+  if (!options.fault_script.empty()) {
+    Result<std::vector<FaultEvent>> scripted =
+        ParseFaultScript(options.fault_script);
+    RAINBOW_RETURN_IF_ERROR(scripted.status());
+    injector.ScheduleAll(*scripted);
+  }
   if (options.random_mttf > 0 && options.random_mttr > 0) {
     injector.EnableRandomFaults(options.random_mttf, options.random_mttr,
                                 options.max_duration, sys_cfg.seed ^ 0xfa17u);

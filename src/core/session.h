@@ -53,6 +53,9 @@ struct SessionResult {
 /// Options for RunSession beyond system + workload config.
 struct SessionOptions {
   std::vector<FaultEvent> faults;
+  /// Declarative fault script (fault/fault_script.h grammar), scheduled
+  /// in addition to `faults`. Parse errors fail the session.
+  std::string fault_script;
   /// Random faults (0 = disabled): exponential MTTF/MTTR per site while
   /// the workload runs.
   SimTime random_mttf = 0;

@@ -1,8 +1,45 @@
 #include "fault/fault_injector.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
 #include "core/system.h"
 
 namespace rainbow {
+
+const char* FaultKindName(FaultEvent::Kind k) {
+  switch (k) {
+    case FaultEvent::Kind::kCrashSite: return "crash";
+    case FaultEvent::Kind::kRecoverSite: return "recover";
+    case FaultEvent::Kind::kLinkDown: return "linkdown";
+    case FaultEvent::Kind::kLinkUp: return "linkup";
+    case FaultEvent::Kind::kLinkDownOneWay: return "linkdown1";
+    case FaultEvent::Kind::kLinkUpOneWay: return "linkup1";
+    case FaultEvent::Kind::kPartition: return "partition";
+    case FaultEvent::Kind::kHeal: return "heal";
+    case FaultEvent::Kind::kCrashNameServer: return "crashns";
+    case FaultEvent::Kind::kRecoverNameServer: return "recoverns";
+    case FaultEvent::Kind::kLinkLoss: return "loss";
+    case FaultEvent::Kind::kLinkDelay: return "delay";
+    case FaultEvent::Kind::kLinkDup: return "dup";
+    case FaultEvent::Kind::kLinkReorder: return "reorder";
+    case FaultEvent::Kind::kClearLinkFaults: return "clearlinks";
+    case FaultEvent::Kind::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Human-readable intensity for trace lines ("0.25", "3", "1500").
+std::string AmountString(double amount) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", amount);
+  return buf;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(RainbowSystem* system) : system_(system) {}
 
@@ -15,48 +52,129 @@ void FaultInjector::ScheduleAll(const std::vector<FaultEvent>& events) {
   for (const FaultEvent& e : events) Schedule(e);
 }
 
+bool FaultInjector::SiteUp(SiteId s) const {
+  return system_->net().IsSiteUp(s);
+}
+
 void FaultInjector::Apply(const FaultEvent& e) {
   TraceLog& trace = system_->trace();
+  Network& net = system_->net();
+  const SimTime now = system_->sim().Now();
   switch (e.kind) {
     case FaultEvent::Kind::kCrashSite:
+      // Idempotent: a site that is already down (scripted event racing
+      // the random process, or a shrunk schedule replay) stays down and
+      // the no-op is not counted.
+      if (!SiteUp(e.site)) return;
       ++crashes_;
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
-                   "inject crash");
+      trace.Record(now, TraceCategory::kFault, e.site, "inject crash");
       system_->CrashSite(e.site);
       break;
     case FaultEvent::Kind::kRecoverSite:
+      if (SiteUp(e.site)) return;
       ++recoveries_;
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
-                   "inject recovery");
+      trace.Record(now, TraceCategory::kFault, e.site, "inject recovery");
       system_->RecoverSite(e.site);
       break;
     case FaultEvent::Kind::kLinkDown:
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+      trace.Record(now, TraceCategory::kFault, e.site,
                    "link down to " + std::to_string(e.peer));
-      system_->net().SetLinkUp(e.site, e.peer, false);
+      net.SetLinkUp(e.site, e.peer, false);
       break;
     case FaultEvent::Kind::kLinkUp:
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, e.site,
+      trace.Record(now, TraceCategory::kFault, e.site,
                    "link up to " + std::to_string(e.peer));
-      system_->net().SetLinkUp(e.site, e.peer, true);
+      net.SetLinkUp(e.site, e.peer, true);
+      break;
+    case FaultEvent::Kind::kLinkDownOneWay:
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "one-way link down to " + std::to_string(e.peer));
+      net.SetLinkUpOneWay(e.site, e.peer, false);
+      break;
+    case FaultEvent::Kind::kLinkUpOneWay:
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "one-way link up to " + std::to_string(e.peer));
+      net.SetLinkUpOneWay(e.site, e.peer, true);
       break;
     case FaultEvent::Kind::kPartition:
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, kInvalidSite,
+      trace.Record(now, TraceCategory::kFault, kInvalidSite,
                    "partition installed");
-      system_->net().SetPartitions(e.groups);
+      net.SetPartitions(e.groups);
       break;
     case FaultEvent::Kind::kHeal:
-      trace.Record(system_->sim().Now(), TraceCategory::kFault, kInvalidSite,
+      trace.Record(now, TraceCategory::kFault, kInvalidSite,
                    "partition healed");
-      system_->net().HealPartitions();
+      net.HealPartitions();
       break;
     case FaultEvent::Kind::kCrashNameServer:
+      if (system_->name_server().crashed()) return;
+      trace.Record(now, TraceCategory::kFault, kNameServerId,
+                   "name server crash");
       system_->name_server().Crash();
       break;
     case FaultEvent::Kind::kRecoverNameServer:
+      if (!system_->name_server().crashed()) return;
+      trace.Record(now, TraceCategory::kFault, kNameServerId,
+                   "name server recovery");
       system_->name_server().Recover();
       break;
+    case FaultEvent::Kind::kLinkLoss: {
+      LinkOverride o;
+      if (const LinkOverride* cur = net.FindLinkOverride(e.site, e.peer)) {
+        o = *cur;
+      }
+      o.loss = e.amount;
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "link loss " + AmountString(e.amount) + " to " +
+                       std::to_string(e.peer));
+      net.SetLinkOverride(e.site, e.peer, o);
+      break;
+    }
+    case FaultEvent::Kind::kLinkDelay: {
+      LinkOverride o;
+      if (const LinkOverride* cur = net.FindLinkOverride(e.site, e.peer)) {
+        o = *cur;
+      }
+      o.delay_multiplier = e.amount;
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "link delay x" + AmountString(e.amount) + " to " +
+                       std::to_string(e.peer));
+      net.SetLinkOverride(e.site, e.peer, o);
+      break;
+    }
+    case FaultEvent::Kind::kLinkDup: {
+      LinkOverride o;
+      if (const LinkOverride* cur = net.FindLinkOverride(e.site, e.peer)) {
+        o = *cur;
+      }
+      o.dup_probability = e.amount;
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "link dup " + AmountString(e.amount) + " to " +
+                       std::to_string(e.peer));
+      net.SetLinkOverride(e.site, e.peer, o);
+      break;
+    }
+    case FaultEvent::Kind::kLinkReorder: {
+      LinkOverride o;
+      if (const LinkOverride* cur = net.FindLinkOverride(e.site, e.peer)) {
+        o = *cur;
+      }
+      o.reorder_jitter = static_cast<SimTime>(e.amount);
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   "link reorder jitter " + AmountString(e.amount) + "us to " +
+                       std::to_string(e.peer));
+      net.SetLinkOverride(e.site, e.peer, o);
+      break;
+    }
+    case FaultEvent::Kind::kClearLinkFaults:
+      trace.Record(now, TraceCategory::kFault, kInvalidSite,
+                   "link overrides cleared");
+      net.ClearLinkOverrides();
+      break;
+    case FaultEvent::Kind::kCount:
+      return;
   }
+  system_->monitor().OnFaultInjected(e.kind);
 }
 
 void FaultInjector::EnableRandomFaults(SimTime mttf, SimTime mttr,
@@ -65,39 +183,34 @@ void FaultInjector::EnableRandomFaults(SimTime mttf, SimTime mttr,
   mttf_ = mttf;
   mttr_ = mttr;
   random_until_ = until;
-  for (SiteId s = 0; s < system_->num_sites(); ++s) {
+  for (SiteId s = 0; s < static_cast<SiteId>(system_->num_sites()); ++s) {
     ScheduleNextForSite(s, /*currently_up=*/true);
   }
+  // Whatever the interleaving of random and scripted faults, every site
+  // is brought back at the end of the window so the run can drain.
+  system_->sim().At(until, [this] {
+    for (SiteId s = 0; s < static_cast<SiteId>(system_->num_sites()); ++s) {
+      if (!SiteUp(s)) Apply(FaultEvent::Recover(random_until_, s));
+    }
+  });
 }
 
 void FaultInjector::ScheduleNextForSite(SiteId s, bool currently_up) {
   SimTime delay = static_cast<SimTime>(rng_.NextExponential(
       static_cast<double>(currently_up ? mttf_ : mttr_)));
   SimTime when = system_->sim().Now() + std::max<SimTime>(delay, Micros(1));
-  if (when >= random_until_) {
-    // Past the fault window: if the site is down, bring it back once so
-    // the run can drain.
-    if (!currently_up) {
-      system_->sim().At(random_until_, [this, s] {
-        ++recoveries_;
-        system_->RecoverSite(s);
-      });
-    }
-    return;
-  }
+  if (when >= random_until_) return;  // final recovery sweep handles cleanup
   system_->sim().At(when, [this, s, currently_up] {
+    // Re-check the actual state at fire time: a scripted event may have
+    // crashed or recovered the site since this transition was drawn.
+    // Apply is idempotent, so the stale transition is simply a no-op,
+    // and the next draw is based on the observed state.
     if (currently_up) {
-      ++crashes_;
-      system_->trace().Record(system_->sim().Now(), TraceCategory::kFault, s,
-                              "random crash");
-      system_->CrashSite(s);
+      Apply(FaultEvent::Crash(system_->sim().Now(), s));
     } else {
-      ++recoveries_;
-      system_->trace().Record(system_->sim().Now(), TraceCategory::kFault, s,
-                              "random recovery");
-      system_->RecoverSite(s);
+      Apply(FaultEvent::Recover(system_->sim().Now(), s));
     }
-    ScheduleNextForSite(s, !currently_up);
+    ScheduleNextForSite(s, SiteUp(s));
   });
 }
 

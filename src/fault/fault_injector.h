@@ -1,6 +1,7 @@
 #ifndef RAINBOW_FAULT_FAULT_INJECTOR_H_
 #define RAINBOW_FAULT_FAULT_INJECTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -13,48 +14,101 @@ class RainbowSystem;
 
 /// One scripted fault/recovery action at a virtual time. The Rainbow GUI
 /// lets the user "inject network and site failures and recoveries"; this
-/// is the scripted equivalent.
+/// is the scripted equivalent. The vocabulary covers site crashes,
+/// bidirectional and asymmetric link failures, partitions, and the
+/// per-link overrides (loss, delay spikes, duplication, reordering) the
+/// nemesis fuzzer composes into adversarial schedules.
 struct FaultEvent {
   enum class Kind {
     kCrashSite,
     kRecoverSite,
-    kLinkDown,
+    kLinkDown,         ///< bidirectional: site <-> peer
     kLinkUp,
+    kLinkDownOneWay,   ///< only site -> peer severed
+    kLinkUpOneWay,
     kPartition,
     kHeal,
     kCrashNameServer,
     kRecoverNameServer,
+    kLinkLoss,         ///< per-link loss probability (amount in [0,1])
+    kLinkDelay,        ///< per-link delay-spike multiplier (amount >= 0)
+    kLinkDup,          ///< per-link duplication probability (amount in [0,1])
+    kLinkReorder,      ///< per-link reorder jitter (amount = window in µs)
+    kClearLinkFaults,  ///< drop every per-link override
+    kCount,            ///< number of kinds; not a real event
   };
   SimTime at = 0;
   Kind kind = Kind::kCrashSite;
-  SiteId site = kInvalidSite;  ///< crash/recover
-  SiteId peer = kInvalidSite;  ///< link events
+  SiteId site = kInvalidSite;  ///< crash/recover; link source
+  SiteId peer = kInvalidSite;  ///< link destination
+  /// Override intensity: probability for kLinkLoss/kLinkDup, multiplier
+  /// for kLinkDelay, jitter window in µs for kLinkReorder. The nemesis
+  /// shrinker halves this toward the identity when minimizing a repro.
+  double amount = 0.0;
   std::vector<std::vector<SiteId>> groups;  ///< partition
 
+  bool operator==(const FaultEvent&) const = default;
+
   static FaultEvent Crash(SimTime at, SiteId s) {
-    return FaultEvent{at, Kind::kCrashSite, s, kInvalidSite, {}};
+    return FaultEvent{at, Kind::kCrashSite, s, kInvalidSite, 0.0, {}};
   }
   static FaultEvent Recover(SimTime at, SiteId s) {
-    return FaultEvent{at, Kind::kRecoverSite, s, kInvalidSite, {}};
+    return FaultEvent{at, Kind::kRecoverSite, s, kInvalidSite, 0.0, {}};
   }
   static FaultEvent LinkDown(SimTime at, SiteId a, SiteId b) {
-    return FaultEvent{at, Kind::kLinkDown, a, b, {}};
+    return FaultEvent{at, Kind::kLinkDown, a, b, 0.0, {}};
   }
   static FaultEvent LinkUp(SimTime at, SiteId a, SiteId b) {
-    return FaultEvent{at, Kind::kLinkUp, a, b, {}};
+    return FaultEvent{at, Kind::kLinkUp, a, b, 0.0, {}};
+  }
+  static FaultEvent LinkDownOneWay(SimTime at, SiteId from, SiteId to) {
+    return FaultEvent{at, Kind::kLinkDownOneWay, from, to, 0.0, {}};
+  }
+  static FaultEvent LinkUpOneWay(SimTime at, SiteId from, SiteId to) {
+    return FaultEvent{at, Kind::kLinkUpOneWay, from, to, 0.0, {}};
   }
   static FaultEvent Partition(SimTime at,
                               std::vector<std::vector<SiteId>> groups) {
-    return FaultEvent{at, Kind::kPartition, kInvalidSite, kInvalidSite,
-                      std::move(groups)};
+    return FaultEvent{at,  Kind::kPartition, kInvalidSite, kInvalidSite,
+                      0.0, std::move(groups)};
   }
   static FaultEvent Heal(SimTime at) {
-    return FaultEvent{at, Kind::kHeal, kInvalidSite, kInvalidSite, {}};
+    return FaultEvent{at, Kind::kHeal, kInvalidSite, kInvalidSite, 0.0, {}};
+  }
+  static FaultEvent LinkLoss(SimTime at, SiteId from, SiteId to, double p) {
+    return FaultEvent{at, Kind::kLinkLoss, from, to, p, {}};
+  }
+  static FaultEvent LinkDelay(SimTime at, SiteId from, SiteId to,
+                              double multiplier) {
+    return FaultEvent{at, Kind::kLinkDelay, from, to, multiplier, {}};
+  }
+  static FaultEvent LinkDup(SimTime at, SiteId from, SiteId to, double p) {
+    return FaultEvent{at, Kind::kLinkDup, from, to, p, {}};
+  }
+  static FaultEvent LinkReorder(SimTime at, SiteId from, SiteId to,
+                                double jitter_us) {
+    return FaultEvent{at, Kind::kLinkReorder, from, to, jitter_us, {}};
+  }
+  static FaultEvent ClearLinkFaults(SimTime at) {
+    return FaultEvent{at,  Kind::kClearLinkFaults, kInvalidSite, kInvalidSite,
+                      0.0, {}};
   }
 };
 
+/// Stable lower-case name of a fault kind — doubles as the keyword of
+/// the declarative fault-script grammar (fault/fault_script.h).
+const char* FaultKindName(FaultEvent::Kind k);
+
+inline constexpr size_t kNumFaultKinds =
+    static_cast<size_t>(FaultEvent::Kind::kCount);
+
 /// Schedules scripted fault events and (optionally) a random
 /// crash/recover process per site, driven by exponential MTTF/MTTR.
+///
+/// Apply is idempotent with respect to site state: crashing a site that
+/// is already down (or recovering one that is up) is a no-op and is not
+/// counted — scripted and random fault streams can overlap without
+/// double-crashing a site or desynchronizing the random process.
 class FaultInjector {
  public:
   explicit FaultInjector(RainbowSystem* system);
@@ -63,9 +117,15 @@ class FaultInjector {
   void Schedule(const FaultEvent& event);
   void ScheduleAll(const std::vector<FaultEvent>& events);
 
+  /// Applies an event immediately (the interactive session's crash /
+  /// linkdown / ... verbs act at the current virtual time).
+  void ApplyNow(const FaultEvent& event) { Apply(event); }
+
   /// Starts a random fault process: each site independently crashes
   /// after Exp(mttf) up time and recovers after Exp(mttr) down time,
   /// until virtual time `until`. Uses its own RNG stream (seeded).
+  /// At `until` every still-down site is recovered, whatever the
+  /// interleaving with scripted events, so the run can drain.
   void EnableRandomFaults(SimTime mttf, SimTime mttr, SimTime until,
                           uint64_t seed);
 
@@ -75,6 +135,7 @@ class FaultInjector {
  private:
   void Apply(const FaultEvent& event);
   void ScheduleNextForSite(SiteId s, bool currently_up);
+  bool SiteUp(SiteId s) const;
 
   RainbowSystem* system_;
   Rng rng_{0};

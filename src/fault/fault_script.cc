@@ -1,0 +1,232 @@
+#include "fault/fault_script.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+
+#include "common/string_util.h"
+
+namespace rainbow {
+
+namespace {
+
+/// Whitespace-splits `s` into tokens.
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> out;
+  std::istringstream is{std::string(s)};
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+Result<SiteId> ParseSite(std::string_view tok) {
+  Result<int64_t> v = ParseInt(tok);
+  if (!v.ok()) return v.status();
+  if (*v < 0 || *v >= static_cast<int64_t>(kNameServerId)) {
+    return Status::InvalidArgument("site id out of range: " +
+                                   std::string(tok));
+  }
+  return static_cast<SiteId>(*v);
+}
+
+Result<double> ParseAmount(std::string_view tok, double lo, double hi) {
+  Result<double> v = ParseDouble(tok);
+  if (!v.ok()) return v.status();
+  if (*v < lo || *v > hi) {
+    return Status::InvalidArgument("amount out of range: " +
+                                   std::string(tok));
+  }
+  return v;
+}
+
+std::string AmountText(double amount) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", amount);
+  return buf;
+}
+
+/// Expected argument count per verb (kPartition is variadic).
+Result<FaultEvent> ParseVerb(const std::vector<std::string>& tok,
+                             std::string_view rest_of_line, SimTime at) {
+  const std::string& verb = tok[0];
+  const size_t nargs = tok.size() - 1;
+  auto need = [&](size_t n) -> Status {
+    if (nargs == n) return Status::OK();
+    return Status::InvalidArgument("'" + verb + "' takes " +
+                                   std::to_string(n) + " argument(s), got " +
+                                   std::to_string(nargs));
+  };
+  auto site_pair = [&](SiteId* a, SiteId* b) -> Status {
+    Result<SiteId> ra = ParseSite(tok[1]);
+    if (!ra.ok()) return ra.status();
+    Result<SiteId> rb = ParseSite(tok[2]);
+    if (!rb.ok()) return rb.status();
+    *a = *ra;
+    *b = *rb;
+    return Status::OK();
+  };
+
+  if (verb == "crash" || verb == "recover") {
+    if (Status s = need(1); !s.ok()) return s;
+    Result<SiteId> site = ParseSite(tok[1]);
+    if (!site.ok()) return site.status();
+    return verb == "crash" ? FaultEvent::Crash(at, *site)
+                           : FaultEvent::Recover(at, *site);
+  }
+  if (verb == "crashns") {
+    if (Status s = need(0); !s.ok()) return s;
+    return FaultEvent{at, FaultEvent::Kind::kCrashNameServer, kInvalidSite,
+                      kInvalidSite, 0.0, {}};
+  }
+  if (verb == "recoverns") {
+    if (Status s = need(0); !s.ok()) return s;
+    return FaultEvent{at, FaultEvent::Kind::kRecoverNameServer, kInvalidSite,
+                      kInvalidSite, 0.0, {}};
+  }
+  if (verb == "linkdown" || verb == "linkup" || verb == "linkdown1" ||
+      verb == "linkup1") {
+    if (Status s = need(2); !s.ok()) return s;
+    SiteId a = 0, b = 0;
+    if (Status s = site_pair(&a, &b); !s.ok()) return s;
+    if (verb == "linkdown") return FaultEvent::LinkDown(at, a, b);
+    if (verb == "linkup") return FaultEvent::LinkUp(at, a, b);
+    if (verb == "linkdown1") return FaultEvent::LinkDownOneWay(at, a, b);
+    return FaultEvent::LinkUpOneWay(at, a, b);
+  }
+  if (verb == "loss" || verb == "delay" || verb == "dup" ||
+      verb == "reorder") {
+    if (Status s = need(3); !s.ok()) return s;
+    SiteId a = 0, b = 0;
+    if (Status s = site_pair(&a, &b); !s.ok()) return s;
+    const bool probability = verb == "loss" || verb == "dup";
+    Result<double> amt =
+        ParseAmount(tok[3], 0.0, probability ? 1.0 : 1e12);
+    if (!amt.ok()) return amt.status();
+    if (verb == "loss") return FaultEvent::LinkLoss(at, a, b, *amt);
+    if (verb == "delay") return FaultEvent::LinkDelay(at, a, b, *amt);
+    if (verb == "dup") return FaultEvent::LinkDup(at, a, b, *amt);
+    return FaultEvent::LinkReorder(at, a, b, *amt);
+  }
+  if (verb == "partition") {
+    // Everything after the verb is '|'-separated groups of site ids.
+    size_t pos = rest_of_line.find(verb);
+    std::string_view groups_text = rest_of_line.substr(pos + verb.size());
+    std::vector<std::vector<SiteId>> groups;
+    for (const std::string& g : SplitAndTrim(groups_text, '|')) {
+      std::vector<SiteId> group;
+      for (const std::string& t : Tokenize(g)) {
+        Result<SiteId> site = ParseSite(t);
+        if (!site.ok()) return site.status();
+        group.push_back(*site);
+      }
+      if (group.empty()) {
+        return Status::InvalidArgument("partition has an empty group");
+      }
+      groups.push_back(std::move(group));
+    }
+    if (groups.size() < 2) {
+      return Status::InvalidArgument(
+          "partition needs at least two '|'-separated groups");
+    }
+    return FaultEvent::Partition(at, std::move(groups));
+  }
+  if (verb == "heal") {
+    if (Status s = need(0); !s.ok()) return s;
+    return FaultEvent::Heal(at);
+  }
+  if (verb == "clearlinks") {
+    if (Status s = need(0); !s.ok()) return s;
+    return FaultEvent::ClearLinkFaults(at);
+  }
+  return Status::InvalidArgument("unknown fault verb '" + verb + "'");
+}
+
+}  // namespace
+
+Result<FaultEvent> ParseFaultCommand(const std::string& command, SimTime at) {
+  std::vector<std::string> tok = Tokenize(command);
+  if (tok.empty()) return Status::InvalidArgument("empty fault command");
+  return ParseVerb(tok, command, at);
+}
+
+Result<std::vector<FaultEvent>> ParseFaultScript(const std::string& text) {
+  std::vector<FaultEvent> events;
+  std::istringstream is(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(is, raw)) {
+    ++lineno;
+    std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tok = Tokenize(line);
+    Result<int64_t> at = ParseInt(tok[0]);
+    if (!at.ok() || *at < 0) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(lineno) +
+          ": expected a virtual time in microseconds, got '" + tok[0] + "'");
+    }
+    tok.erase(tok.begin());
+    if (tok.empty()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) +
+                                     ": missing fault verb");
+    }
+    Result<FaultEvent> e = ParseVerb(tok, line, static_cast<SimTime>(*at));
+    if (!e.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                     e.status().message());
+    }
+    events.push_back(std::move(*e));
+  }
+  return events;
+}
+
+std::string FormatFaultEvent(const FaultEvent& e) {
+  std::ostringstream os;
+  os << e.at << ' ' << FaultKindName(e.kind);
+  switch (e.kind) {
+    case FaultEvent::Kind::kCrashSite:
+    case FaultEvent::Kind::kRecoverSite:
+      os << ' ' << e.site;
+      break;
+    case FaultEvent::Kind::kLinkDown:
+    case FaultEvent::Kind::kLinkUp:
+    case FaultEvent::Kind::kLinkDownOneWay:
+    case FaultEvent::Kind::kLinkUpOneWay:
+      os << ' ' << e.site << ' ' << e.peer;
+      break;
+    case FaultEvent::Kind::kLinkLoss:
+    case FaultEvent::Kind::kLinkDelay:
+    case FaultEvent::Kind::kLinkDup:
+    case FaultEvent::Kind::kLinkReorder:
+      os << ' ' << e.site << ' ' << e.peer << ' ' << AmountText(e.amount);
+      break;
+    case FaultEvent::Kind::kPartition:
+      os << ' ';
+      for (size_t g = 0; g < e.groups.size(); ++g) {
+        if (g) os << " | ";
+        for (size_t i = 0; i < e.groups[g].size(); ++i) {
+          if (i) os << ' ';
+          os << e.groups[g][i];
+        }
+      }
+      break;
+    case FaultEvent::Kind::kHeal:
+    case FaultEvent::Kind::kCrashNameServer:
+    case FaultEvent::Kind::kRecoverNameServer:
+    case FaultEvent::Kind::kClearLinkFaults:
+    case FaultEvent::Kind::kCount:
+      break;
+  }
+  return os.str();
+}
+
+std::string SaveFaultScript(const std::vector<FaultEvent>& events) {
+  std::string out;
+  for (const FaultEvent& e : events) {
+    out += FormatFaultEvent(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rainbow

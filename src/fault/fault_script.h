@@ -1,0 +1,56 @@
+#ifndef RAINBOW_FAULT_FAULT_SCRIPT_H_
+#define RAINBOW_FAULT_FAULT_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "fault/fault_injector.h"
+
+namespace rainbow {
+
+/// Declarative fault scripts: a text format for fault schedules, used by
+/// session configs (`fault_script` in SessionOptions), the interactive
+/// shell's fault verbs, and the nemesis fuzzer's minimized repros.
+///
+/// Grammar — one event per line, `#` starts a comment, blank lines are
+/// ignored. Every line begins with a virtual time in microseconds:
+///
+///   <time_us> crash <site>            crash a site
+///   <time_us> recover <site>          recover a site
+///   <time_us> crashns                 crash the name server
+///   <time_us> recoverns               recover the name server
+///   <time_us> linkdown <a> <b>        sever the link both ways
+///   <time_us> linkup <a> <b>          restore the link both ways
+///   <time_us> linkdown1 <from> <to>   sever only from -> to
+///   <time_us> linkup1 <from> <to>     restore only from -> to
+///   <time_us> loss <from> <to> <p>    per-message loss probability on
+///                                     the directed link, p in [0,1]
+///   <time_us> delay <from> <to> <m>   delay-spike multiplier m >= 0
+///   <time_us> dup <from> <to> <p>     duplication probability in [0,1]
+///   <time_us> reorder <from> <to> <j> extra uniform jitter in [0, j] µs
+///   <time_us> partition <g> | <g> ... partition: groups of site ids
+///                                     separated by '|'
+///   <time_us> heal                    remove any partition
+///   <time_us> clearlinks              drop every loss/delay/dup/reorder
+///                                     override (links stay as set)
+///
+/// SaveFaultScript emits the canonical form (single spaces, times in
+/// ascending file order as given, `%g`-formatted amounts); for any
+/// canonical script s, SaveFaultScript(ParseFaultScript(s)) == s.
+Result<std::vector<FaultEvent>> ParseFaultScript(const std::string& text);
+
+/// Parses one `verb args...` command (no leading time) at time `at` —
+/// the interactive shell's fault verbs share the script vocabulary.
+Result<FaultEvent> ParseFaultCommand(const std::string& command, SimTime at);
+
+/// Canonical one-line form of `e`, without trailing newline.
+std::string FormatFaultEvent(const FaultEvent& e);
+
+/// Canonical text of a whole schedule (one FormatFaultEvent line each).
+std::string SaveFaultScript(const std::vector<FaultEvent>& events);
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_FAULT_FAULT_SCRIPT_H_

@@ -22,6 +22,8 @@ const char* DropCauseName(DropCause c) {
       return "destination_down";
     case DropCause::kSourceDown:
       return "source_down";
+    case DropCause::kLinkLoss:
+      return "link_loss";
     case DropCause::kCount:
       break;
   }
@@ -68,6 +70,10 @@ std::string NetworkStats::Render() const {
       static_cast<unsigned long long>(delivered),
       static_cast<unsigned long long>(total_dropped()),
       static_cast<unsigned long long>(bytes));
+  if (duplicated > 0) {
+    os << StringPrintf("duplicated (injected): %llu\n",
+                       static_cast<unsigned long long>(duplicated));
+  }
   os << "by kind:";
   for (size_t k = 0; k < by_kind.size(); ++k) {
     if (by_kind[k] == 0) continue;
@@ -149,6 +155,29 @@ void Network::SetLinkUp(SiteId a, SiteId b, bool up) {
   }
 }
 
+void Network::SetLinkUpOneWay(SiteId from, SiteId to, bool up) {
+  if (up) {
+    down_links_oneway_.erase({from, to});
+  } else {
+    down_links_oneway_.insert({from, to});
+  }
+}
+
+void Network::SetLinkOverride(SiteId from, SiteId to, LinkOverride o) {
+  if (o.identity()) {
+    link_overrides_.erase({from, to});
+  } else {
+    link_overrides_[{from, to}] = o;
+  }
+}
+
+const LinkOverride* Network::FindLinkOverride(SiteId from, SiteId to) const {
+  auto it = link_overrides_.find({from, to});
+  return it == link_overrides_.end() ? nullptr : &it->second;
+}
+
+void Network::ClearLinkOverrides() { link_overrides_.clear(); }
+
 void Network::SetPartitions(const std::vector<std::vector<SiteId>>& groups) {
   partitioned_ = true;
   partition_group_.clear();
@@ -179,6 +208,7 @@ bool Network::Reachable(SiteId a, SiteId b) const {
   if (!IsSiteUp(a) || !IsSiteUp(b)) return false;
   auto key = std::minmax(a, b);
   if (down_links_.contains({key.first, key.second})) return false;
+  if (down_links_oneway_.contains({a, b})) return false;
   return SameGroup(a, b);
 }
 
@@ -249,6 +279,37 @@ void Network::SendMessage(Message msg) {
   }
 
   SimTime delay = latency_.SampleDelay(msg.from, msg.to, size);
+  bool duplicate = false;
+  // Per-link fault overrides. The emptiness check is the entire cost of
+  // this feature on a fault-free run.
+  if (!link_overrides_.empty() && msg.from != msg.to) {
+    if (const LinkOverride* o = FindLinkOverride(msg.from, msg.to)) {
+      if (o->loss > 0 && rng_.NextBool(o->loss)) {
+        stats_.RecordDrop(DropCause::kLinkLoss);
+        if (trace_ && trace_->enabled()) {
+          trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
+                         "DROP(link loss) " + msg.Describe());
+        }
+        if (collector_ && collector_->full()) {
+          EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+                           DropCauseName(DropCause::kLinkLoss));
+        }
+        return;
+      }
+      if (o->delay_multiplier != 1.0) {
+        delay = static_cast<SimTime>(static_cast<double>(delay) *
+                                     o->delay_multiplier);
+      }
+      if (o->reorder_jitter > 0) {
+        // Independent uniform jitter per message lets later sends
+        // overtake earlier ones — bounded reordering, bounded by the
+        // jitter window.
+        delay += static_cast<SimTime>(
+            rng_.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
+      }
+      duplicate = o->dup_probability > 0 && rng_.NextBool(o->dup_probability);
+    }
+  }
   if (trace_ && trace_->enabled()) {
     trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
                    "SEND " + msg.Describe());
@@ -256,6 +317,28 @@ void Network::SendMessage(Message msg) {
   if (collector_ && collector_->full()) {
     EmitMessageEvent(TraceEventKind::kMsgSend, msg, msg.from, "");
   }
+  if (duplicate) {
+    // The duplicate travels independently: its own delay sample (plus
+    // the same override treatment minus further duplication), so it can
+    // arrive before OR after the original.
+    stats_.duplicated++;
+    SimTime dup_delay = latency_.SampleDelay(msg.from, msg.to, size);
+    if (const LinkOverride* o = FindLinkOverride(msg.from, msg.to)) {
+      if (o->delay_multiplier != 1.0) {
+        dup_delay = static_cast<SimTime>(static_cast<double>(dup_delay) *
+                                         o->delay_multiplier);
+      }
+      if (o->reorder_jitter > 0) {
+        dup_delay += static_cast<SimTime>(
+            rng_.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
+      }
+    }
+    ScheduleDelivery(msg, dup_delay);
+  }
+  ScheduleDelivery(std::move(msg), delay);
+}
+
+void Network::ScheduleDelivery(Message msg, SimTime delay) {
   sim_->After(delay, [this, msg = std::move(msg)]() mutable {
     Deliver(std::move(msg));
   });
@@ -278,7 +361,8 @@ void Network::Deliver(Message msg) {
   }
   if (msg.from != msg.to) {
     auto key = std::minmax(msg.from, msg.to);
-    if (down_links_.contains({key.first, key.second})) {
+    if (down_links_.contains({key.first, key.second}) ||
+        down_links_oneway_.contains({msg.from, msg.to})) {
       stats_.RecordDrop(DropCause::kLinkDown);
       if (collector_ && collector_->full()) {
         EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,

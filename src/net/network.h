@@ -28,10 +28,30 @@ enum class DropCause {
   kPartition,
   kDestinationDown,
   kSourceDown,
+  kLinkLoss,  ///< per-link loss override (fault injector / nemesis)
   kCount,
 };
 
 const char* DropCauseName(DropCause c);
+
+/// Per-directed-link fault overrides, installed by the fault injector
+/// (and composed by the nemesis schedule generator). The default value
+/// is the identity: no extra loss, unscaled delay, no duplication, no
+/// reordering. Overrides are directional — an override on a→b leaves
+/// b→a untouched — which is what makes asymmetric network pathologies
+/// (grey failures, one-way congestion) expressible.
+struct LinkOverride {
+  double loss = 0.0;              ///< extra per-message loss probability
+  double delay_multiplier = 1.0;  ///< scales the sampled one-way delay
+  double dup_probability = 0.0;   ///< chance the message is delivered twice
+  SimTime reorder_jitter = 0;     ///< extra uniform delay in [0, jitter]
+
+  bool identity() const {
+    return loss == 0.0 && delay_multiplier == 1.0 && dup_probability == 0.0 &&
+           reorder_jitter == 0;
+  }
+  bool operator==(const LinkOverride&) const = default;
+};
 
 /// Traffic accounting for the simulated network. Feeds the paper's
 /// "total number of messages generated per time unit" and message-kind
@@ -41,6 +61,9 @@ struct NetworkStats {
   uint64_t delivered = 0;
   uint64_t local = 0;         ///< from == to (not counted as network traffic)
   uint64_t bytes = 0;
+  /// Extra copies injected by per-link duplication overrides (each such
+  /// copy is delivered — or dropped — in addition to the original).
+  uint64_t duplicated = 0;
   std::array<uint64_t, static_cast<size_t>(MessageKind::kCount)> by_kind{};
   std::array<uint64_t, static_cast<size_t>(DropCause::kCount)> dropped{};
   /// Messages per bucket of `bucket_width` simulated time.
@@ -122,6 +145,25 @@ class Network {
   /// Severs / restores the (bidirectional) link between `a` and `b`.
   void SetLinkUp(SiteId a, SiteId b, bool up);
 
+  /// Severs / restores only the `from` → `to` direction: `to` can still
+  /// reach `from`, which is exactly the asymmetric ("grey") failure mode
+  /// bidirectional SetLinkUp cannot express.
+  void SetLinkUpOneWay(SiteId from, SiteId to, bool up);
+
+  /// Installs fault overrides on the directed link `from` → `to`
+  /// (replacing any previous override there). Installing the identity
+  /// override erases the entry, so the fast path recovers its zero-cost
+  /// emptiness check. See LinkOverride.
+  void SetLinkOverride(SiteId from, SiteId to, LinkOverride o);
+
+  /// The override installed on `from` → `to`, or null.
+  const LinkOverride* FindLinkOverride(SiteId from, SiteId to) const;
+
+  /// Removes every per-link override (one-way down links are separate:
+  /// restore those with SetLinkUpOneWay).
+  void ClearLinkOverrides();
+  bool has_link_overrides() const { return !link_overrides_.empty(); }
+
   /// Installs a partition: each inner vector is a group; sites in
   /// different groups cannot communicate. Sites not listed form an
   /// implicit extra group together.
@@ -145,6 +187,7 @@ class Network {
 
  private:
   void SendMessage(Message msg);
+  void ScheduleDelivery(Message msg, SimTime delay);
   void Deliver(Message msg);
   void EmitMessageEvent(TraceEventKind kind, const Message& m, SiteId at,
                         const char* note);
@@ -162,6 +205,13 @@ class Network {
   std::unordered_map<SiteId, Handler> handlers_;
   std::set<SiteId> down_sites_;
   std::set<std::pair<SiteId, SiteId>> down_links_;
+  /// Directed down links (from, to); disjoint bookkeeping from the
+  /// bidirectional set so healing one never resurrects the other.
+  std::set<std::pair<SiteId, SiteId>> down_links_oneway_;
+  /// Directed per-link overrides. Empty in a fault-free run: the send
+  /// path pays one emptiness branch and nothing else (bench_m5_nemesis
+  /// holds this to zero allocations and no measurable slowdown).
+  std::map<std::pair<SiteId, SiteId>, LinkOverride> link_overrides_;
   bool partitioned_ = false;
   std::unordered_map<SiteId, int> partition_group_;
 

@@ -34,6 +34,12 @@ struct ProtocolConfig {
   /// 2PC read-only optimization: a participant with no buffered writes
   /// votes YES, releases its locks immediately, and skips phase 2.
   bool readonly_optimization = false;
+  /// Incarnation-epoch fencing: replica grants carry the site's epoch
+  /// and the coordinator aborts a transaction whose replica restarted
+  /// mid-flight (the "resurrected grant" fix). Leave on; turning it off
+  /// re-exposes the resurrection bug as a known target for the nemesis
+  /// fuzzer's bug-hunt validation.
+  bool epoch_fencing = true;
   /// Conservative ordered access: coordinators execute operations in
   /// ascending item order (same-item order preserved), so lock
   /// acquisition follows one global order and 2PL deadlocks become

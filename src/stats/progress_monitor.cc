@@ -41,6 +41,16 @@ void ProgressMonitor::OnBlockedTime(TxnId txn, SimTime duration) {
   blocked_.Add(duration);
 }
 
+void ProgressMonitor::OnFaultInjected(FaultEvent::Kind kind) {
+  ++faults_by_kind_[static_cast<size_t>(kind)];
+}
+
+uint64_t ProgressMonitor::faults_injected_total() const {
+  uint64_t n = 0;
+  for (uint64_t f : faults_by_kind_) n += f;
+  return n;
+}
+
 uint64_t ProgressMonitor::aborted_total() const {
   uint64_t n = 0;
   for (uint64_t a : aborted_by_cause_) n += a;
@@ -153,6 +163,13 @@ std::string ProgressMonitor::RenderStatistics(const NetworkStats& net,
             TablePrinter::Cell(response_committed_.Percentile(0.99)).text});
   t.AddRow({"home-load imbalance (CV)", FormatDouble(home_load_cv(), 3)});
   t.AddRow({"message-load imbalance (CV)", FormatDouble(net_load_cv(net), 3)});
+  t.AddRow({"faults injected", TablePrinter::Cell(faults_injected_total()).text});
+  for (size_t k = 0; k < kNumFaultKinds; ++k) {
+    if (faults_by_kind_[k] == 0) continue;
+    t.AddRow({std::string("  faults: ") +
+                  FaultKindName(static_cast<FaultEvent::Kind>(k)),
+              TablePrinter::Cell(faults_by_kind_[k]).text});
+  }
   return t.ToString();
 }
 
@@ -212,6 +229,7 @@ std::string ProgressMonitor::RenderExecutionWindow(
 void ProgressMonitor::Reset() {
   submitted_ = committed_ = orphans_ = round_trips_ = 0;
   aborted_by_cause_ = {};
+  faults_by_kind_ = {};
   response_committed_.Reset();
   response_all_.Reset();
   blocked_.Reset();

@@ -9,6 +9,7 @@
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "txn/transaction.h"
 
@@ -40,6 +41,9 @@ class ProgressMonitor {
   /// A prepared participant was blocked for `duration` waiting for a
   /// decision it could not learn immediately (E7's metric).
   void OnBlockedTime(TxnId txn, SimTime duration);
+  /// The fault injector applied an event of `kind` (no-op transitions —
+  /// crashing an already-down site — are not reported).
+  void OnFaultInjected(FaultEvent::Kind kind);
 
   // --- the §3 statistics ---
 
@@ -49,6 +53,10 @@ class ProgressMonitor {
   uint64_t aborted(AbortCause cause) const;
   uint64_t orphans() const { return orphans_; }
   uint64_t round_trips() const { return round_trips_; }
+  uint64_t faults_injected(FaultEvent::Kind kind) const {
+    return faults_by_kind_[static_cast<size_t>(kind)];
+  }
+  uint64_t faults_injected_total() const;
 
   /// Fraction of finished transactions that committed, in [0,1].
   double commit_rate() const;
@@ -115,6 +123,7 @@ class ProgressMonitor {
   std::array<uint64_t, 6> aborted_by_cause_{};  // indexed by AbortCause
   uint64_t orphans_ = 0;
   uint64_t round_trips_ = 0;
+  std::array<uint64_t, kNumFaultKinds> faults_by_kind_{};
 
   Histogram response_committed_;
   Histogram response_all_;

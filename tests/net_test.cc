@@ -153,6 +153,112 @@ TEST_F(NetworkTest, StatsCountKindsAndBuckets) {
   EXPECT_GT(net_.stats().bytes, 0u);
 }
 
+TEST_F(NetworkTest, OneWayLinkSeversOnlyOneDirection) {
+  net_.SetLinkUpOneWay(0, 1, false);
+  net_.Send(0, 1, Ack{TxnId{0, 1}});
+  net_.Send(1, 0, Ack{TxnId{1, 1}});
+  sim_.RunToQuiescence();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(net_.stats().dropped[static_cast<size_t>(DropCause::kLinkDown)],
+            1u);
+  net_.SetLinkUpOneWay(0, 1, true);
+  net_.Send(0, 1, Ack{TxnId{0, 2}});
+  sim_.RunToQuiescence();
+  EXPECT_EQ(received_[1].size(), 1u);
+}
+
+TEST_F(NetworkTest, LossOverrideIsDirectional) {
+  LinkOverride o;
+  o.loss = 1.0;
+  net_.SetLinkOverride(0, 1, o);
+  net_.Send(0, 1, Ack{TxnId{0, 1}});
+  net_.Send(1, 0, Ack{TxnId{1, 1}});
+  sim_.RunToQuiescence();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(net_.stats().dropped[static_cast<size_t>(DropCause::kLinkLoss)],
+            1u);
+}
+
+TEST_F(NetworkTest, DelayMultiplierScalesOnlyTheOverriddenLink) {
+  LinkOverride o;
+  o.delay_multiplier = 4.0;
+  net_.SetLinkOverride(0, 1, o);
+  net_.Send(0, 1, Ack{TxnId{0, 1}});
+  sim_.RunToQuiescence();
+  EXPECT_EQ(sim_.Now(), Millis(4));  // 1ms fixed latency x4
+  net_.Send(1, 0, Ack{TxnId{1, 1}});
+  const SimTime before = sim_.Now();
+  sim_.RunToQuiescence();
+  EXPECT_EQ(sim_.Now() - before, Millis(1));  // reverse direction unscaled
+}
+
+TEST_F(NetworkTest, DupOverrideDeliversExtraCopiesAndCounts) {
+  LinkOverride o;
+  o.dup_probability = 1.0;
+  net_.SetLinkOverride(0, 1, o);
+  for (int i = 0; i < 10; ++i) {
+    net_.Send(0, 1, Ack{TxnId{0, static_cast<uint64_t>(i)}});
+  }
+  sim_.RunToQuiescence();
+  EXPECT_EQ(received_[1].size(), 20u);
+  EXPECT_EQ(net_.stats().duplicated, 10u);
+}
+
+TEST_F(NetworkTest, ReorderJitterStaysBoundedAndReorders) {
+  LinkOverride o;
+  o.reorder_jitter = Millis(5);
+  net_.SetLinkOverride(0, 1, o);
+  for (int i = 0; i < 50; ++i) {
+    net_.Send(0, 1, Ack{TxnId{0, static_cast<uint64_t>(i)}});
+  }
+  sim_.RunToQuiescence();
+  ASSERT_EQ(received_[1].size(), 50u);
+  // Every delivery lands within base latency + jitter bound.
+  EXPECT_LE(sim_.Now(), Millis(1) + Millis(5));
+  // And with 50 concurrent messages, at least one pair actually swapped.
+  bool out_of_order = false;
+  for (size_t i = 1; i < received_[1].size(); ++i) {
+    if (std::get<Ack>(received_[1][i].payload).txn.seq <
+        std::get<Ack>(received_[1][i - 1].payload).txn.seq) {
+      out_of_order = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST_F(NetworkTest, IdentityOverrideErasesTheEntry) {
+  LinkOverride o;
+  o.loss = 0.5;
+  net_.SetLinkOverride(2, 3, o);
+  EXPECT_TRUE(net_.has_link_overrides());
+  ASSERT_NE(net_.FindLinkOverride(2, 3), nullptr);
+  EXPECT_EQ(net_.FindLinkOverride(3, 2), nullptr);  // directional
+  net_.SetLinkOverride(2, 3, LinkOverride{});
+  EXPECT_FALSE(net_.has_link_overrides());
+  EXPECT_EQ(net_.FindLinkOverride(2, 3), nullptr);
+}
+
+TEST_F(NetworkTest, ClearLinkOverridesLeavesOneWayCutsAlone) {
+  LinkOverride o;
+  o.dup_probability = 0.3;
+  net_.SetLinkOverride(0, 1, o);
+  net_.SetLinkOverride(1, 2, o);
+  net_.SetLinkUpOneWay(0, 3, false);
+  net_.ClearLinkOverrides();
+  EXPECT_FALSE(net_.has_link_overrides());
+  // The one-way severed direction is separate state and survives.
+  net_.Send(0, 3, Ack{TxnId{0, 1}});
+  sim_.RunToQuiescence();
+  EXPECT_TRUE(received_[3].empty());
+  net_.SetLinkUpOneWay(0, 3, true);
+  net_.Send(0, 3, Ack{TxnId{0, 2}});
+  sim_.RunToQuiescence();
+  EXPECT_EQ(received_[3].size(), 1u);
+}
+
 TEST(LatencyModelTest, FixedIsConstant) {
   LatencyConfig cfg;
   cfg.distribution = LatencyDistribution::kFixed;

@@ -2,6 +2,7 @@
 
 #include "core/system.h"
 #include "fault/fault_injector.h"
+#include "workload/workload.h"
 
 namespace rainbow {
 namespace {
@@ -493,6 +494,221 @@ TEST(RecoveryTest, PartitionPreventsCrossGroupCommits) {
                   .ok());
   s.RunFor(Seconds(1));
   EXPECT_TRUE(healed);
+}
+
+TEST(RecoveryTest, FaultInjectorApplyIsIdempotent) {
+  // Regression: a scripted crash racing the random-fault process used to
+  // crash an already-down site (double-counting the fault and restarting
+  // the downtime window). Duplicate events must now be silent no-ops.
+  auto sys =
+      RainbowSystem::Create(FixedLatencySystem(3, AcpKind::kTwoPhaseCommit));
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+  inject.Schedule(FaultEvent::Crash(Millis(1), 1));
+  inject.Schedule(FaultEvent::Crash(Millis(2), 1));  // duplicate
+  inject.Schedule(FaultEvent::Crash(Millis(3), 1));  // duplicate
+  inject.Schedule(FaultEvent::Recover(Millis(10), 1));
+  inject.Schedule(FaultEvent::Recover(Millis(11), 1));  // duplicate
+  s.RunFor(Millis(20));
+
+  EXPECT_TRUE(s.net().IsSiteUp(1));
+  EXPECT_EQ(inject.crashes_injected(), 1u);
+  EXPECT_EQ(inject.recoveries_injected(), 1u);
+  EXPECT_EQ(s.monitor().faults_injected(FaultEvent::Kind::kCrashSite), 1u);
+  EXPECT_EQ(s.monitor().faults_injected(FaultEvent::Kind::kRecoverSite), 1u);
+}
+
+TEST(RecoveryTest, RandomFaultsAlwaysEndRecovered) {
+  // Regression: EnableRandomFaults could leave a site down past `until`
+  // when its recovery event fell outside the window. The injector now
+  // sweeps at `until` and recovers every downed site.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    auto sys = RainbowSystem::Create(
+        FixedLatencySystem(3, AcpKind::kTwoPhaseCommit));
+    ASSERT_TRUE(sys.ok());
+    RainbowSystem& s = **sys;
+    FaultInjector inject(&s);
+    // Short up-times and long down-times maximize the chance a recovery
+    // would have been scheduled past the window end.
+    inject.EnableRandomFaults(Millis(40), Millis(300), Millis(500), seed);
+    s.RunFor(Millis(500));
+    for (SiteId id = 0; id < 3; ++id) {
+      EXPECT_TRUE(s.net().IsSiteUp(id))
+          << "seed " << seed << ": site " << id << " left down past until";
+    }
+    // The recovered system still commits.
+    bool committed = false;
+    ASSERT_TRUE(s.Submit(0, TxnProgram{{Op::Write(2, 1)}, ""},
+                         [&](const TxnOutcome& o) { committed = o.committed; })
+                    .ok());
+    s.RunFor(Seconds(1));
+    EXPECT_TRUE(committed) << "seed " << seed;
+  }
+}
+
+TEST(RecoveryTest, DupStormDuringVoteCollectionIsHarmless) {
+  // Satellite of the nemesis fault vocabulary: duplicate every message
+  // between the coordinator and its participants exactly while 2PC
+  // collects votes. Duplicate suppression must keep the exchange
+  // idempotent: one commit, converged replicas, clean checker.
+  SystemConfig cfg = FixedLatencySystem(3, AcpKind::kTwoPhaseCommit);
+  cfg.record_history = true;
+  cfg.trace_enabled = true;
+  cfg.trace_detail = TraceDetail::kProtocol;
+  auto sys = RainbowSystem::Create(cfg);
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+  // Votes fly at ~4-6ms (1ms fixed latency); storm from the start so
+  // prewrites, prepares, votes and decisions are all duplicated.
+  for (SiteId p = 1; p < 3; ++p) {
+    inject.Schedule(FaultEvent::LinkDup(0, 0, p, 1.0));
+    inject.Schedule(FaultEvent::LinkDup(0, p, 0, 1.0));
+    inject.Schedule(FaultEvent::LinkDup(Millis(50), 0, p, 0.0));
+    inject.Schedule(FaultEvent::LinkDup(Millis(50), p, 0, 0.0));
+  }
+  bool committed = false;
+  ASSERT_TRUE(s.Submit(0, TxnProgram{{Op::Write(3, 777), Op::Write(4, 888)}, ""},
+                       [&](const TxnOutcome& o) { committed = o.committed; })
+                  .ok());
+  s.RunFor(Seconds(1));
+  EXPECT_TRUE(committed);
+  EXPECT_GT(s.net().stats().duplicated, 0u);
+  EXPECT_GT(s.net().stats().rpc_duplicates_suppressed, 0u);
+  EXPECT_TRUE(s.CheckReplicaConsistency(false).ok());
+  CheckReport report = s.VerifyHistory();
+  EXPECT_TRUE(report.ok()) << report.Render();
+  auto latest = s.LatestCommitted(3);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->value, 777);
+}
+
+TEST(RecoveryTest, AsymmetricLossCoordinatorToParticipant) {
+  // Grey failure: the coordinator's requests to one participant all
+  // vanish while the reverse direction stays healthy. The RPC layer
+  // retries, times out, and the transaction aborts cleanly; after the
+  // link heals the same program commits.
+  SystemConfig cfg = FixedLatencySystem(3, AcpKind::kTwoPhaseCommit);
+  cfg.record_history = true;
+  cfg.trace_enabled = true;
+  cfg.trace_detail = TraceDetail::kProtocol;
+  cfg.protocols.rcp = RcpKind::kRowa;  // the write needs every copy
+  auto sys = RainbowSystem::Create(cfg);
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+  inject.Schedule(FaultEvent::LinkLoss(0, 0, 2, 1.0));
+
+  bool done = false;
+  TxnOutcome outcome;
+  ASSERT_TRUE(s.Submit(0, TxnProgram{{Op::Write(3, 9)}, ""},
+                       [&](const TxnOutcome& o) {
+                         outcome = o;
+                         done = true;
+                       })
+                  .ok());
+  s.RunFor(Seconds(1));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.committed);
+  EXPECT_GT(s.net()
+                .stats()
+                .dropped[static_cast<size_t>(DropCause::kLinkLoss)],
+            0u);
+
+  inject.ApplyNow(FaultEvent::LinkLoss(0, 0, 2, 0.0));
+  bool committed = false;
+  ASSERT_TRUE(s.Submit(0, TxnProgram{{Op::Write(3, 9)}, ""},
+                       [&](const TxnOutcome& o) { committed = o.committed; })
+                  .ok());
+  s.RunFor(Seconds(1));
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(s.CheckReplicaConsistency(false).ok());
+  CheckReport report = s.VerifyHistory();
+  EXPECT_TRUE(report.ok()) << report.Render();
+}
+
+TEST(RecoveryTest, DelaySpikeBeyondRetryBudgetGivesUp) {
+  // A delay spike larger than rpc_max_attempts x backoff: every attempt
+  // of an operation RPC is still in flight when the op timeout fires.
+  // The workload's retries also exhaust (gave_up moves), yet the
+  // checker stays clean — slow is not incorrect.
+  SystemConfig cfg = FixedLatencySystem(3, AcpKind::kTwoPhaseCommit);
+  cfg.record_history = true;
+  cfg.trace_enabled = true;
+  cfg.trace_detail = TraceDetail::kProtocol;
+  cfg.protocols.rcp = RcpKind::kRowa;
+  auto sys = RainbowSystem::Create(cfg);
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+  // One-way delay becomes ~300ms > op_timeout (80ms); both directions
+  // of the 0-2 link spike for the first 2 simulated seconds.
+  inject.Schedule(FaultEvent::LinkDelay(0, 0, 2, 300.0));
+  inject.Schedule(FaultEvent::LinkDelay(0, 2, 0, 300.0));
+  inject.Schedule(FaultEvent::LinkDelay(Seconds(2), 0, 2, 1.0));
+  inject.Schedule(FaultEvent::LinkDelay(Seconds(2), 2, 0, 1.0));
+
+  WorkloadConfig wl;
+  wl.seed = 11;
+  wl.num_txns = 10;
+  wl.mpl = 2;
+  wl.read_fraction = 0.0;
+  WorkloadGenerator wlg(&s, wl);
+  wlg.Run();
+  s.RunFor(Seconds(4));
+
+  EXPECT_GT(wlg.gave_up(), 0u);
+  CheckReport report = s.VerifyHistory();
+  EXPECT_TRUE(report.ok()) << report.Render();
+  EXPECT_TRUE(s.CheckReplicaConsistency(false).ok());
+}
+
+TEST(RecoveryTest, StrandedParticipantReadmitsStaleDecisionQuery) {
+  // Sever both reply paths into participant 2 (asymmetric cuts 0->2 and
+  // 1->2) right after it voted: its decision queries to the coordinator
+  // keep retransmitting with the same rpc_id while answers die on the
+  // severed direction. Meanwhile a churn of doomed writes from site 2
+  // rotates site 0's per-sender duplicate window (capacity 256) past
+  // that rpc_id, so the retransmission is readmitted as stale and
+  // re-executed — the rpc_stale_readmitted counter must move, and the
+  // re-execution must stay harmless once the links heal.
+  SystemConfig cfg = FixedLatencySystem(3, AcpKind::kTwoPhaseCommit,
+                                        RcpKind::kRowa);
+  cfg.seed = 9;
+  cfg.latency.min = 0;
+  cfg.record_history = true;
+  cfg.trace_enabled = true;
+  cfg.trace_detail = TraceDetail::kProtocol;
+  auto sys = RainbowSystem::Create(cfg);
+  ASSERT_TRUE(sys.ok());
+  RainbowSystem& s = **sys;
+  FaultInjector inject(&s);
+  inject.Schedule(FaultEvent::LinkDownOneWay(Micros(6300), 0, 2));
+  inject.Schedule(FaultEvent::LinkDownOneWay(Micros(6300), 1, 2));
+  inject.Schedule(FaultEvent::LinkUpOneWay(Seconds(5), 0, 2));
+  inject.Schedule(FaultEvent::LinkUpOneWay(Seconds(5), 1, 2));
+
+  bool committed = false;
+  s.sim().At(0, [&] {
+    (void)s.Submit(0, TxnProgram{{Op::Write(3, 9)}, "stranded"},
+                   [&](const TxnOutcome& out) { committed = out.committed; });
+  });
+  for (int i = 0; i < 400; ++i) {
+    s.sim().At(Millis(10) + i * Millis(10), [&s, i] {
+      (void)s.Submit(
+          2, TxnProgram{{Op::Write(4 + static_cast<ItemId>(i % 6), i)}, ""},
+          nullptr);
+    });
+  }
+  s.RunFor(Seconds(8));
+
+  EXPECT_GT(s.net().stats().rpc_stale_readmitted, 0u);
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(s.site(2)->active_participants(), 0u);
+  EXPECT_TRUE(s.CheckReplicaConsistency(false).ok());
+  CheckReport report = s.VerifyHistory();
+  EXPECT_TRUE(report.ok()) << report.Render();
 }
 
 }  // namespace
