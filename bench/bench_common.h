@@ -7,8 +7,13 @@
 // display.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/experiment.h"
@@ -32,6 +37,50 @@ inline int RunAndPrint(Experiment& exp,
   }
   std::cout << exp.RenderTable(columns) << "\n";
   return 0;
+}
+
+/// Writes a flat JSON object of numeric fields, in the given order, to
+/// `path`. This is the machine-readable side of a bench: the BENCH_*.json
+/// baselines checked into the repo and compared by CI perf-smoke steps.
+inline bool EmitJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.17g", fields[i].second);
+    out << "  \"" << fields[i].first << "\": " << num
+        << (i + 1 < fields.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
+}
+
+/// Reads back a flat JSON object in the shape EmitJson writes (one
+/// `"key": number` pair per line; no nesting). Returns an empty map if
+/// the file cannot be read.
+inline std::map<std::string, double> ParseFlatJson(const std::string& path) {
+  std::map<std::string, double> fields;
+  std::ifstream in(path);
+  if (!in) return fields;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    size_t k1 = line.find('"', k0 + 1);
+    if (k1 == std::string::npos) continue;
+    size_t colon = line.find(':', k1);
+    if (colon == std::string::npos) continue;
+    try {
+      fields[line.substr(k0 + 1, k1 - k0 - 1)] =
+          std::stod(line.substr(colon + 1));
+    } catch (...) {
+      // Not a numeric field; skip.
+    }
+  }
+  return fields;
 }
 
 }  // namespace rainbow::bench

@@ -1,0 +1,147 @@
+#ifndef RAINBOW_COMMON_INLINE_FUNCTION_H_
+#define RAINBOW_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rainbow {
+
+/// Move-only type-erased callable with small-buffer-optimized storage.
+///
+/// Unlike std::function (whose libstdc++ inline buffer is 16 bytes and
+/// which requires copyability), an InlineFunction<void(), N> stores any
+/// callable of up to N bytes directly in the object — no heap
+/// allocation — and accepts move-only callables. Oversized callables
+/// (or ones whose move constructor may throw, which would make the
+/// noexcept move of the wrapper unsound) transparently fall back to one
+/// heap allocation, exactly the std::function cost; heap_allocated()
+/// exposes which path a given instance took so benchmarks can gate the
+/// hot-path closures staying inline.
+///
+/// This is the callback type of the simulator's EventQueue: the
+/// network-delivery closure (a `this` pointer plus a message-pool slot
+/// index) must fit inline, which net/network.cc static-asserts.
+template <typename Signature, size_t N>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t N>
+class InlineFunction<R(Args...), N> {
+ public:
+  /// Capacity of the inline buffer in bytes.
+  static constexpr size_t kInlineBytes = N;
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      target_ = ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      target_ = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True if the stored callable lives on the heap (capture too large
+  /// for the inline buffer, over-aligned, or throwing-move).
+  bool heap_allocated() const noexcept { return ops_ != nullptr && ops_->heap; }
+
+  /// Whether a callable of type D would be stored inline.
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= N && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(target_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable from `src` into the buffer at `dst`
+    /// and destroys the source. Null for heap-stored callables (moving
+    /// the wrapper just steals the pointer).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool heap;
+  };
+
+  template <typename D>
+  static R Invoke(void* target, Args&&... args) {
+    return (*static_cast<D*>(target))(std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void Relocate(void* dst, void* src) noexcept {
+    ::new (dst) D(std::move(*static_cast<D*>(src)));
+    static_cast<D*>(src)->~D();
+  }
+  template <typename D>
+  static void DestroyInline(void* target) {
+    static_cast<D*>(target)->~D();
+  }
+  template <typename D>
+  static void DestroyHeap(void* target) {
+    delete static_cast<D*>(target);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{&Invoke<D>, &Relocate<D>, &DestroyInline<D>,
+                                  /*heap=*/false};
+  template <typename D>
+  static constexpr Ops kHeapOps{&Invoke<D>, nullptr, &DestroyHeap<D>,
+                                /*heap=*/true};
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->heap) {
+      target_ = other.target_;
+    } else {
+      ops_->relocate(buf_, other.target_);
+      target_ = buf_;
+    }
+    other.ops_ = nullptr;
+    other.target_ = nullptr;
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(target_);
+      ops_ = nullptr;
+      target_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[N];
+  void* target_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_INLINE_FUNCTION_H_

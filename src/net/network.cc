@@ -55,6 +55,18 @@ void NetworkStats::RecordDeliver(const Message& m) {
   per_site_delivered[m.to]++;
 }
 
+namespace {
+
+void AppendPerSiteEntry(std::ostringstream& os, SiteId site, uint64_t count) {
+  if (site == kNameServerId) {
+    os << " ns=" << count;
+  } else {
+    os << " s" << site << "=" << count;
+  }
+}
+
+}  // namespace
+
 void NetworkStats::RecordDrop(DropCause cause) {
   dropped[static_cast<size_t>(cause)]++;
 }
@@ -95,19 +107,10 @@ std::string NetworkStats::Render() const {
     os << "rpc latency (us): " << rpc_latency.Summary() << "\n";
   }
   if (!per_site_delivered.empty()) {
-    // unordered_map iteration order is not deterministic; sort by site id
-    // so renders are stable across runs and platforms.
-    std::vector<std::pair<SiteId, uint64_t>> per_site(
-        per_site_delivered.begin(), per_site_delivered.end());
-    std::sort(per_site.begin(), per_site.end());
     os << "per-site delivered:";
-    for (const auto& [site, count] : per_site) {
-      if (site == kNameServerId) {
-        os << " ns=" << count;
-      } else {
-        os << " s" << site << "=" << count;
-      }
-    }
+    per_site_delivered.ForEach([&os](SiteId site, uint64_t count) {
+      AppendPerSiteEntry(os, site, count);
+    });
     os << "\n";
   }
   return os.str();
@@ -131,19 +134,23 @@ void Network::EmitMessageEvent(TraceEventKind kind, const Message& m,
 }
 
 void Network::RegisterHandler(SiteId site, Handler handler) {
-  handlers_[site] = std::move(handler);
+  size_t slot = SiteSlot(site);
+  if (slot >= handlers_.size()) handlers_.resize(slot + 1);
+  handlers_[slot] = std::move(handler);
 }
 
 void Network::SetSiteUp(SiteId site, bool up) {
-  if (up) {
-    down_sites_.erase(site);
-  } else {
-    down_sites_.insert(site);
+  size_t slot = SiteSlot(site);
+  if (slot >= site_down_.size()) {
+    if (up) return;  // never marked down; nothing to restore
+    site_down_.resize(slot + 1, 0);
   }
+  site_down_[slot] = up ? 0 : 1;
 }
 
 bool Network::IsSiteUp(SiteId site) const {
-  return !down_sites_.contains(site);
+  size_t slot = SiteSlot(site);
+  return slot >= site_down_.size() || site_down_[slot] == 0;
 }
 
 void Network::SetLinkUp(SiteId a, SiteId b, bool up) {
@@ -181,9 +188,15 @@ void Network::ClearLinkOverrides() { link_overrides_.clear(); }
 void Network::SetPartitions(const std::vector<std::vector<SiteId>>& groups) {
   partitioned_ = true;
   partition_group_.clear();
-  int g = 0;
+  int32_t g = 0;
   for (const auto& group : groups) {
-    for (SiteId s : group) partition_group_[s] = g;
+    for (SiteId s : group) {
+      size_t slot = SiteSlot(s);
+      if (slot >= partition_group_.size()) {
+        partition_group_.resize(slot + 1, -1);
+      }
+      partition_group_[slot] = g;
+    }
     ++g;
   }
 }
@@ -196,19 +209,25 @@ void Network::HealPartitions() {
 bool Network::SameGroup(SiteId a, SiteId b) const {
   if (!partitioned_) return true;
   // Unlisted sites (e.g. the name server) share an implicit group -1.
-  auto ga = partition_group_.find(a);
-  auto gb = partition_group_.find(b);
-  int group_a = ga == partition_group_.end() ? -1 : ga->second;
-  int group_b = gb == partition_group_.end() ? -1 : gb->second;
+  size_t slot_a = SiteSlot(a);
+  size_t slot_b = SiteSlot(b);
+  int32_t group_a =
+      slot_a < partition_group_.size() ? partition_group_[slot_a] : -1;
+  int32_t group_b =
+      slot_b < partition_group_.size() ? partition_group_[slot_b] : -1;
   return group_a == group_b;
 }
 
 bool Network::Reachable(SiteId a, SiteId b) const {
   if (a == b) return IsSiteUp(a);
   if (!IsSiteUp(a) || !IsSiteUp(b)) return false;
-  auto key = std::minmax(a, b);
-  if (down_links_.contains({key.first, key.second})) return false;
-  if (down_links_oneway_.contains({a, b})) return false;
+  if (!down_links_.empty()) {
+    auto key = std::minmax(a, b);
+    if (down_links_.contains({key.first, key.second})) return false;
+  }
+  if (!down_links_oneway_.empty() && down_links_oneway_.contains({a, b})) {
+    return false;
+  }
   return SameGroup(a, b);
 }
 
@@ -333,18 +352,46 @@ void Network::SendMessage(Message msg) {
             rng_.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
       }
     }
-    ScheduleDelivery(msg, dup_delay);
+    // The injected copy is its own wire-level message: it gets a fresh
+    // network id (so per-message accounting and trace timelines can
+    // tell the copies apart) while keeping the rpc_id, which is what
+    // duplicate suppression keys on.
+    Message dup = msg;
+    dup.id = next_msg_id_++;
+    ScheduleDelivery(std::move(dup), dup_delay);
   }
   ScheduleDelivery(std::move(msg), delay);
 }
 
-void Network::ScheduleDelivery(Message msg, SimTime delay) {
-  sim_->After(delay, [this, msg = std::move(msg)]() mutable {
-    Deliver(std::move(msg));
-  });
+uint32_t Network::AcquireSlot() {
+  if (!pool_free_.empty()) {
+    uint32_t slot = pool_free_.back();
+    pool_free_.pop_back();
+    return slot;
+  }
+  uint32_t slot = static_cast<uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
 }
 
-void Network::Deliver(Message msg) {
+void Network::ReleaseSlot(uint32_t slot) { pool_free_.push_back(slot); }
+
+void Network::ScheduleDelivery(Message msg, SimTime delay) {
+  uint32_t slot = AcquireSlot();
+  pool_[slot] = std::move(msg);
+  auto thunk = [this, slot] { DeliverPooled(slot); };
+  static_assert(sizeof(thunk) <= EventQueue::kInlineCallbackBytes,
+                "delivery closure must fit the event queue's inline "
+                "callback storage (the zero-allocation hot path)");
+  sim_->After(delay, std::move(thunk));
+}
+
+void Network::DeliverPooled(uint32_t slot) {
+  Deliver(pool_[slot]);
+  ReleaseSlot(slot);
+}
+
+void Network::Deliver(const Message& msg) {
   // Connectivity is re-checked at delivery time so that faults striking
   // while a message is in flight drop it.
   if (!IsSiteUp(msg.to)) {
@@ -360,10 +407,20 @@ void Network::Deliver(Message msg) {
     return;
   }
   if (msg.from != msg.to) {
-    auto key = std::minmax(msg.from, msg.to);
-    if (down_links_.contains({key.first, key.second}) ||
-        down_links_oneway_.contains({msg.from, msg.to})) {
+    bool link_down = false;
+    if (!down_links_.empty()) {
+      auto key = std::minmax(msg.from, msg.to);
+      link_down = down_links_.contains({key.first, key.second});
+    }
+    if (!link_down && !down_links_oneway_.empty()) {
+      link_down = down_links_oneway_.contains({msg.from, msg.to});
+    }
+    if (link_down) {
       stats_.RecordDrop(DropCause::kLinkDown);
+      if (trace_ && trace_->enabled()) {
+        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
+                       "DROP(link down) " + msg.Describe());
+      }
       if (collector_ && collector_->full()) {
         EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
                          DropCauseName(DropCause::kLinkDown));
@@ -383,8 +440,8 @@ void Network::Deliver(Message msg) {
       return;
     }
   }
-  auto it = handlers_.find(msg.to);
-  if (it == handlers_.end()) {
+  size_t slot = SiteSlot(msg.to);
+  if (slot >= handlers_.size() || !handlers_[slot]) {
     stats_.RecordDrop(DropCause::kDestinationDown);
     return;
   }
@@ -396,7 +453,7 @@ void Network::Deliver(Message msg) {
   if (collector_ && collector_->full()) {
     EmitMessageEvent(TraceEventKind::kMsgRecv, msg, msg.to, "");
   }
-  it->second(msg);
+  handlers_[slot](msg);
 }
 
 }  // namespace rainbow

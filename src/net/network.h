@@ -3,11 +3,11 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -33,6 +33,52 @@ enum class DropCause {
 };
 
 const char* DropCauseName(DropCause c);
+
+/// Flat per-site counter table. Site ids are small dense integers
+/// assigned from 0 upward, so a counter lookup is a bounds check plus
+/// an array index instead of a hash probe; the name server's reserved
+/// huge id maps to slot 0 (regular site s lives in slot s + 1) to keep
+/// the table dense.
+class PerSiteCounters {
+ public:
+  /// Counter for `site`, growing the table as needed.
+  uint64_t& operator[](SiteId site) {
+    size_t slot = Slot(site);
+    if (slot >= counts_.size()) counts_.resize(slot + 1, 0);
+    return counts_[slot];
+  }
+
+  /// Counter for `site`; 0 if never touched.
+  uint64_t Get(SiteId site) const {
+    size_t slot = Slot(site);
+    return slot < counts_.size() ? counts_[slot] : 0;
+  }
+
+  /// True if every counter is zero.
+  bool empty() const {
+    for (uint64_t c : counts_) {
+      if (c != 0) return false;
+    }
+    return true;
+  }
+
+  /// Visits (site, count) for every nonzero counter: regular sites in
+  /// ascending id order, the name server last — the order renders show
+  /// (previously achieved by sorting an unordered_map snapshot).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 1; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) fn(static_cast<SiteId>(i - 1), counts_[i]);
+    }
+    if (!counts_.empty() && counts_[0] != 0) fn(kNameServerId, counts_[0]);
+  }
+
+ private:
+  static size_t Slot(SiteId site) {
+    return site == kNameServerId ? 0 : static_cast<size_t>(site) + 1;
+  }
+  std::vector<uint64_t> counts_;
+};
 
 /// Per-directed-link fault overrides, installed by the fault injector
 /// (and composed by the nemesis schedule generator). The default value
@@ -70,7 +116,7 @@ struct NetworkStats {
   SimTime bucket_width = Millis(100);
   std::vector<uint64_t> per_bucket;
   /// Messages handled per destination site (load-balance indicator).
-  std::unordered_map<SiteId, uint64_t> per_site_delivered;
+  PerSiteCounters per_site_delivered;
   /// Wire-codec round-trip failures (must stay zero).
   uint64_t codec_failures = 0;
   /// RPC sub-layer accounting (net/rpc.h). Attempts include the first
@@ -186,12 +232,29 @@ class Network {
   void set_collector(TraceCollector* c) { collector_ = c; }
 
  private:
+  /// Dense table index shared by the flat site tables (handlers, the
+  /// down-site flags): name server in slot 0, regular site s in s + 1.
+  static size_t SiteSlot(SiteId site) {
+    return site == kNameServerId ? 0 : static_cast<size_t>(site) + 1;
+  }
+
   void SendMessage(Message msg);
   void ScheduleDelivery(Message msg, SimTime delay);
-  void Deliver(Message msg);
+  /// Delivers the pooled message in `slot`, then recycles the slot.
+  void DeliverPooled(uint32_t slot);
+  void Deliver(const Message& msg);
   void EmitMessageEvent(TraceEventKind kind, const Message& m, SiteId at,
                         const char* note);
   bool SameGroup(SiteId a, SiteId b) const;
+
+  /// Message pool: ScheduleDelivery parks the message in a pool slot
+  /// and the delivery closure captures only {this, slot} — small enough
+  /// for the event queue's inline callback storage, so a send→deliver
+  /// cycle allocates nothing in steady state. A deque keeps slots at
+  /// stable addresses while handlers (which may send, acquiring new
+  /// slots) hold a reference to the message being delivered.
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
 
   Simulator* sim_;
   LatencyModel latency_;
@@ -202,8 +265,17 @@ class Network {
   bool verify_codec_ = false;
   uint64_t next_msg_id_ = 1;
 
-  std::unordered_map<SiteId, Handler> handlers_;
-  std::set<SiteId> down_sites_;
+  /// Flat per-site tables indexed by SiteSlot (consulted on every send
+  /// and delivery; the old unordered_map/set cost a hash probe each).
+  std::vector<Handler> handlers_;
+  std::vector<uint8_t> site_down_;
+  /// Partition group per SiteSlot while partitioned_; -1 (also for
+  /// sites beyond the table) is the implicit shared group.
+  std::vector<int32_t> partition_group_;
+
+  std::deque<Message> pool_;
+  std::vector<uint32_t> pool_free_;
+
   std::set<std::pair<SiteId, SiteId>> down_links_;
   /// Directed down links (from, to); disjoint bookkeeping from the
   /// bidirectional set so healing one never resurrects the other.
@@ -213,7 +285,6 @@ class Network {
   /// holds this to zero allocations and no measurable slowdown).
   std::map<std::pair<SiteId, SiteId>, LinkOverride> link_overrides_;
   bool partitioned_ = false;
-  std::unordered_map<SiteId, int> partition_group_;
 
   NetworkStats stats_;
 };

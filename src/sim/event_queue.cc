@@ -5,23 +5,39 @@
 namespace rainbow {
 
 EventQueue::EventId EventQueue::Schedule(SimTime when, Callback cb) {
-  EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_.push(Entry{when, next_seq_++, slot, s.gen});
   ++live_count_;
-  return id;
+  return MakeId(slot, s.gen);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  RetireSlot(slot);
   --live_count_;
   return true;
 }
 
+void EventQueue::RetireSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = Callback();
+  ++s.gen;
+  free_slots_.push_back(slot);
+}
+
 void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+  while (!heap_.empty() && !Live(heap_.top())) {
     heap_.pop();
   }
 }
@@ -36,10 +52,11 @@ EventQueue::Fired EventQueue::PopNext() {
   assert(!heap_.empty());
   Entry top = heap_.top();
   heap_.pop();
-  auto it = callbacks_.find(top.id);
-  assert(it != callbacks_.end());
-  Fired fired{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  Slot& s = slots_[top.slot];
+  Fired fired{top.time, std::move(s.cb)};
+  // Retire before the caller runs the callback: a callback cancelling
+  // its own id must see "already fired" (the generation moved on).
+  RetireSlot(top.slot);
   --live_count_;
   return fired;
 }

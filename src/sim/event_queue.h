@@ -2,11 +2,10 @@
 #define RAINBOW_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace rainbow {
@@ -15,12 +14,26 @@ namespace rainbow {
 /// sequence). The sequence tie-break makes execution order fully
 /// deterministic: two events scheduled for the same instant fire in the
 /// order they were scheduled.
+///
+/// Storage is allocation-lean: callbacks live in a flat slot table
+/// (reused through a free list) instead of a side unordered_map, and
+/// the callback type keeps small closures inline (common/
+/// inline_function.h). In steady state a Schedule/fire cycle performs
+/// no heap allocation; bench_m6_hotpath gates this.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capture budget for event callbacks. Sized so the hot-path
+  /// closures — network delivery (`this` + pool slot), RPC/site timers
+  /// (`this` + a couple of ids) — stay inline; larger captures fall
+  /// back to one heap allocation, the old std::function cost.
+  static constexpr size_t kInlineCallbackBytes = 48;
+  using Callback = InlineFunction<void(), kInlineCallbackBytes>;
 
-  /// Opaque handle for cancellation. Valid until the event fires or the
-  /// queue is destroyed.
+  /// Opaque handle for cancellation: a slot index in the low 32 bits
+  /// plus the slot's generation in the high 32. The generation is
+  /// bumped whenever the slot's event fires or is cancelled, so stale
+  /// ids from earlier occupants of a reused slot can never cancel the
+  /// current one.
   using EventId = uint64_t;
 
   /// Schedules `cb` at absolute time `when`. Returns an id usable with
@@ -28,7 +41,8 @@ class EventQueue {
   EventId Schedule(SimTime when, Callback cb);
 
   /// Cancels a pending event. Returns false if the event already fired
-  /// or was already cancelled. Cancellation is O(1) (lazy removal).
+  /// or was already cancelled. O(1): the heap entry is left behind as a
+  /// generation-mismatched tombstone and skipped when it surfaces.
   bool Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -48,7 +62,8 @@ class EventQueue {
   struct Entry {
     SimTime time;
     uint64_t seq;
-    EventId id;
+    uint32_t slot;
+    uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -56,14 +71,29 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    uint32_t gen = 0;
+  };
 
-  /// Drops cancelled entries sitting at the front of the heap.
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  /// A heap entry is live iff its generation matches its slot's.
+  bool Live(const Entry& e) const { return slots_[e.slot].gen == e.gen; }
+
+  /// Destroys the slot's callback, bumps its generation (invalidating
+  /// any outstanding EventId), and returns it to the free list.
+  void RetireSlot(uint32_t slot);
+
+  /// Drops tombstoned entries sitting at the front of the heap.
   void SkipCancelled();
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   uint64_t next_seq_ = 0;
-  uint64_t next_id_ = 1;
   size_t live_count_ = 0;
 };
 

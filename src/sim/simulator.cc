@@ -11,12 +11,12 @@ bool TimerHandle::Cancel() {
   return cancelled;
 }
 
-TimerHandle Simulator::After(SimTime delay, std::function<void()> fn) {
+TimerHandle Simulator::After(SimTime delay, EventQueue::Callback fn) {
   assert(delay >= 0);
   return At(now_ + delay, std::move(fn));
 }
 
-TimerHandle Simulator::At(SimTime when, std::function<void()> fn) {
+TimerHandle Simulator::At(SimTime when, EventQueue::Callback fn) {
   assert(when >= now_);
   EventQueue::EventId id = queue_.Schedule(when, std::move(fn));
   return TimerHandle(&queue_, id);

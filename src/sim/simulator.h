@@ -2,7 +2,6 @@
 #define RAINBOW_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
@@ -43,11 +42,13 @@ class Simulator {
   /// Current virtual time.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` from now (delay >= 0).
-  TimerHandle After(SimTime delay, std::function<void()> fn);
+  /// Schedules `fn` to run `delay` from now (delay >= 0). Small
+  /// closures are stored inline in the event queue (no allocation);
+  /// see EventQueue::kInlineCallbackBytes.
+  TimerHandle After(SimTime delay, EventQueue::Callback fn);
 
   /// Schedules `fn` at absolute virtual time `when` (>= Now()).
-  TimerHandle At(SimTime when, std::function<void()> fn);
+  TimerHandle At(SimTime when, EventQueue::Callback fn);
 
   /// Runs the next pending event, advancing the clock. Returns false if
   /// no events are pending.

@@ -99,19 +99,19 @@ double ProgressMonitor::home_load_cv() const {
 
 double ProgressMonitor::net_load_cv(const NetworkStats& net) {
   double n = 0, sum = 0;
-  for (const auto& [site, count] : net.per_site_delivered) {
-    if (site == kNameServerId) continue;
+  net.per_site_delivered.ForEach([&](SiteId site, uint64_t count) {
+    if (site == kNameServerId) return;
     n += 1;
     sum += static_cast<double>(count);
-  }
+  });
   if (n == 0 || sum == 0) return 0.0;
   double mean = sum / n;
   double var = 0;
-  for (const auto& [site, count] : net.per_site_delivered) {
-    if (site == kNameServerId) continue;
+  net.per_site_delivered.ForEach([&](SiteId site, uint64_t count) {
+    if (site == kNameServerId) return;
     double d = static_cast<double>(count) - mean;
     var += d * d;
-  }
+  });
   var /= n;
   return std::sqrt(var) / mean;
 }

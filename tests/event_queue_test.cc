@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -150,6 +151,91 @@ TEST(TimerHandleTest, DefaultHandleIsInert) {
   TimerHandle h;
   EXPECT_FALSE(h.valid());
   EXPECT_FALSE(h.Cancel());
+}
+
+// Model test: drive the slot-reusing EventQueue through thousands of
+// randomly interleaved Schedule / Cancel / PopNext operations and
+// compare every observable — fire order, Cancel results, NextTime,
+// size — against a naive reference that stores callbacks in a plain
+// vector and marks cancellations with a flag. Any slot/generation
+// bookkeeping bug (stale id cancelling a reused slot, live count
+// drift, tombstone mis-skip) shows up as a divergence.
+TEST(EventQueueModelTest, RandomizedAgainstNaiveReference) {
+  struct RefEvent {
+    SimTime time;
+    uint64_t seq;
+    int tag;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  Rng rng(20260806);
+  EventQueue q;
+  std::vector<RefEvent> ref;           // indexed by tag
+  std::vector<EventQueue::EventId> ids;  // tag -> real id
+  std::vector<int> fired_real;
+  uint64_t seq = 0;
+
+  auto ref_live = [&] {
+    size_t n = 0;
+    for (const RefEvent& e : ref) {
+      if (!e.cancelled && !e.fired) ++n;
+    }
+    return n;
+  };
+  auto ref_next = [&]() -> const RefEvent* {
+    const RefEvent* best = nullptr;
+    for (const RefEvent& e : ref) {
+      if (e.cancelled || e.fired) continue;
+      if (best == nullptr || e.time < best->time ||
+          (e.time == best->time && e.seq < best->seq)) {
+        best = &e;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 6000; ++step) {
+    uint64_t op = rng.NextUint(10);
+    if (op < 5) {  // Schedule
+      SimTime when = static_cast<SimTime>(rng.NextUint(50));
+      int tag = static_cast<int>(ref.size());
+      ref.push_back(RefEvent{when, seq++, tag});
+      ids.push_back(q.Schedule(
+          when, [&fired_real, tag] { fired_real.push_back(tag); }));
+    } else if (op < 8) {  // Cancel a random past id (may be stale)
+      if (ids.empty()) continue;
+      size_t tag = rng.NextUint(ids.size());
+      RefEvent& e = ref[tag];
+      bool ref_ok = !e.cancelled && !e.fired;
+      e.cancelled = true;
+      EXPECT_EQ(q.Cancel(ids[tag]), ref_ok) << "step " << step;
+    } else {  // PopNext + run
+      const RefEvent* next = ref_next();
+      ASSERT_EQ(q.empty(), next == nullptr) << "step " << step;
+      if (next == nullptr) continue;
+      EXPECT_EQ(q.NextTime(), next->time) << "step " << step;
+      EventQueue::Fired f = q.PopNext();
+      EXPECT_EQ(f.time, next->time) << "step " << step;
+      f.cb();
+      ASSERT_FALSE(fired_real.empty());
+      EXPECT_EQ(fired_real.back(), next->tag) << "step " << step;
+      ref[static_cast<size_t>(next->tag)].fired = true;
+    }
+    ASSERT_EQ(q.size(), ref_live()) << "step " << step;
+  }
+
+  // Drain: the remaining fire order must match the reference exactly.
+  while (!q.empty()) {
+    const RefEvent* next = ref_next();
+    ASSERT_NE(next, nullptr);
+    EventQueue::Fired f = q.PopNext();
+    EXPECT_EQ(f.time, next->time);
+    f.cb();
+    EXPECT_EQ(fired_real.back(), next->tag);
+    ref[static_cast<size_t>(next->tag)].fired = true;
+  }
+  EXPECT_EQ(ref_next(), nullptr);
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Unit tests for InlineFunction, the allocation-lean callable backing
+// the simulator's event queue: inline vs heap storage selection,
+// move-only callables, move/destruction correctness, and results.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/inline_function.h"
+
+namespace rainbow {
+namespace {
+
+using Fn = InlineFunction<int(), 48>;
+
+TEST(InlineFunctionTest, EmptyIsFalsy) {
+  Fn f;
+  EXPECT_FALSE(f);
+  EXPECT_FALSE(f.heap_allocated());
+  Fn g = nullptr;
+  EXPECT_FALSE(g);
+}
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline) {
+  int x = 41;
+  Fn f = [x] { return x + 1; };
+  ASSERT_TRUE(f);
+  EXPECT_FALSE(f.heap_allocated());
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  std::array<int, 64> big{};  // 256 bytes: over the 48-byte budget
+  big[7] = 9;
+  Fn f = [big] { return big[7]; };
+  ASSERT_TRUE(f);
+  EXPECT_TRUE(f.heap_allocated());
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InlineFunctionTest, FitsInlineMatchesRuntimeChoice) {
+  auto small = [] { return 1; };
+  auto big = [a = std::array<int, 64>{}] { return a[0]; };
+  EXPECT_TRUE(Fn::fits_inline<decltype(small)>());
+  EXPECT_FALSE(Fn::fits_inline<decltype(big)>());
+  static_assert(Fn::kInlineBytes == 48);
+}
+
+TEST(InlineFunctionTest, AcceptsMoveOnlyCallable) {
+  auto p = std::make_unique<int>(7);
+  Fn f = [p = std::move(p)] { return *p; };
+  ASSERT_TRUE(f);
+  EXPECT_FALSE(f.heap_allocated());  // unique_ptr is 8 bytes
+  EXPECT_EQ(f(), 7);
+}
+
+TEST(InlineFunctionTest, MoveTransfersInlineState) {
+  int calls = 0;
+  Fn a = [&calls] { return ++calls; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b(), 1);
+  EXPECT_EQ(b(), 2);
+
+  Fn c;
+  c = std::move(b);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(c(), 3);
+}
+
+TEST(InlineFunctionTest, MoveTransfersHeapState) {
+  std::array<int, 64> big{};
+  big[0] = 5;
+  Fn a = [big] { return big[0]; };
+  ASSERT_TRUE(a.heap_allocated());
+  Fn b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.heap_allocated());
+  EXPECT_EQ(b(), 5);
+}
+
+TEST(InlineFunctionTest, MoveAssignmentDestroysPreviousTarget) {
+  auto counted = std::make_shared<int>(0);
+  struct Bump {
+    std::shared_ptr<int> n;
+    ~Bump() {
+      if (n) ++*n;
+    }
+    Bump(std::shared_ptr<int> p) : n(std::move(p)) {}  // NOLINT
+    Bump(Bump&& o) noexcept = default;
+    int operator()() const { return *n; }
+  };
+  Fn f = Bump{counted};
+  f = Fn([] { return 0; });
+  // Exactly one live Bump was destroyed by the assignment.
+  EXPECT_EQ(*counted, 1);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesCapturedResources) {
+  auto counted = std::make_shared<int>(42);
+  EXPECT_EQ(counted.use_count(), 1);
+  {
+    Fn f = [counted] { return *counted; };
+    EXPECT_EQ(counted.use_count(), 2);
+    EXPECT_EQ(f(), 42);
+  }
+  EXPECT_EQ(counted.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturn) {
+  InlineFunction<std::string(const std::string&, int), 48> f =
+      [](const std::string& s, int n) { return s + ":" + std::to_string(n); };
+  EXPECT_EQ(f("ev", 3), "ev:3");
+}
+
+}  // namespace
+}  // namespace rainbow

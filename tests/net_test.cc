@@ -168,6 +168,36 @@ TEST_F(NetworkTest, OneWayLinkSeversOnlyOneDirection) {
   EXPECT_EQ(received_[1].size(), 1u);
 }
 
+TEST_F(NetworkTest, LinkDownDropInFlightIsTraced) {
+  // Regression: the kLinkDown branch in Deliver() counted the drop but
+  // never wrote the human-readable trace record, so a message that was
+  // in flight when the link went down vanished from `--trace net`.
+  trace_.set_enabled(true);
+  net_.Send(0, 1, Ack{TxnId{0, 1}});
+  sim_.After(Micros(500), [&] { net_.SetLinkUpOneWay(0, 1, false); });
+  sim_.RunToQuiescence();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(net_.stats().dropped[static_cast<size_t>(DropCause::kLinkDown)],
+            1u);
+  EXPECT_EQ(trace_.CountContaining("DROP(link down)"), 1u);
+}
+
+TEST_F(NetworkTest, InjectedDuplicateGetsItsOwnNetworkId) {
+  // Regression: the injected copy used to ship with the original's
+  // network id, making the two deliveries indistinguishable in traces.
+  // The copy must carry a fresh `id` while keeping the same `rpc_id`
+  // so RPC-layer duplicate suppression still recognizes it.
+  LinkOverride o;
+  o.dup_probability = 1.0;
+  net_.SetLinkOverride(0, 1, o);
+  net_.SendRpc(0, 1, Ack{TxnId{0, 1}}, /*rpc_id=*/77, /*is_reply=*/false);
+  sim_.RunToQuiescence();
+  ASSERT_EQ(received_[1].size(), 2u);
+  EXPECT_NE(received_[1][0].id, received_[1][1].id);
+  EXPECT_EQ(received_[1][0].rpc_id, 77u);
+  EXPECT_EQ(received_[1][1].rpc_id, 77u);
+}
+
 TEST_F(NetworkTest, LossOverrideIsDirectional) {
   LinkOverride o;
   o.loss = 1.0;

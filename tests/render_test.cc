@@ -155,7 +155,7 @@ TEST(NetworkStatsTest, RenderSummarizes) {
   EXPECT_NE(out.find("delivered=1"), std::string::npos);
   EXPECT_NE(out.find("dropped=1"), std::string::npos);
   EXPECT_NE(out.find("Ack=1"), std::string::npos);
-  EXPECT_EQ(stats.per_site_delivered.at(1), 1u);
+  EXPECT_EQ(stats.per_site_delivered.Get(1), 1u);
 }
 
 TEST(NetworkStatsTest, RenderListsPerSiteDeliveriesInSiteOrder) {
