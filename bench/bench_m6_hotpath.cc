@@ -98,7 +98,7 @@ struct MsgHarness {
     }
     // One giant stats bucket: sim time advancing during the bench must
     // not grow the per-bucket histogram mid-measurement.
-    net.stats().bucket_width = Seconds(1000000);
+    net.set_stats_bucket_width(Seconds(1000000));
   }
 
   void Burst(int n) {
@@ -302,6 +302,7 @@ int Main(int argc, char** argv) {
     }
   }
 
+  bench::AddEnvFields(report.fields, /*shards=*/1);
   if (!bench::EmitJson(out_path, report.fields)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
     return 1;

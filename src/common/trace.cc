@@ -1,5 +1,6 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -54,6 +55,18 @@ void TraceLog::Record(SimTime time, TraceCategory category, SiteId site,
     events_.erase(events_.begin(), events_.begin() + events_.size() / 2);
   }
   events_.push_back(TraceEvent{time, category, site, std::move(text)});
+}
+
+void TraceLog::MergeFrom(const TraceLog& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void TraceLog::CanonicalSort() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.site < b.site;
+                   });
 }
 
 namespace {
@@ -173,6 +186,20 @@ void TraceCollector::Emit(TraceRecord rec) {
 void TraceCollector::Clear() {
   records_.clear();
   dropped_ = 0;
+}
+
+void TraceCollector::MergeFrom(const TraceCollector& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  dropped_ += other.dropped_;
+}
+
+void TraceCollector::CanonicalSort() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.site < b.site;
+                   });
 }
 
 std::vector<TraceRecord> TraceCollector::ForTxn(TxnId txn) const {

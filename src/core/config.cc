@@ -24,6 +24,12 @@ Status SystemConfig::Validate() const {
   if (num_sites == 0) {
     return Status::InvalidArgument("num_sites must be >= 1");
   }
+  if (sim_shards == 0) {
+    return Status::InvalidArgument("sim_shards must be >= 1");
+  }
+  if (sim_shards > 64) {
+    return Status::InvalidArgument("sim_shards must be <= 64");
+  }
   if (message_loss < 0 || message_loss >= 1) {
     return Status::InvalidArgument("message_loss must be in [0, 1)");
   }
@@ -76,6 +82,7 @@ std::string SystemConfig::ToText() const {
   os << "[system]\n";
   os << "seed = " << seed << "\n";
   os << "num_sites = " << num_sites << "\n";
+  os << "sim_shards = " << sim_shards << "\n";
   os << "enable_trace = " << (enable_trace ? "true" : "false") << "\n";
   os << "record_history = " << (record_history ? "true" : "false") << "\n";
   os << "stats_bucket = " << stats_bucket << "\n";
@@ -173,6 +180,9 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
     } else if (key == "num_sites") {
       RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
       cfg.num_sites = static_cast<uint32_t>(v);
+    } else if (key == "sim_shards") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      cfg.sim_shards = static_cast<uint32_t>(v);
     } else if (key == "enable_trace") {
       RAINBOW_ASSIGN_OR_RETURN(cfg.enable_trace, as_bool());
     } else if (key == "record_history") {

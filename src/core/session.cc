@@ -22,7 +22,7 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
   auto created = RainbowSystem::Create(sys_cfg);
   RAINBOW_RETURN_IF_ERROR(created.status());
   RainbowSystem& sys = **created;
-  if (options.keep_session_log) sys.monitor().set_keep_outcomes(true);
+  if (options.keep_session_log) sys.set_keep_outcomes(true);
 
   FaultInjector injector(&sys);
   injector.ScheduleAll(options.faults);
@@ -44,7 +44,7 @@ Result<SessionResult> RunSession(const SystemConfig& system_config,
   const SimTime step = Millis(50);
   while (!wlg.finished() && sys.sim().Now() < options.max_duration) {
     sys.RunFor(step);
-    if (sys.sim().idle() && !wlg.finished()) {
+    if (sys.Idle() && !wlg.finished()) {
       // Nothing can make progress any more (e.g. every site crashed and
       // nothing is scheduled): stop.
       break;

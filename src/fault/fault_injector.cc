@@ -57,7 +57,9 @@ bool FaultInjector::SiteUp(SiteId s) const {
 }
 
 void FaultInjector::Apply(const FaultEvent& e) {
-  TraceLog& trace = system_->trace();
+  // Intake on the control lane: Apply runs as a control-lane event (all
+  // shard workers parked at the barrier in sharded mode).
+  TraceLog& trace = system_->control_trace();
   Network& net = system_->net();
   const SimTime now = system_->sim().Now();
   switch (e.kind) {
@@ -174,7 +176,7 @@ void FaultInjector::Apply(const FaultEvent& e) {
     case FaultEvent::Kind::kCount:
       return;
   }
-  system_->monitor().OnFaultInjected(e.kind);
+  system_->control_monitor().OnFaultInjected(e.kind);
 }
 
 void FaultInjector::EnableRandomFaults(SimTime mttf, SimTime mttr,

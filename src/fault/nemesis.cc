@@ -264,7 +264,7 @@ bool Nemesis::ScheduleFails(const std::vector<FaultEvent>& events,
   const SimTime step = Millis(50);
   while (!wlg.finished() && sys.sim().Now() < cap) {
     sys.RunFor(step);
-    if (sys.sim().idle() && !wlg.finished()) break;
+    if (sys.Idle() && !wlg.finished()) break;
   }
   sys.RunFor(Millis(500));
 

@@ -20,6 +20,11 @@ LatencyModel::LatencyModel(LatencyConfig config, Rng rng)
     : config_(config), rng_(rng) {}
 
 SimTime LatencyModel::SampleDelay(SiteId from, SiteId to, size_t bytes) {
+  return SampleDelay(from, to, bytes, rng_);
+}
+
+SimTime LatencyModel::SampleDelay(SiteId from, SiteId to, size_t bytes,
+                                  Rng& rng) const {
   SimTime size_cost =
       config_.per_kb * static_cast<SimTime>(bytes) / 1024;
   if (from == to) {
@@ -42,12 +47,12 @@ SimTime LatencyModel::SampleDelay(SiteId from, SiteId to, size_t bytes) {
       SimTime lo = mean / 2;
       SimTime hi = mean + mean / 2;
       base = lo + static_cast<SimTime>(
-                      rng_.NextUint(static_cast<uint64_t>(hi - lo + 1)));
+                      rng.NextUint(static_cast<uint64_t>(hi - lo + 1)));
       break;
     }
     case LatencyDistribution::kExponential:
       base = static_cast<SimTime>(
-          rng_.NextExponential(static_cast<double>(mean)));
+          rng.NextExponential(static_cast<double>(mean)));
       break;
   }
   return std::max(config_.min, base) + size_cost;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "net/codec.h"
+#include "sim/sharded_simulator.h"
 
 #include "common/string_util.h"
 
@@ -71,6 +72,32 @@ void NetworkStats::RecordDrop(DropCause cause) {
   dropped[static_cast<size_t>(cause)]++;
 }
 
+void NetworkStats::MergeFrom(const NetworkStats& other) {
+  sent += other.sent;
+  delivered += other.delivered;
+  local += other.local;
+  bytes += other.bytes;
+  duplicated += other.duplicated;
+  for (size_t k = 0; k < by_kind.size(); ++k) by_kind[k] += other.by_kind[k];
+  for (size_t c = 0; c < dropped.size(); ++c) dropped[c] += other.dropped[c];
+  if (other.per_bucket.size() > per_bucket.size()) {
+    per_bucket.resize(other.per_bucket.size(), 0);
+  }
+  for (size_t b = 0; b < other.per_bucket.size(); ++b) {
+    per_bucket[b] += other.per_bucket[b];
+  }
+  per_site_delivered.MergeFrom(other.per_site_delivered);
+  codec_failures += other.codec_failures;
+  rpc_calls += other.rpc_calls;
+  rpc_attempts += other.rpc_attempts;
+  rpc_retries += other.rpc_retries;
+  rpc_timeouts += other.rpc_timeouts;
+  rpc_failures += other.rpc_failures;
+  rpc_duplicates_suppressed += other.rpc_duplicates_suppressed;
+  rpc_stale_readmitted += other.rpc_stale_readmitted;
+  rpc_latency.Merge(other.rpc_latency);
+}
+
 std::string NetworkStats::Render() const {
   std::ostringstream os;
   os << StringPrintf(
@@ -118,25 +145,61 @@ std::string NetworkStats::Render() const {
 
 Network::Network(Simulator* sim, LatencyConfig latency, Rng rng,
                  TraceLog* trace)
-    : sim_(sim), latency_(latency, rng.Fork()), rng_(rng), trace_(trace) {}
+    : latency_(latency, rng.Fork()), site_seed_base_(rng.Next()) {
+  Lane& lane = lanes_.emplace_back();
+  lane.sim = sim;
+  lane.trace = trace;
+}
 
-void Network::EmitMessageEvent(TraceEventKind kind, const Message& m,
-                               SiteId at, const char* note) {
+void Network::EnableSharding(ShardedSimulator* driver,
+                             const std::vector<NetworkShardContext>& shards) {
+  assert(driver != nullptr && !shards.empty());
+  driver_ = driver;
+  num_shards_ = static_cast<uint32_t>(shards.size());
+  lanes_.clear();
+  for (const NetworkShardContext& ctx : shards) {
+    Lane& lane = lanes_.emplace_back();
+    lane.sim = ctx.sim;
+    lane.trace = ctx.trace;
+    lane.collector = ctx.collector;
+  }
+}
+
+uint32_t Network::ShardOf(SiteId site) const {
+  return ShardedSimulator::ShardOfSite(site, num_shards_);
+}
+
+void Network::EnsureSiteTables(size_t slot) {
+  while (site_rng_.size() <= slot) {
+    // Stream seeds are a pure function of (network seed base, slot), so
+    // a site's draw sequence does not depend on registration order or
+    // on other sites' activity.
+    size_t next = site_rng_.size();
+    site_rng_.emplace_back(site_seed_base_ ^
+                           (0x9e3779b97f4a7c15ULL * (next + 1)));
+    site_msg_seq_.push_back(0);
+  }
+}
+
+void Network::EmitMessageEvent(Lane& lane, TraceEventKind kind,
+                               const Message& m, SiteId at, const char* note) {
   std::string detail = MessageKindName(m.kind());
   if (note[0] != '\0') {
     detail += " ";
     detail += note;
   }
-  collector_->Emit(TraceRecord{sim_->Now(), kind, PayloadTxnId(m.payload), at,
-                               at == m.from ? m.to : m.from, kInvalidItem,
-                               static_cast<int64_t>(m.rpc_id),
-                               std::move(detail)});
+  lane.collector->Emit(TraceRecord{lane.sim->Now(), kind,
+                                   PayloadTxnId(m.payload), at,
+                                   at == m.from ? m.to : m.from, kInvalidItem,
+                                   static_cast<int64_t>(m.rpc_id),
+                                   std::move(detail)});
 }
 
 void Network::RegisterHandler(SiteId site, Handler handler) {
   size_t slot = SiteSlot(site);
   if (slot >= handlers_.size()) handlers_.resize(slot + 1);
   handlers_[slot] = std::move(handler);
+  EnsureSiteTables(slot);
 }
 
 void Network::SetSiteUp(SiteId site, bool up) {
@@ -170,12 +233,21 @@ void Network::SetLinkUpOneWay(SiteId from, SiteId to, bool up) {
   }
 }
 
+void Network::RecomputeMinDelayMultiplier() {
+  min_delay_multiplier_ = 1.0;
+  for (const auto& [link, o] : link_overrides_) {
+    (void)link;
+    min_delay_multiplier_ = std::min(min_delay_multiplier_, o.delay_multiplier);
+  }
+}
+
 void Network::SetLinkOverride(SiteId from, SiteId to, LinkOverride o) {
   if (o.identity()) {
     link_overrides_.erase({from, to});
   } else {
     link_overrides_[{from, to}] = o;
   }
+  RecomputeMinDelayMultiplier();
 }
 
 const LinkOverride* Network::FindLinkOverride(SiteId from, SiteId to) const {
@@ -183,7 +255,17 @@ const LinkOverride* Network::FindLinkOverride(SiteId from, SiteId to) const {
   return it == link_overrides_.end() ? nullptr : &it->second;
 }
 
-void Network::ClearLinkOverrides() { link_overrides_.clear(); }
+void Network::ClearLinkOverrides() {
+  link_overrides_.clear();
+  min_delay_multiplier_ = 1.0;
+}
+
+SimTime Network::MinCrossShardDelay() const {
+  double mult = std::min(1.0, min_delay_multiplier_);
+  SimTime floor = static_cast<SimTime>(
+      static_cast<double>(latency_.MinCrossSiteDelay()) * mult);
+  return std::max<SimTime>(1, floor);
+}
 
 void Network::SetPartitions(const std::vector<std::vector<SiteId>>& groups) {
   partitioned_ = true;
@@ -231,6 +313,20 @@ bool Network::Reachable(SiteId a, SiteId b) const {
   return SameGroup(a, b);
 }
 
+const NetworkStats& Network::stats() const {
+  if (lanes_.size() == 1) return lanes_[0].stats;
+  merged_stats_ = NetworkStats{};
+  merged_stats_.bucket_width = lanes_[0].stats.bucket_width;
+  for (const Lane& lane : lanes_) merged_stats_.MergeFrom(lane.stats);
+  return merged_stats_;
+}
+
+NetworkStats& Network::stats_for(SiteId site) { return LaneFor(site).stats; }
+
+void Network::set_stats_bucket_width(SimTime width) {
+  for (Lane& lane : lanes_) lane.stats.bucket_width = width;
+}
+
 void Network::Send(SiteId from, SiteId to, Payload payload) {
   Message msg;
   msg.from = from;
@@ -251,8 +347,12 @@ void Network::SendRpc(SiteId from, SiteId to, Payload payload,
 }
 
 void Network::SendMessage(Message msg) {
-  msg.id = next_msg_id_++;
-  msg.sent_at = sim_->Now();
+  size_t from_slot = SiteSlot(msg.from);
+  EnsureSiteTables(from_slot);
+  Lane& lane = LaneFor(msg.from);
+  Rng& rng = SiteRng(from_slot);
+  msg.id = NextMsgId(from_slot);
+  msg.sent_at = lane.sim->Now();
 
   size_t size = PayloadSizeBytes(msg.payload);
   if (verify_codec_) {
@@ -260,57 +360,57 @@ void Network::SendMessage(Message msg) {
     size = wire.size() + 33;  // payload bytes + envelope
     Result<Payload> decoded = DecodePayload(wire);
     if (!decoded.ok()) {
-      stats_.codec_failures++;
-      if (trace_ && trace_->enabled()) {
-        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
-                       "CODEC FAILURE " + decoded.status().ToString());
+      lane.stats.codec_failures++;
+      if (lane.trace && lane.trace->enabled()) {
+        lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.from,
+                           "CODEC FAILURE " + decoded.status().ToString());
       }
       return;
     }
     msg.payload = std::move(decoded).value();
   }
-  stats_.RecordSend(msg, sim_->Now(), size);
+  lane.stats.RecordSend(msg, lane.sim->Now(), size);
 
   if (!IsSiteUp(msg.from)) {
-    stats_.RecordDrop(DropCause::kSourceDown);
-    if (trace_ && trace_->enabled()) {
-      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
-                     "DROP(source down) " + msg.Describe());
+    lane.stats.RecordDrop(DropCause::kSourceDown);
+    if (lane.trace && lane.trace->enabled()) {
+      lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.from,
+                         "DROP(source down) " + msg.Describe());
     }
-    if (collector_ && collector_->full()) {
-      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+    if (lane.collector && lane.collector->full()) {
+      EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.from,
                        DropCauseName(DropCause::kSourceDown));
     }
     return;
   }
   if (msg.from != msg.to && loss_probability_ > 0 &&
-      rng_.NextBool(loss_probability_)) {
-    stats_.RecordDrop(DropCause::kRandomLoss);
-    if (trace_ && trace_->enabled()) {
-      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
-                     "DROP(random) " + msg.Describe());
+      rng.NextBool(loss_probability_)) {
+    lane.stats.RecordDrop(DropCause::kRandomLoss);
+    if (lane.trace && lane.trace->enabled()) {
+      lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.from,
+                         "DROP(random) " + msg.Describe());
     }
-    if (collector_ && collector_->full()) {
-      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+    if (lane.collector && lane.collector->full()) {
+      EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.from,
                        DropCauseName(DropCause::kRandomLoss));
     }
     return;
   }
 
-  SimTime delay = latency_.SampleDelay(msg.from, msg.to, size);
+  SimTime delay = latency_.SampleDelay(msg.from, msg.to, size, rng);
   bool duplicate = false;
   // Per-link fault overrides. The emptiness check is the entire cost of
   // this feature on a fault-free run.
   if (!link_overrides_.empty() && msg.from != msg.to) {
     if (const LinkOverride* o = FindLinkOverride(msg.from, msg.to)) {
-      if (o->loss > 0 && rng_.NextBool(o->loss)) {
-        stats_.RecordDrop(DropCause::kLinkLoss);
-        if (trace_ && trace_->enabled()) {
-          trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
-                         "DROP(link loss) " + msg.Describe());
+      if (o->loss > 0 && rng.NextBool(o->loss)) {
+        lane.stats.RecordDrop(DropCause::kLinkLoss);
+        if (lane.trace && lane.trace->enabled()) {
+          lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.from,
+                             "DROP(link loss) " + msg.Describe());
         }
-        if (collector_ && collector_->full()) {
-          EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.from,
+        if (lane.collector && lane.collector->full()) {
+          EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.from,
                            DropCauseName(DropCause::kLinkLoss));
         }
         return;
@@ -324,24 +424,28 @@ void Network::SendMessage(Message msg) {
         // overtake earlier ones — bounded reordering, bounded by the
         // jitter window.
         delay += static_cast<SimTime>(
-            rng_.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
+            rng.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
       }
-      duplicate = o->dup_probability > 0 && rng_.NextBool(o->dup_probability);
+      duplicate = o->dup_probability > 0 && rng.NextBool(o->dup_probability);
     }
   }
-  if (trace_ && trace_->enabled()) {
-    trace_->Record(sim_->Now(), TraceCategory::kNet, msg.from,
-                   "SEND " + msg.Describe());
+  // Cross-site messages take at least one tick: MinCrossShardDelay's
+  // guarantee (the conservative lookahead) must hold even when a
+  // delay_multiplier shrinks the sample to zero.
+  if (msg.from != msg.to) delay = std::max<SimTime>(delay, 1);
+  if (lane.trace && lane.trace->enabled()) {
+    lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.from,
+                       "SEND " + msg.Describe());
   }
-  if (collector_ && collector_->full()) {
-    EmitMessageEvent(TraceEventKind::kMsgSend, msg, msg.from, "");
+  if (lane.collector && lane.collector->full()) {
+    EmitMessageEvent(lane, TraceEventKind::kMsgSend, msg, msg.from, "");
   }
   if (duplicate) {
     // The duplicate travels independently: its own delay sample (plus
     // the same override treatment minus further duplication), so it can
     // arrive before OR after the original.
-    stats_.duplicated++;
-    SimTime dup_delay = latency_.SampleDelay(msg.from, msg.to, size);
+    lane.stats.duplicated++;
+    SimTime dup_delay = latency_.SampleDelay(msg.from, msg.to, size, rng);
     if (const LinkOverride* o = FindLinkOverride(msg.from, msg.to)) {
       if (o->delay_multiplier != 1.0) {
         dup_delay = static_cast<SimTime>(static_cast<double>(dup_delay) *
@@ -349,59 +453,81 @@ void Network::SendMessage(Message msg) {
       }
       if (o->reorder_jitter > 0) {
         dup_delay += static_cast<SimTime>(
-            rng_.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
+            rng.NextUint(static_cast<uint64_t>(o->reorder_jitter) + 1));
       }
     }
+    dup_delay = std::max<SimTime>(dup_delay, 1);
     // The injected copy is its own wire-level message: it gets a fresh
     // network id (so per-message accounting and trace timelines can
-    // tell the copies apart) while keeping the rpc_id, which is what
-    // duplicate suppression keys on.
+    // tell the copies apart, and same-tick arrivals order by id) while
+    // keeping the rpc_id, which is what duplicate suppression keys on.
     Message dup = msg;
-    dup.id = next_msg_id_++;
+    dup.id = NextMsgId(from_slot);
     ScheduleDelivery(std::move(dup), dup_delay);
   }
   ScheduleDelivery(std::move(msg), delay);
 }
 
-uint32_t Network::AcquireSlot() {
-  if (!pool_free_.empty()) {
-    uint32_t slot = pool_free_.back();
-    pool_free_.pop_back();
+uint32_t Network::AcquireSlot(Lane& lane) {
+  if (!lane.pool_free.empty()) {
+    uint32_t slot = lane.pool_free.back();
+    lane.pool_free.pop_back();
     return slot;
   }
-  uint32_t slot = static_cast<uint32_t>(pool_.size());
-  pool_.emplace_back();
+  uint32_t slot = static_cast<uint32_t>(lane.pool.size());
+  lane.pool.emplace_back();
   return slot;
 }
 
-void Network::ReleaseSlot(uint32_t slot) { pool_free_.push_back(slot); }
+void Network::ReleaseSlot(Lane& lane, uint32_t slot) {
+  lane.pool_free.push_back(slot);
+}
 
 void Network::ScheduleDelivery(Message msg, SimTime delay) {
-  uint32_t slot = AcquireSlot();
-  pool_[slot] = std::move(msg);
-  auto thunk = [this, slot] { DeliverPooled(slot); };
+  uint32_t src_shard = ShardOf(msg.from);
+  uint32_t dst_shard = ShardOf(msg.to);
+  SimTime when = lanes_[src_shard].sim->Now() + delay;
+  // The delivery's ordering key: same-tick arrivals at a destination
+  // execute in (sender, per-sender sequence) order — a pure function of
+  // message identity, independent of shard count and of the real-time
+  // order in which shards inserted them.
+  uint64_t key = msg.id;
+  if (dst_shard != src_shard) {
+    // Cross-shard hop: post the message (by value) to the destination
+    // shard's mailbox; its worker drains it at the next barrier. The
+    // lookahead rule guarantees `when` is at/after that barrier.
+    driver_->PostToShard(dst_shard, when, key,
+                         [this, m = std::move(msg)] { Deliver(m); });
+    return;
+  }
+  Lane& lane = lanes_[dst_shard];
+  uint32_t slot = AcquireSlot(lane);
+  lane.pool[slot] = std::move(msg);
+  auto thunk = [this, dst_shard, slot] { DeliverPooled(dst_shard, slot); };
   static_assert(sizeof(thunk) <= EventQueue::kInlineCallbackBytes,
                 "delivery closure must fit the event queue's inline "
                 "callback storage (the zero-allocation hot path)");
-  sim_->After(delay, std::move(thunk));
+  lane.sim->AtKeyed(when, key, std::move(thunk));
 }
 
-void Network::DeliverPooled(uint32_t slot) {
-  Deliver(pool_[slot]);
-  ReleaseSlot(slot);
+void Network::DeliverPooled(uint32_t lane_idx, uint32_t slot) {
+  Lane& lane = lanes_[lane_idx];
+  Deliver(lane.pool[slot]);
+  ReleaseSlot(lane, slot);
 }
 
 void Network::Deliver(const Message& msg) {
+  Lane& lane = LaneFor(msg.to);
   // Connectivity is re-checked at delivery time so that faults striking
   // while a message is in flight drop it.
   if (!IsSiteUp(msg.to)) {
-    stats_.RecordDrop(DropCause::kDestinationDown);
-    if (trace_ && trace_->enabled()) {
-      trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
-                     "DROP(dest down) " + msg.Describe());
+    lane.stats.RecordDrop(DropCause::kDestinationDown);
+    if (lane.trace && lane.trace->enabled()) {
+      lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.to,
+                         "DROP(dest down) " + msg.Describe());
     }
-    if (collector_ && collector_->full()) {
-      EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+    if (lane.collector && lane.collector->full()) {
+      EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.to,
                        DropCauseName(DropCause::kDestinationDown));
     }
     return;
@@ -416,25 +542,25 @@ void Network::Deliver(const Message& msg) {
       link_down = down_links_oneway_.contains({msg.from, msg.to});
     }
     if (link_down) {
-      stats_.RecordDrop(DropCause::kLinkDown);
-      if (trace_ && trace_->enabled()) {
-        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
-                       "DROP(link down) " + msg.Describe());
+      lane.stats.RecordDrop(DropCause::kLinkDown);
+      if (lane.trace && lane.trace->enabled()) {
+        lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.to,
+                           "DROP(link down) " + msg.Describe());
       }
-      if (collector_ && collector_->full()) {
-        EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+      if (lane.collector && lane.collector->full()) {
+        EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.to,
                          DropCauseName(DropCause::kLinkDown));
       }
       return;
     }
     if (!SameGroup(msg.from, msg.to)) {
-      stats_.RecordDrop(DropCause::kPartition);
-      if (trace_ && trace_->enabled()) {
-        trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
-                       "DROP(partition) " + msg.Describe());
+      lane.stats.RecordDrop(DropCause::kPartition);
+      if (lane.trace && lane.trace->enabled()) {
+        lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.to,
+                           "DROP(partition) " + msg.Describe());
       }
-      if (collector_ && collector_->full()) {
-        EmitMessageEvent(TraceEventKind::kMsgDrop, msg, msg.to,
+      if (lane.collector && lane.collector->full()) {
+        EmitMessageEvent(lane, TraceEventKind::kMsgDrop, msg, msg.to,
                          DropCauseName(DropCause::kPartition));
       }
       return;
@@ -442,16 +568,16 @@ void Network::Deliver(const Message& msg) {
   }
   size_t slot = SiteSlot(msg.to);
   if (slot >= handlers_.size() || !handlers_[slot]) {
-    stats_.RecordDrop(DropCause::kDestinationDown);
+    lane.stats.RecordDrop(DropCause::kDestinationDown);
     return;
   }
-  stats_.RecordDeliver(msg);
-  if (trace_ && trace_->enabled()) {
-    trace_->Record(sim_->Now(), TraceCategory::kNet, msg.to,
-                   "RECV " + msg.Describe());
+  lane.stats.RecordDeliver(msg);
+  if (lane.trace && lane.trace->enabled()) {
+    lane.trace->Record(lane.sim->Now(), TraceCategory::kNet, msg.to,
+                       "RECV " + msg.Describe());
   }
-  if (collector_ && collector_->full()) {
-    EmitMessageEvent(TraceEventKind::kMsgRecv, msg, msg.to, "");
+  if (lane.collector && lane.collector->full()) {
+    EmitMessageEvent(lane, TraceEventKind::kMsgRecv, msg, msg.to, "");
   }
   handlers_[slot](msg);
 }

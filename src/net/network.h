@@ -21,6 +21,8 @@
 
 namespace rainbow {
 
+class ShardedSimulator;
+
 /// Why a message never reached its destination.
 enum class DropCause {
   kRandomLoss,
@@ -60,6 +62,17 @@ class PerSiteCounters {
       if (c != 0) return false;
     }
     return true;
+  }
+
+  /// Adds every counter of `other` into this table (per-shard counter
+  /// merge for the sharded kernel).
+  void MergeFrom(const PerSiteCounters& other) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
   }
 
   /// Visits (site, count) for every nonzero counter: regular sites in
@@ -140,7 +153,20 @@ struct NetworkStats {
   void RecordSend(const Message& m, SimTime now, size_t bytes_size);
   void RecordDeliver(const Message& m);
   void RecordDrop(DropCause cause);
+  /// Adds `other`'s counters into this one (sharded-lane merge). All
+  /// sums, histogram merges, and elementwise bucket adds; bucket_width
+  /// is assumed equal.
+  void MergeFrom(const NetworkStats& other);
   std::string Render() const;
+};
+
+/// Per-shard execution context the network records into. In sharded
+/// mode each shard supplies its own simulator / trace log / structured
+/// collector so a worker thread only ever writes shard-local state.
+struct NetworkShardContext {
+  Simulator* sim = nullptr;
+  TraceLog* trace = nullptr;
+  TraceCollector* collector = nullptr;
 };
 
 /// The simulated network: delivers typed messages between registered
@@ -155,6 +181,20 @@ struct NetworkStats {
 ///  * A crashed site neither sends nor receives.
 ///  * Partitions override per-link state: two sites communicate iff they
 ///    are in the same partition group AND the link is up.
+///
+/// ## Sharding & determinism
+/// With EnableSharding, state splits into per-shard *lanes* (stats,
+/// message pool, trace sinks, simulator) plus shared read-mostly fault
+/// tables (links, partitions, overrides — mutated only from barrier
+/// context, published to workers by the barrier handoff). Every
+/// randomness draw (loss, latency, override jitter) comes from a
+/// per-*site* RNG stream keyed by site id, and every message id is
+/// (sender slot, per-sender sequence) — so each site's behaviour is a
+/// pure function of its own history and the same seed produces the same
+/// execution at any shard count. Cross-shard deliveries are posted to
+/// the destination shard's mailbox, keyed by message id, and drained at
+/// the next virtual-time barrier; intra-shard deliveries keep the
+/// pooled zero-allocation fast path.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -164,7 +204,16 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Switches the network to sharded mode: one lane per entry in
+  /// `shards` (shard 0's context replaces the constructor's sim/trace),
+  /// cross-shard sends routed through `driver`'s mailboxes. Call before
+  /// any traffic.
+  void EnableSharding(ShardedSimulator* driver,
+                      const std::vector<NetworkShardContext>& shards);
+
   /// Registers the message handler for `site`. One handler per site.
+  /// Also sizes the per-site RNG / message-id tables — registration must
+  /// precede traffic (workers never grow shared tables).
   void RegisterHandler(SiteId site, Handler handler);
 
   /// Sends `payload` from `from` to `to`. Delivery is asynchronous via
@@ -221,60 +270,111 @@ class Network {
   /// True if a message from `a` to `b` would currently be deliverable.
   bool Reachable(SiteId a, SiteId b) const;
 
-  NetworkStats& stats() { return stats_; }
-  const NetworkStats& stats() const { return stats_; }
+  /// Aggregate traffic counters. With one lane this is the lane itself;
+  /// in sharded mode it is a merge of every lane, rebuilt on each call
+  /// (call from barrier/idle context only).
+  const NetworkStats& stats() const;
 
-  Simulator* sim() { return sim_; }
+  /// The stats lane that accounts for `site`'s activity — intake for
+  /// the RPC sub-layer, which runs on the site's own shard.
+  NetworkStats& stats_for(SiteId site);
+
+  /// Sets the per_bucket histogram granularity on every lane.
+  void set_stats_bucket_width(SimTime width);
+
+  /// Conservative lower bound (µs) on the delay of any cross-site
+  /// message under the *current* link overrides: the sharded kernel's
+  /// barrier lookahead. Always ≥ 1.
+  SimTime MinCrossShardDelay() const;
+
+  Simulator* sim() { return lanes_[0].sim; }
 
   /// Structured tracing: at kFull detail every send/recv/drop is
   /// recorded against the payload's transaction. Optional; null
-  /// disables. No cost on the hot path below kFull.
-  void set_collector(TraceCollector* c) { collector_ = c; }
+  /// disables. Sets lane 0's collector (sharded mode supplies per-lane
+  /// collectors through EnableSharding). No cost on the hot path below
+  /// kFull.
+  void set_collector(TraceCollector* c) { lanes_[0].collector = c; }
 
  private:
+  /// Per-shard execution lane: everything a worker thread writes while
+  /// delivering traffic for its own sites.
+  struct Lane {
+    Simulator* sim = nullptr;
+    TraceLog* trace = nullptr;
+    TraceCollector* collector = nullptr;
+    NetworkStats stats;
+    /// Message pool: ScheduleDelivery parks the message in a pool slot
+    /// and the delivery closure captures only {this, lane, slot} —
+    /// small enough for the event queue's inline callback storage, so
+    /// an intra-shard send→deliver cycle allocates nothing in steady
+    /// state. A deque keeps slots at stable addresses while handlers
+    /// (which may send, acquiring new slots) hold a reference to the
+    /// message being delivered.
+    std::deque<Message> pool;
+    std::vector<uint32_t> pool_free;
+  };
+
   /// Dense table index shared by the flat site tables (handlers, the
-  /// down-site flags): name server in slot 0, regular site s in s + 1.
+  /// down-site flags, RNG streams): name server in slot 0, regular site
+  /// s in s + 1.
   static size_t SiteSlot(SiteId site) {
     return site == kNameServerId ? 0 : static_cast<size_t>(site) + 1;
   }
 
+  uint32_t ShardOf(SiteId site) const;
+  Lane& LaneFor(SiteId site) { return lanes_[ShardOf(site)]; }
+
+  /// Per-site deterministic RNG stream (seeded by site id, not draw
+  /// order — the basis of shard-count invariance).
+  Rng& SiteRng(size_t slot) { return site_rng_[slot]; }
+
+  /// (sender slot + 1) << 40 | per-sender sequence: globally unique,
+  /// monotone per sender, and the event-queue ordering key for the
+  /// delivery — same-tick deliveries order by (sender, sequence).
+  uint64_t NextMsgId(size_t slot) {
+    return ((static_cast<uint64_t>(slot) + 1) << 40) | ++site_msg_seq_[slot];
+  }
+
+  void EnsureSiteTables(size_t slot);
   void SendMessage(Message msg);
   void ScheduleDelivery(Message msg, SimTime delay);
-  /// Delivers the pooled message in `slot`, then recycles the slot.
-  void DeliverPooled(uint32_t slot);
+  /// Delivers the pooled message in lane `lane`'s `slot`, recycling it.
+  void DeliverPooled(uint32_t lane, uint32_t slot);
   void Deliver(const Message& msg);
-  void EmitMessageEvent(TraceEventKind kind, const Message& m, SiteId at,
-                        const char* note);
+  void EmitMessageEvent(Lane& lane, TraceEventKind kind, const Message& m,
+                        SiteId at, const char* note);
   bool SameGroup(SiteId a, SiteId b) const;
+  void RecomputeMinDelayMultiplier();
 
-  /// Message pool: ScheduleDelivery parks the message in a pool slot
-  /// and the delivery closure captures only {this, slot} — small enough
-  /// for the event queue's inline callback storage, so a send→deliver
-  /// cycle allocates nothing in steady state. A deque keeps slots at
-  /// stable addresses while handlers (which may send, acquiring new
-  /// slots) hold a reference to the message being delivered.
-  uint32_t AcquireSlot();
-  void ReleaseSlot(uint32_t slot);
+  uint32_t AcquireSlot(Lane& lane);
+  void ReleaseSlot(Lane& lane, uint32_t slot);
 
-  Simulator* sim_;
   LatencyModel latency_;
-  Rng rng_;
-  TraceLog* trace_;
-  TraceCollector* collector_ = nullptr;
   double loss_probability_ = 0;
   bool verify_codec_ = false;
-  uint64_t next_msg_id_ = 1;
+
+  /// One lane when single-threaded; one per shard in sharded mode.
+  /// A deque so Lane addresses are stable (closures capture indices,
+  /// but EnableSharding rebuilds in place).
+  std::deque<Lane> lanes_;
+  ShardedSimulator* driver_ = nullptr;
+  uint32_t num_shards_ = 1;
+
+  /// Per-site streams indexed by SiteSlot; sized at registration time
+  /// only (shared, read/written by the owning site's shard thereafter).
+  uint64_t site_seed_base_;
+  std::vector<Rng> site_rng_;
+  std::vector<uint64_t> site_msg_seq_;
 
   /// Flat per-site tables indexed by SiteSlot (consulted on every send
   /// and delivery; the old unordered_map/set cost a hash probe each).
+  /// Read-mostly: mutated only from barrier / between-runs context.
   std::vector<Handler> handlers_;
   std::vector<uint8_t> site_down_;
   /// Partition group per SiteSlot while partitioned_; -1 (also for
   /// sites beyond the table) is the implicit shared group.
   std::vector<int32_t> partition_group_;
-
-  std::deque<Message> pool_;
-  std::vector<uint32_t> pool_free_;
 
   std::set<std::pair<SiteId, SiteId>> down_links_;
   /// Directed down links (from, to); disjoint bookkeeping from the
@@ -284,9 +384,13 @@ class Network {
   /// path pays one emptiness branch and nothing else (bench_m5_nemesis
   /// holds this to zero allocations and no measurable slowdown).
   std::map<std::pair<SiteId, SiteId>, LinkOverride> link_overrides_;
+  /// Smallest delay_multiplier among installed overrides (1.0 when
+  /// none) — feeds MinCrossShardDelay, recomputed on override changes.
+  double min_delay_multiplier_ = 1.0;
   bool partitioned_ = false;
 
-  NetworkStats stats_;
+  /// Merge target for stats() in sharded mode.
+  mutable NetworkStats merged_stats_;
 };
 
 }  // namespace rainbow

@@ -4,7 +4,8 @@
 
 namespace rainbow {
 
-EventQueue::EventId EventQueue::Schedule(SimTime when, Callback cb) {
+EventQueue::EventId EventQueue::Schedule(SimTime when, uint64_t key,
+                                         Callback cb) {
   uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -12,15 +13,19 @@ EventQueue::EventId EventQueue::Schedule(SimTime when, Callback cb) {
   } else {
     slot = static_cast<uint32_t>(slots_.size());
     slots_.emplace_back();
+    // Keep (slot 0, generation 0) — the packed id 0 == kInvalidId —
+    // unreachable: slot 0 starts life at generation 1.
+    if (slot == 0) slots_[0].gen = 1;
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
-  heap_.push(Entry{when, next_seq_++, slot, s.gen});
+  heap_.push(Entry{when, key, next_seq_++, slot, s.gen});
   ++live_count_;
   return MakeId(slot, s.gen);
 }
 
 bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidId) return false;
   uint32_t slot = static_cast<uint32_t>(id & 0xffffffffu);
   uint32_t gen = static_cast<uint32_t>(id >> 32);
   if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
@@ -33,6 +38,9 @@ void EventQueue::RetireSlot(uint32_t slot) {
   Slot& s = slots_[slot];
   s.cb = Callback();
   ++s.gen;
+  // Generation wrap: slot 0 must never re-enter generation 0, or a
+  // recycled id would equal kInvalidId.
+  if (slot == 0 && s.gen == 0) s.gen = 1;
   free_slots_.push_back(slot);
 }
 

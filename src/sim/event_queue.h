@@ -10,10 +10,19 @@
 
 namespace rainbow {
 
-/// Priority queue of timed callbacks, ordered by (time, insertion
+/// Priority queue of timed callbacks, ordered by (time, key, insertion
 /// sequence). The sequence tie-break makes execution order fully
-/// deterministic: two events scheduled for the same instant fire in the
-/// order they were scheduled.
+/// deterministic: two events scheduled for the same instant (and the
+/// same key) fire in the order they were scheduled.
+///
+/// The explicit ordering `key` exists for the sharded kernel: events
+/// whose relative order must not depend on *when* they were inserted
+/// (message deliveries drained from cross-shard mailboxes vs. scheduled
+/// directly) carry a key derived from their origin — (sender site,
+/// per-sender sequence) — so the execution order at a destination is a
+/// pure function of virtual time, not of shard count or drain order.
+/// Key 0 (the default) sorts before any message key, i.e. local timers
+/// fire before same-tick message deliveries.
 ///
 /// Storage is allocation-lean: callbacks live in a flat slot table
 /// (reused through a free list) instead of a side unordered_map, and
@@ -36,13 +45,26 @@ class EventQueue {
   /// current one.
   using EventId = uint64_t;
 
-  /// Schedules `cb` at absolute time `when`. Returns an id usable with
-  /// Cancel().
-  EventId Schedule(SimTime when, Callback cb);
+  /// Reserved "no event" id. Schedule() never returns it: slot 0's
+  /// generation starts at 1 (and skips 0 on wrap), so the packed id
+  /// (slot 0, generation 0) — numerically 0 — cannot alias a real
+  /// event. Default-constructed TimerHandles rely on this.
+  static constexpr EventId kInvalidId = 0;
+
+  /// Schedules `cb` at absolute time `when` with ordering key 0.
+  /// Returns an id usable with Cancel().
+  EventId Schedule(SimTime when, Callback cb) {
+    return Schedule(when, 0, std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `when` with an explicit ordering
+  /// key: events fire in (time, key, insertion sequence) order.
+  EventId Schedule(SimTime when, uint64_t key, Callback cb);
 
   /// Cancels a pending event. Returns false if the event already fired
-  /// or was already cancelled. O(1): the heap entry is left behind as a
-  /// generation-mismatched tombstone and skipped when it surfaces.
+  /// or was already cancelled (or `id` is kInvalidId). O(1): the heap
+  /// entry is left behind as a generation-mismatched tombstone and
+  /// skipped when it surfaces.
   bool Cancel(EventId id);
 
   bool empty() const { return live_count_ == 0; }
@@ -61,6 +83,7 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
+    uint64_t key;
     uint64_t seq;
     uint32_t slot;
     uint32_t gen;
@@ -68,6 +91,7 @@ class EventQueue {
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };

@@ -1,0 +1,170 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rainbow {
+
+ShardedSimulator::ShardedSimulator(uint32_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {
+  shards_.reserve(num_shards_);
+  for (uint32_t k = 0; k < num_shards_; ++k) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+void ShardedSimulator::PostToShard(uint32_t shard, SimTime when, uint64_t key,
+                                   EventQueue::Callback cb) {
+  assert(shard < num_shards_);
+  Shard& s = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> l(s.mb_mu);
+    s.mailbox.push_back(Pending{when, key, std::move(cb)});
+  }
+  cross_posts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SimTime ShardedSimulator::EarliestPending() {
+  SimTime t = control_.NextEventTime();
+  for (auto& sp : shards_) {
+    t = std::min(t, sp->sim.NextEventTime());
+    std::lock_guard<std::mutex> l(sp->mb_mu);
+    for (const Pending& p : sp->mailbox) t = std::min(t, p.when);
+  }
+  return t;
+}
+
+void ShardedSimulator::DrainMailbox(uint32_t k) {
+  Shard& s = *shards_[k];
+  {
+    std::lock_guard<std::mutex> l(s.mb_mu);
+    if (s.mailbox.empty()) return;
+    s.drain.swap(s.mailbox);
+  }
+  // Entry order in `drain` reflects real-thread push order and is NOT
+  // deterministic — only insertion into the event queue happens here,
+  // and the queue orders by (time, key, seq). Distinct mailbox entries
+  // always differ in (time, key) (keys encode sender identity + a
+  // per-sender sequence), so execution order is independent of this
+  // drain order.
+  for (Pending& p : s.drain) {
+    s.sim.AtKeyed(p.when, p.key, std::move(p.cb));
+  }
+  s.drain.clear();
+}
+
+void ShardedSimulator::EnsureWorkers() {
+  if (num_shards_ <= 1 || !workers_.empty()) return;
+  workers_.reserve(num_shards_);
+  for (uint32_t k = 0; k < num_shards_; ++k) {
+    workers_.emplace_back([this, k] { WorkerLoop(k); });
+  }
+}
+
+void ShardedSimulator::WorkerLoop(uint32_t k) {
+  uint64_t seen = 0;
+  for (;;) {
+    SimTime run_to;
+    {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_work_.wait(l, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      run_to = window_run_to_;
+    }
+    DrainMailbox(k);
+    shards_[k]->sim.RunUntil(run_to);
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--pending_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+bool ShardedSimulator::RunWindow(SimTime horizon) {
+  SimTime barrier = EarliestPending();
+  if (barrier >= horizon) return false;
+
+  // Align every clock to the barrier time before anything runs, so
+  // control callbacks (which may call into any site) and mailbox drains
+  // observe a current Now().
+  control_.AdvanceTo(barrier);
+  for (auto& sp : shards_) sp->sim.AdvanceTo(barrier);
+
+  // Control events due at the barrier run on this (driver) thread with
+  // every worker parked — they may safely mutate shared state such as
+  // link tables; the barrier mutex handoff publishes the writes.
+  while (control_.NextEventTime() <= barrier) control_.Step();
+
+  SimTime lookahead = 1;
+  if (lookahead_provider_) {
+    lookahead = std::max<SimTime>(1, lookahead_provider_());
+  }
+  SimTime window_end = barrier + lookahead;  // exclusive
+  window_end = std::min(window_end, horizon);
+  window_end = std::min(window_end, control_.NextEventTime());
+  // window_end > barrier: lookahead >= 1, control drained through the
+  // barrier, and barrier < horizon.
+  SimTime run_to = window_end - 1;
+  ++windows_;
+
+  if (workers_.empty()) {
+    DrainMailbox(0);
+    shards_[0]->sim.RunUntil(run_to);
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    window_run_to_ = run_to;
+    pending_workers_ = num_shards_;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> l(mu_);
+    cv_done_.wait(l, [&] { return pending_workers_ == 0; });
+  }
+  return true;
+}
+
+void ShardedSimulator::RunUntil(SimTime t) {
+  assert(t >= Now());
+  EnsureWorkers();
+  while (RunWindow(t + 1)) {
+  }
+  // Nothing remains at or before t; land every clock on exactly t, the
+  // same post-condition as Simulator::RunUntil.
+  control_.AdvanceTo(t);
+  for (auto& sp : shards_) sp->sim.AdvanceTo(t);
+}
+
+size_t ShardedSimulator::RunToQuiescence(size_t max_events) {
+  EnsureWorkers();
+  uint64_t start = executed_events();
+  // The event cap is checked at window granularity (a worker never
+  // stops mid-window), so it is a livelock guard, not an exact budget.
+  while (executed_events() - start < max_events && RunWindow(kSimTimeMax)) {
+  }
+  return static_cast<size_t>(executed_events() - start);
+}
+
+bool ShardedSimulator::idle() { return EarliestPending() == kSimTimeMax; }
+
+uint64_t ShardedSimulator::executed_events() {
+  uint64_t n = control_.executed_events();
+  for (auto& sp : shards_) n += sp->sim.executed_events();
+  return n;
+}
+
+}  // namespace rainbow

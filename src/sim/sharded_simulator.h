@@ -1,0 +1,161 @@
+#ifndef RAINBOW_SIM_SHARDED_SIMULATOR_H_
+#define RAINBOW_SIM_SHARDED_SIMULATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace rainbow {
+
+/// Conservative parallel discrete-event kernel: N per-shard Simulators
+/// (each owning a partition of sites) advance in lockstep through
+/// virtual-time barrier windows, plus one *control lane* Simulator whose
+/// events (fault injection, system surgery) run on the driver thread at
+/// barriers, with every worker parked — so control callbacks may touch
+/// any shard's state.
+///
+/// ## Window rule
+/// At each barrier the driver computes T = the earliest pending event
+/// anywhere (shard queues, cross-shard mailboxes, control lane), aligns
+/// every clock to T, runs control events due at T, then lets each
+/// shard's worker execute its own events in [T, W) where
+///
+///   W = min(T + lookahead, next control event, horizon + 1)
+///
+/// and `lookahead` is the minimum cross-shard message delay (re-read
+/// from the provider at every barrier, so LinkOverride multipliers that
+/// shrink latency — applied at barriers via the control lane — shrink
+/// the window with them). A message sent at u ∈ [T, W) arrives at
+/// u + delay ≥ T + lookahead ≥ W, i.e. never inside the current window:
+/// no shard can receive an event in its past, the classic conservative
+/// PDES argument.
+///
+/// ## Determinism
+/// Execution order inside a shard is (time, key, insertion seq) — the
+/// EventQueue order. Cross-shard deliveries carry a key derived from
+/// (sender site, per-sender sequence), so their order at the receiver is
+/// a pure function of virtual time and message identity, independent of
+/// which real thread pushed the mailbox entry first or how windows are
+/// partitioned. Same seed + same shard count ⇒ identical executions;
+/// with per-site RNG streams (see net/network) the per-site event
+/// sequences are identical at *any* shard count.
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(uint32_t num_shards);
+  ~ShardedSimulator();
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  /// Deterministic site→shard partitioner. The name server (and any
+  /// other out-of-band SiteId) lands on shard 0; regular sites are
+  /// striped round-robin so contiguous topologies spread evenly.
+  static uint32_t ShardOfSite(SiteId site, uint32_t num_shards) {
+    if (num_shards <= 1 || site >= kNameServerId) return 0;
+    return site % num_shards;
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  Simulator& shard(uint32_t k) { return shards_[k]->sim; }
+  /// The control lane. Events scheduled here run on the driver thread
+  /// at barriers; RainbowSystem::sim() resolves to it in sharded mode
+  /// so FaultInjector / test code works unchanged.
+  Simulator& control() { return control_; }
+  const Simulator& control() const { return control_; }
+
+  /// Thread-safe cross-shard post: enqueues `cb` for execution on shard
+  /// `shard` at virtual time `when` with ordering key `key`. Drained
+  /// into the shard's event queue by its own worker at the next barrier
+  /// (`when` must be at/after the next barrier time — guaranteed by the
+  /// lookahead rule for message sends).
+  void PostToShard(uint32_t shard, SimTime when, uint64_t key,
+                   EventQueue::Callback cb);
+
+  /// Provider for the conservative lookahead (minimum cross-shard
+  /// delay, in µs); called on the driver thread at every barrier.
+  /// Values < 1 are clamped to 1. Default without a provider: 1 µs
+  /// (correct but slow — every window is one tick).
+  void set_lookahead_provider(std::function<SimTime()> fn) {
+    lookahead_provider_ = std::move(fn);
+  }
+
+  /// Runs barrier windows until every event at time <= t has executed,
+  /// then aligns all clocks (shards + control) to exactly t.
+  void RunUntil(SimTime t);
+
+  /// Runs until no events remain anywhere. `max_events` is a livelock
+  /// guard checked at window granularity. Returns events executed.
+  size_t RunToQuiescence(size_t max_events = SIZE_MAX);
+
+  /// Global virtual time (the control lane's clock; all shard clocks
+  /// equal it whenever the driver is between runs).
+  SimTime Now() const { return control_.Now(); }
+
+  bool idle();
+  uint64_t executed_events();
+  uint64_t windows_run() const { return windows_; }
+  uint64_t cross_shard_posts() const {
+    return cross_posts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    SimTime when;
+    uint64_t key;
+    EventQueue::Callback cb;
+  };
+  struct Shard {
+    Simulator sim;
+    std::mutex mb_mu;
+    std::vector<Pending> mailbox;
+    std::vector<Pending> drain;  // worker-local scratch
+  };
+
+  /// Earliest pending time across shard queues, mailboxes, and the
+  /// control lane; kSimTimeMax when everything is idle.
+  SimTime EarliestPending();
+
+  /// Moves mailbox entries of shard k into its event queue. Runs on the
+  /// shard's own worker (or the driver when single-threaded), after the
+  /// shard clock is aligned to the barrier time.
+  void DrainMailbox(uint32_t k);
+
+  /// Executes one barrier window starting at T, bounded by `horizon`
+  /// (exclusive: events at `horizon` itself stay pending when horizon
+  /// == t+1 from RunUntil). Returns false if nothing is pending at or
+  /// before `horizon` - 1.
+  bool RunWindow(SimTime horizon);
+
+  void EnsureWorkers();
+  void WorkerLoop(uint32_t k);
+
+  const uint32_t num_shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Simulator control_;
+  std::function<SimTime()> lookahead_provider_;
+
+  // Worker coordination. Workers start lazily at the first run and
+  // persist until destruction; epoch_ increments per window.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  uint64_t epoch_ = 0;
+  SimTime window_run_to_ = 0;
+  uint32_t pending_workers_ = 0;
+  bool stop_ = false;
+
+  uint64_t windows_ = 0;
+  std::atomic<uint64_t> cross_posts_{0};
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_SIM_SHARDED_SIMULATOR_H_

@@ -17,8 +17,13 @@ TimerHandle Simulator::After(SimTime delay, EventQueue::Callback fn) {
 }
 
 TimerHandle Simulator::At(SimTime when, EventQueue::Callback fn) {
+  return AtKeyed(when, 0, std::move(fn));
+}
+
+TimerHandle Simulator::AtKeyed(SimTime when, uint64_t key,
+                               EventQueue::Callback fn) {
   assert(when >= now_);
-  EventQueue::EventId id = queue_.Schedule(when, std::move(fn));
+  EventQueue::EventId id = queue_.Schedule(when, key, std::move(fn));
   return TimerHandle(&queue_, id);
 }
 
@@ -36,6 +41,11 @@ void Simulator::RunUntil(SimTime t) {
   while (!queue_.empty() && queue_.NextTime() <= t) {
     Step();
   }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::AdvanceTo(SimTime t) {
+  assert(queue_.NextTime() >= t);
   if (now_ < t) now_ = t;
 }
 

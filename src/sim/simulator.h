@@ -9,7 +9,9 @@
 namespace rainbow {
 
 /// Handle to a scheduled timer; allows cancellation. Default-constructed
-/// handles are inert.
+/// handles are inert: id_ is EventQueue::kInvalidId, which Schedule()
+/// never returns (slot 0 skips generation 0), so an inert handle can
+/// never alias — and cancel — a real event.
 class TimerHandle {
  public:
   TimerHandle() = default;
@@ -25,7 +27,7 @@ class TimerHandle {
   TimerHandle(EventQueue* queue, EventQueue::EventId id)
       : queue_(queue), id_(id) {}
   EventQueue* queue_ = nullptr;
-  EventQueue::EventId id_ = 0;
+  EventQueue::EventId id_ = EventQueue::kInvalidId;
 };
 
 /// The discrete-event simulation kernel: a virtual clock plus an event
@@ -50,17 +52,38 @@ class Simulator {
   /// Schedules `fn` at absolute virtual time `when` (>= Now()).
   TimerHandle At(SimTime when, EventQueue::Callback fn);
 
+  /// Schedules `fn` at `when` with an explicit ordering key: events
+  /// fire in (time, key, insertion sequence) order. The sharded kernel
+  /// keys message deliveries by (sender, per-sender sequence) so their
+  /// order is independent of when they were inserted (directly vs.
+  /// drained from a cross-shard mailbox). Key 0 == plain At().
+  TimerHandle AtKeyed(SimTime when, uint64_t key, EventQueue::Callback fn);
+
   /// Runs the next pending event, advancing the clock. Returns false if
   /// no events are pending.
   bool Step();
 
   /// Runs events until the queue is empty or the clock would pass `t`;
-  /// then sets the clock to `t` (if it ran dry earlier).
+  /// then sets the clock to `t`. The clock lands exactly on `t` in both
+  /// exits — queue drained early *and* events remaining strictly after
+  /// `t` — so back-to-back RunUntil windows observe contiguous time.
   void RunUntil(SimTime t);
+
+  /// Jumps the clock forward to `t` without running anything. Requires
+  /// that no pending event is earlier than `t` (it would otherwise fire
+  /// in the past). The sharded driver uses this to align every shard's
+  /// clock on the barrier time before a window runs, so events executed
+  /// from a barrier context (control lane, mailbox drains) see a
+  /// current Now().
+  void AdvanceTo(SimTime t);
 
   /// Runs until no events remain. `max_events` guards against livelock
   /// in tests; returns the number of events executed.
   size_t RunToQuiescence(size_t max_events = SIZE_MAX);
+
+  /// Time of the earliest pending event; kSimTimeMax when idle. The
+  /// sharded driver uses this to pick barrier times.
+  SimTime NextEventTime() { return queue_.NextTime(); }
 
   bool idle() const { return queue_.empty(); }
   size_t pending_events() const { return queue_.size(); }

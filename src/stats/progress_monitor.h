@@ -114,6 +114,15 @@ class ProgressMonitor {
 
   void Reset();
 
+  /// Adds another monitor's counters/histograms into this one (per-shard
+  /// merge for the sharded kernel). Outcomes are appended; call
+  /// CanonicalizeOutcomes() after the last merge.
+  void MergeFrom(const ProgressMonitor& other);
+
+  /// Stable-sorts kept outcomes by (submission time, txn id) — the
+  /// canonical, shard-count-invariant session-log order.
+  void CanonicalizeOutcomes();
+
  private:
   SimTime bucket_width_ = Millis(100);
   bool keep_outcomes_ = false;

@@ -62,7 +62,13 @@ int64_t TidOf(const TraceRecord& r) {
 
 }  // namespace
 
-std::string ChromeTraceJson(const TraceCollector& collector) {
+std::string ChromeTraceJson(const TraceCollector& raw) {
+  // Canonicalize: the single kernel stores records in execution order,
+  // the sharded kernel in merge order — (time, site) stable order makes
+  // the export (and the pid first-appearance assignment below) a pure
+  // function of the simulated execution, invariant under sim_shards.
+  TraceCollector collector = raw;
+  collector.CanonicalSort();
   std::map<TxnId, int> pids = AssignPids(collector);
 
   // (pid, tid) pairs in use, for thread_name metadata.
@@ -229,6 +235,22 @@ Result<TraceDiff> SameSeedTraceDiff(const SystemConfig& config,
                            RunAndExportChromeTrace(config, workload));
   RAINBOW_ASSIGN_OR_RETURN(std::string second,
                            RunAndExportChromeTrace(config, workload));
+  return DiffTraceText(first, second);
+}
+
+Result<TraceDiff> ShardCountTraceDiff(const SystemConfig& config,
+                                      const WorkloadConfig& workload,
+                                      uint32_t shards_a, uint32_t shards_b) {
+  WorkloadConfig wl = workload;
+  wl.per_site_clients = true;
+  SystemConfig a = config;
+  a.sim_shards = shards_a;
+  SystemConfig b = config;
+  b.sim_shards = shards_b;
+  RAINBOW_ASSIGN_OR_RETURN(std::string first,
+                           RunAndExportChromeTrace(a, wl));
+  RAINBOW_ASSIGN_OR_RETURN(std::string second,
+                           RunAndExportChromeTrace(b, wl));
   return DiffTraceText(first, second);
 }
 

@@ -27,6 +27,10 @@ WorkloadGenerator::WorkloadGenerator(RainbowSystem* system,
   if (config_.pattern == AccessPattern::kZipf) {
     zipf_ = std::make_unique<ZipfSampler>(num_items_, config_.zipf_theta);
   }
+  // The sequential driver's draw order depends on the global completion
+  // interleaving, which a sharded run does not reproduce across shard
+  // counts — force the per-site mode there.
+  if (system_->config().sim_shards > 1) config_.per_site_clients = true;
 }
 
 SiteId WorkloadGenerator::PickHome() {
@@ -40,50 +44,50 @@ SiteId WorkloadGenerator::PickHome() {
   return 0;
 }
 
-ItemId WorkloadGenerator::PickItem() {
+ItemId WorkloadGenerator::PickItem(Rng& rng) {
   switch (config_.pattern) {
     case AccessPattern::kUniform:
-      return static_cast<ItemId>(rng_.NextUint(num_items_));
+      return static_cast<ItemId>(rng.NextUint(num_items_));
     case AccessPattern::kZipf:
-      return static_cast<ItemId>(zipf_->Sample(rng_));
+      return static_cast<ItemId>(zipf_->Sample(rng));
     case AccessPattern::kHotspot: {
       uint32_t hot = std::max<uint32_t>(
           1, static_cast<uint32_t>(num_items_ * config_.hot_fraction));
-      if (rng_.NextBool(config_.hot_prob)) {
-        return static_cast<ItemId>(rng_.NextUint(hot));
+      if (rng.NextBool(config_.hot_prob)) {
+        return static_cast<ItemId>(rng.NextUint(hot));
       }
-      if (hot >= num_items_) return static_cast<ItemId>(rng_.NextUint(num_items_));
-      return static_cast<ItemId>(hot + rng_.NextUint(num_items_ - hot));
+      if (hot >= num_items_) return static_cast<ItemId>(rng.NextUint(num_items_));
+      return static_cast<ItemId>(hot + rng.NextUint(num_items_ - hot));
     }
   }
   return 0;
 }
 
-TxnProgram WorkloadGenerator::GenerateProgram() {
+TxnProgram WorkloadGenerator::GenerateProgram(Rng& rng) {
   TxnProgram program;
   uint32_t n = config_.ops_min;
   if (config_.ops_max > config_.ops_min) {
     n += static_cast<uint32_t>(
-        rng_.NextUint(config_.ops_max - config_.ops_min + 1));
+        rng.NextUint(config_.ops_max - config_.ops_min + 1));
   }
   // Items within one transaction are distinct (repeats collapse into the
   // coordinator's read-own-write path and weaken contention).
   std::vector<ItemId> chosen;
   for (uint32_t i = 0; i < n; ++i) {
-    ItemId item = PickItem();
+    ItemId item = PickItem(rng);
     for (int attempts = 0;
          attempts < 8 &&
          std::find(chosen.begin(), chosen.end(), item) != chosen.end();
          ++attempts) {
-      item = PickItem();
+      item = PickItem(rng);
     }
     chosen.push_back(item);
-    if (rng_.NextBool(config_.read_fraction)) {
+    if (rng.NextBool(config_.read_fraction)) {
       program.ops.push_back(Op::Read(item));
     } else if (config_.use_increments) {
-      program.ops.push_back(Op::Increment(item, rng_.NextInt(-10, 10)));
+      program.ops.push_back(Op::Increment(item, rng.NextInt(-10, 10)));
     } else {
-      program.ops.push_back(Op::Write(item, rng_.NextInt(0, 1000)));
+      program.ops.push_back(Op::Write(item, rng.NextInt(0, 1000)));
     }
   }
   return program;
@@ -94,6 +98,10 @@ void WorkloadGenerator::Run(std::function<void()> done) {
   if (config_.num_txns == 0) {
     done_fired_ = true;
     if (done_) done_();
+    return;
+  }
+  if (config_.per_site_clients) {
+    RunPerSite();
     return;
   }
   if (config_.arrival == WorkloadConfig::Arrival::kClosed) {
@@ -110,6 +118,119 @@ void WorkloadGenerator::Run(std::function<void()> done) {
     system_->sim().At(t, [this] { SubmitOne(); });
   }
 }
+
+// --- per-site clients -----------------------------------------------------
+
+void WorkloadGenerator::RunPerSite() {
+  const uint32_t n = static_cast<uint32_t>(system_->num_sites());
+  assert(n > 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    auto c = std::make_unique<Client>();
+    c->home = static_cast<SiteId>(i);
+    // One independent stream per site, keyed by the site id alone so the
+    // draws are identical at any shard count.
+    c->rng = Rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    c->target = config_.num_txns / n + (i < config_.num_txns % n ? 1 : 0);
+    c->mpl = config_.mpl / n + (i < config_.mpl % n ? 1 : 0);
+    if (c->target > 0 && c->mpl == 0) c->mpl = 1;
+    clients_.push_back(std::move(c));
+  }
+  uint32_t idle_clients = 0;
+  for (auto& cp : clients_) {
+    Client* c = cp.get();
+    if (c->target == 0) {
+      ++idle_clients;
+      continue;
+    }
+    if (config_.arrival == WorkloadConfig::Arrival::kClosed) {
+      uint32_t initial = std::min(c->mpl, c->target);
+      // Run() is called with no shard worker active, so submitting into
+      // the owning shard's queue directly is safe here.
+      for (uint32_t k = 0; k < initial; ++k) ClientSubmitOne(c);
+      continue;
+    }
+    // Open arrivals: each client runs its slice of the Poisson process
+    // (rate split evenly) on its own shard's clock.
+    double mean_gap_us =
+        1e6 / (config_.arrival_rate_tps / static_cast<double>(n));
+    Simulator& sim = system_->SimForSite(c->home);
+    SimTime t = sim.Now();
+    for (uint32_t k = 0; k < c->target; ++k) {
+      t += std::max<SimTime>(
+          1, static_cast<SimTime>(c->rng.NextExponential(mean_gap_us)));
+      sim.At(t, [this, c] { ClientSubmitOne(c); });
+    }
+  }
+  clients_done_.store(idle_clients, std::memory_order_release);
+  if (idle_clients == clients_.size()) {
+    done_fired_ = true;
+    if (done_) done_();
+  }
+}
+
+void WorkloadGenerator::ClientSubmitOne(Client* c) {
+  if (c->launched >= c->target) return;
+  ++c->launched;
+  ClientSubmitProgram(c, GenerateProgram(c->rng), 0, std::nullopt);
+}
+
+void WorkloadGenerator::ClientSubmitProgram(
+    Client* c, TxnProgram program, uint32_t attempt,
+    std::optional<TxnTimestamp> inherit_ts) {
+  ++c->submitted;
+  TxnProgram copy = program;
+  Status s = system_->Submit(
+      c->home, std::move(copy),
+      [this, c, program = std::move(program), attempt](const TxnOutcome& o) {
+        OnClientOutcome(c, o, program, attempt);
+      },
+      inherit_ts);
+  assert(s.ok());
+  (void)s;
+}
+
+void WorkloadGenerator::OnClientOutcome(Client* c, const TxnOutcome& outcome,
+                                        TxnProgram program, uint32_t attempt) {
+  // Runs on c->home's shard; touches only this client's state.
+  if (!outcome.committed && attempt < config_.max_retries) {
+    ++c->retries;
+    std::optional<TxnTimestamp> inherit;
+    if (config_.retry_inherit_timestamp && outcome.ts.site != kInvalidSite) {
+      inherit = outcome.ts;
+    }
+    SimTime backoff = RetryBackoffDelay(config_.retry_backoff,
+                                        static_cast<int>(attempt) + 1, c->rng);
+    system_->SimForSite(c->home).After(
+        backoff, [this, c, program = std::move(program), attempt, inherit] {
+          ClientSubmitProgram(c, program, attempt + 1, inherit);
+        });
+    return;
+  }
+  ++c->completed;
+  c->worst_attempts = std::max(c->worst_attempts, attempt + 1);
+  if (!outcome.committed) ++c->gave_up;
+  if (config_.arrival == WorkloadConfig::Arrival::kClosed &&
+      c->launched < c->target) {
+    if (config_.think_time > 0) {
+      system_->SimForSite(c->home).After(config_.think_time,
+                                         [this, c] { ClientSubmitOne(c); });
+    } else {
+      ClientSubmitOne(c);
+    }
+  }
+  if (c->completed >= c->target) ClientFinished();
+}
+
+void WorkloadGenerator::ClientFinished() {
+  uint32_t prev = clients_done_.fetch_add(1, std::memory_order_acq_rel);
+  if (prev + 1 == clients_.size()) {
+    // Only the last client reaches this branch, so done_ fires once.
+    done_fired_ = true;
+    if (done_) done_();
+  }
+}
+
+// --- sequential driver ----------------------------------------------------
 
 void WorkloadGenerator::SubmitOne() {
   if (launched_ >= config_.num_txns) return;

@@ -1,10 +1,12 @@
 #ifndef RAINBOW_WORKLOAD_WORKLOAD_H_
 #define RAINBOW_WORKLOAD_WORKLOAD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <memory>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
@@ -54,6 +56,17 @@ struct WorkloadConfig {
   enum class HomePolicy { kRoundRobin, kRandom };
   HomePolicy home = HomePolicy::kRoundRobin;
 
+  /// One independent client per site instead of one sequential driver:
+  /// transaction quota, MPL and (open mode) arrival rate are split
+  /// across the sites, and every client draws from its own RNG stream
+  /// keyed by its home site. Forced on when the system runs with
+  /// sim_shards > 1 — the sequential driver's draw order would depend
+  /// on cross-shard completion interleaving, per-site clients keep the
+  /// generated workload invariant under shard count. (With very small
+  /// mpl or num_txns the per-site split rounds each busy client up to
+  /// at least one in-flight transaction.)
+  bool per_site_clients = false;
+
   /// Automatic restarts: an aborted transaction is resubmitted up to
   /// this many times. 0 disables restarts.
   uint32_t max_retries = 0;
@@ -78,32 +91,87 @@ class WorkloadGenerator {
 
   /// Begins generation. `done` (optional) fires when every generated
   /// transaction (including retries) has completed. Drive the simulator
-  /// (RunFor / RunToQuiescence) to make progress.
+  /// (RunFor / RunToQuiescence) to make progress. In per-site-clients
+  /// mode under sharding, `done` fires on the worker thread of the last
+  /// client's shard — prefer polling finished() between runs.
   void Run(std::function<void()> done = nullptr);
 
   /// Generates one transaction program (exposed for tests and the
   /// manual panel's "random transaction" button).
-  TxnProgram GenerateProgram();
+  TxnProgram GenerateProgram() { return GenerateProgram(rng_); }
+  TxnProgram GenerateProgram(Rng& rng);
 
-  uint64_t submitted() const { return submitted_; }
-  uint64_t completed() const { return completed_; }
-  uint64_t retries() const { return retries_; }
+  // Aggregated counters. Under sharding, read these only between runs
+  // (shard workers parked) — they sum per-client tallies.
+  uint64_t submitted() const {
+    uint64_t n = submitted_;
+    for (const auto& c : clients_) n += c->submitted;
+    return n;
+  }
+  uint64_t completed() const {
+    uint64_t n = completed_;
+    for (const auto& c : clients_) n += c->completed;
+    return n;
+  }
+  uint64_t retries() const {
+    uint64_t n = retries_;
+    for (const auto& c : clients_) n += c->retries;
+    return n;
+  }
   /// Starvation tail: most attempts any single transaction needed before
   /// it finished (committed or gave up).
-  uint32_t worst_attempts() const { return worst_attempts_; }
+  uint32_t worst_attempts() const {
+    uint32_t n = worst_attempts_;
+    for (const auto& c : clients_) n = n > c->worst_attempts ? n : c->worst_attempts;
+    return n;
+  }
   /// Transactions that exhausted max_retries without committing.
-  uint64_t gave_up() const { return gave_up_; }
-  bool finished() const { return done_fired_; }
+  uint64_t gave_up() const {
+    uint64_t n = gave_up_;
+    for (const auto& c : clients_) n += c->gave_up;
+    return n;
+  }
+  bool finished() const {
+    if (!clients_.empty()) {
+      return clients_done_.load(std::memory_order_acquire) ==
+             clients_.size();
+    }
+    return done_fired_;
+  }
 
  private:
+  /// One independent per-site client (per_site_clients mode). All of a
+  /// client's callbacks run on its home site's shard, so no two shard
+  /// workers ever touch the same client.
+  struct Client {
+    SiteId home = 0;
+    Rng rng{0};
+    uint32_t target = 0;  ///< first-attempt submission quota
+    uint32_t mpl = 0;     ///< closed-mode in-flight cap
+    uint64_t launched = 0;
+    uint64_t submitted = 0;
+    uint64_t completed = 0;
+    uint64_t retries = 0;
+    uint32_t worst_attempts = 0;
+    uint64_t gave_up = 0;
+  };
+
   SiteId PickHome();
-  ItemId PickItem();
+  ItemId PickItem(Rng& rng);
   void SubmitOne();
   void SubmitProgram(TxnProgram program, uint32_t attempt,
                      std::optional<TxnTimestamp> inherit_ts = std::nullopt);
   void OnOutcome(const TxnOutcome& outcome, TxnProgram program,
                  uint32_t attempt);
   void MaybeDone();
+
+  void RunPerSite();
+  void ClientSubmitOne(Client* c);
+  void ClientSubmitProgram(Client* c, TxnProgram program, uint32_t attempt,
+                           std::optional<TxnTimestamp> inherit_ts);
+  void OnClientOutcome(Client* c, const TxnOutcome& outcome,
+                       TxnProgram program, uint32_t attempt);
+  void ClientFinished();
 
   RainbowSystem* system_;
   WorkloadConfig config_;
@@ -117,6 +185,8 @@ class WorkloadGenerator {
   uint32_t worst_attempts_ = 0;
   uint64_t gave_up_ = 0;
   uint64_t next_home_ = 0;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::atomic<uint32_t> clients_done_{0};
   std::function<void()> done_;
   bool done_fired_ = false;
 };

@@ -15,6 +15,41 @@
 namespace rainbow {
 namespace {
 
+TEST(EventQueueSentinelTest, FirstIdIsNeverInvalid) {
+  EventQueue q;
+  EventQueue::EventId id = q.Schedule(1, [] {});
+  EXPECT_NE(id, EventQueue::kInvalidId);
+  EXPECT_FALSE(q.Cancel(EventQueue::kInvalidId));
+  EXPECT_TRUE(q.Cancel(id));
+}
+
+TEST(EventQueueSentinelTest, DefaultTimerHandleCannotCancelFirstTimer) {
+  // Regression: TimerHandle's inert sentinel is id 0. Before slot 0's
+  // generation was reserved, the very first event of a fresh queue
+  // packed to (slot 0, generation 0) == 0, so a default-constructed
+  // handle aliased it and Cancel() on the "inert" handle killed a live
+  // event.
+  Simulator sim;
+  bool fired = false;
+  TimerHandle real = sim.After(5, [&] { fired = true; });
+  TimerHandle inert;
+  EXPECT_FALSE(inert.Cancel());
+  EXPECT_TRUE(real.valid());
+  sim.RunToQuiescence();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueSentinelTest, Slot0ReuseNeverYieldsInvalidId) {
+  // Slot 0 is recycled through many generations; no returned id may
+  // ever equal the reserved sentinel.
+  EventQueue q;
+  for (int i = 0; i < 1000; ++i) {
+    EventQueue::EventId id = q.Schedule(i, [] {});
+    EXPECT_NE(id, EventQueue::kInvalidId);
+    q.PopNext().cb();
+  }
+}
+
 TEST(EventQueueCancelTest, CancelAfterFireReturnsFalse) {
   EventQueue q;
   int fired = 0;

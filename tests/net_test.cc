@@ -140,7 +140,7 @@ TEST_F(NetworkTest, RandomLossDropsSome) {
 }
 
 TEST_F(NetworkTest, StatsCountKindsAndBuckets) {
-  net_.stats().bucket_width = Millis(1);
+  net_.set_stats_bucket_width(Millis(1));
   net_.Send(0, 1, ReadRequest{TxnId{0, 1}, TxnTimestamp{1, 0}, 5});
   net_.Send(0, 1, Ack{TxnId{0, 1}});
   sim_.RunToQuiescence();
