@@ -200,6 +200,10 @@ bool RunMacroSession(Report& report) {
   system.seed = 2026;
   system.num_sites = 3;
   system.AddFullyReplicatedItems(12, 100);
+  // M6 measures the simulator/protocol hot path, so pin the legacy map
+  // store: the page engine (B+ tree + buffer pool + store-record
+  // logging) has its own baseline and gates in bench_m8_storage.
+  system.protocols.storage_engine = StorageEngineKind::kMap;
 
   WorkloadConfig workload;
   workload.num_txns = 400;

@@ -1,0 +1,251 @@
+// M8: the page storage engine under memory pressure, with a
+// machine-readable baseline. Four sections:
+//
+//   * load — bulk-build the B+ tree with 1M items through a buffer pool
+//     that holds a small fraction of the data (load rate, pages
+//     allocated, tree height).
+//   * point — zipfian point ops (80% Get / 20% committed Apply) against
+//     the warmed pool; reports ops/sec, buffer hit rate and pages
+//     evicted — the classic "working set vs pool size" curve every
+//     storage lecture draws.
+//   * scan — leaf-chain range scans of 64 items from zipfian start
+//     keys; reports scanned items/sec.
+//   * restart — a crash (pool dropped) after a batch of logged commits,
+//     then the ARIES analysis->redo->undo pass; reports replay time and
+//     redo counts.
+//
+// The numbers are written as flat JSON (bench::EmitJson). The repo
+// checks in BENCH_M8.json as the baseline; the CI perf-smoke step runs
+// this binary with --check BENCH_M8.json, which fails on throughput
+// regressions beyond 1.5x (wall-clock, loose for CI noise) or a buffer
+// hit rate drop beyond 10% (deterministic, the real gate: the replacer
+// or pool accounting regressing shows up here immediately).
+//
+// Flags:
+//   --out FILE    write the JSON report here (default BENCH_M8.json)
+//   --check FILE  compare against a baseline JSON; exit 1 on regression
+//   --items N     override the item count (default 1,000,000)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "storage/storage_engine.h"
+
+namespace rainbow {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedSec(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+constexpr uint32_t kPageSize = 4096;
+constexpr size_t kPoolPages = 256;  // 1 MiB of pool vs ~20 MiB of data
+constexpr size_t kLruK = 2;
+constexpr int kPointOps = 400000;
+constexpr int kScanOps = 20000;
+constexpr uint32_t kScanLength = 64;
+constexpr int kRestartTxns = 20000;
+constexpr double kZipfTheta = 0.99;
+
+struct Report {
+  std::vector<std::pair<std::string, double>> fields;
+  void Add(const std::string& key, double value) {
+    fields.emplace_back(key, value);
+    std::printf("  %-28s %.6g\n", key.c_str(), value);
+  }
+};
+
+bool CheckMetric(const std::map<std::string, double>& baseline,
+                 const std::map<std::string, double>& current,
+                 const std::string& key, double allowed_ratio,
+                 bool higher_is_better, double slack = 0.0) {
+  auto b = baseline.find(key);
+  auto c = current.find(key);
+  if (b == baseline.end() || c == current.end()) {
+    std::printf("  check %-28s SKIPPED (missing from %s)\n", key.c_str(),
+                b == baseline.end() ? "baseline" : "current run");
+    return true;
+  }
+  bool ok = higher_is_better ? c->second >= b->second / allowed_ratio
+                             : c->second <= b->second * allowed_ratio + slack;
+  std::printf("  check %-28s %s (current %.6g vs baseline %.6g, allowed %gx)\n",
+              key.c_str(), ok ? "ok" : "REGRESSED", c->second, b->second,
+              allowed_ratio);
+  return ok;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_M8.json";
+  std::string check_path;
+  uint32_t num_items = 1000000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--check") {
+      check_path = next();
+    } else if (arg == "--items") {
+      num_items = static_cast<uint32_t>(std::stoul(next()));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::PrintHeader("M8", "page storage engine (B+ tree / buffer pool / ARIES)");
+  Report report;
+
+  Wal wal;
+  PageStore store(&wal, kPageSize, kPoolPages, kLruK);
+
+  // --- load ---------------------------------------------------------------
+  std::printf("-- load: %u items, %u B pages, %zu-frame pool --\n", num_items,
+              kPageSize, kPoolPages);
+  Clock::time_point t0 = Clock::now();
+  for (uint32_t i = 0; i < num_items; ++i) {
+    store.Load(i, static_cast<Value>(i));
+  }
+  store.FlushAll();
+  Clock::time_point t1 = Clock::now();
+  report.Add("load_items_per_sec",
+             static_cast<double>(num_items) / ElapsedSec(t0, t1));
+  report.Add("pages_allocated", static_cast<double>(store.disk().allocated_pages()));
+  report.Add("tree_height", static_cast<double>(store.tree().height()));
+
+  // --- point ops ----------------------------------------------------------
+  std::printf("-- point: %d zipfian ops (80%% get / 20%% apply) --\n",
+              kPointOps);
+  Rng rng(20260808);
+  ZipfSampler zipf(num_items, kZipfTheta);
+  BufferPool::Stats before = store.pool().stats();
+  Version version = 1;
+  uint64_t sum = 0;
+  t0 = Clock::now();
+  for (int i = 0; i < kPointOps; ++i) {
+    ItemId item = static_cast<ItemId>(zipf.Sample(rng));
+    if (i % 5 == 0) {
+      store.Apply(item, static_cast<Value>(i), version++);
+    } else {
+      auto copy = store.Get(item);
+      if (copy.ok()) sum += static_cast<uint64_t>(copy->version);
+    }
+  }
+  t1 = Clock::now();
+  BufferPool::Stats after = store.pool().stats();
+  uint64_t accesses = (after.hits - before.hits) + (after.misses - before.misses);
+  report.Add("point_ops_per_sec",
+             static_cast<double>(kPointOps) / ElapsedSec(t0, t1));
+  report.Add("point_hit_rate",
+             accesses == 0 ? 0.0
+                           : static_cast<double>(after.hits - before.hits) /
+                                 static_cast<double>(accesses));
+  report.Add("point_pages_evicted",
+             static_cast<double>(after.evictions - before.evictions));
+  if (sum == 0) std::printf("  (checksum unused)\n");
+
+  // --- scans --------------------------------------------------------------
+  std::printf("-- scan: %d scans x %u items --\n", kScanOps, kScanLength);
+  before = store.pool().stats();
+  std::vector<std::pair<ItemId, ItemCopy>> out;
+  uint64_t scanned = 0;
+  t0 = Clock::now();
+  for (int i = 0; i < kScanOps; ++i) {
+    ItemId from = static_cast<ItemId>(zipf.Sample(rng));
+    out.clear();
+    store.Range(from, kScanLength, out);
+    scanned += out.size();
+  }
+  t1 = Clock::now();
+  after = store.pool().stats();
+  accesses = (after.hits - before.hits) + (after.misses - before.misses);
+  report.Add("scan_items_per_sec",
+             static_cast<double>(scanned) / ElapsedSec(t0, t1));
+  report.Add("scan_hit_rate",
+             accesses == 0 ? 0.0
+                           : static_cast<double>(after.hits - before.hits) /
+                                 static_cast<double>(accesses));
+  report.Add("scan_pages_evicted",
+             static_cast<double>(after.evictions - before.evictions));
+
+  // --- restart ------------------------------------------------------------
+  std::printf("-- restart: crash after %d logged commits, ARIES replay --\n",
+              kRestartTxns);
+  uint64_t seq = 1;
+  for (int i = 0; i < kRestartTxns; ++i) {
+    ItemId item = static_cast<ItemId>(zipf.Sample(rng));
+    TxnId txn{0, seq++};
+    Value value = static_cast<Value>(i);
+    store.LogPrewrite(txn, item, value);
+    if (store.Apply(item, value, version++, txn)) {
+      store.CommitStorageTxn(txn);
+    } else {
+      store.AbortStorageTxn(txn);
+    }
+  }
+  store.OnCrash();
+  t0 = Clock::now();
+  RestartSummary rs = store.Restart();
+  t1 = Clock::now();
+  report.Add("restart_ms", ElapsedSec(t0, t1) * 1e3);
+  report.Add("restart_redo_applied", static_cast<double>(rs.redo_applied));
+  report.Add("restart_tentative_leaks", static_cast<double>(rs.tentative_leaks));
+  if (rs.tentative_leaks != 0) {
+    std::printf("GATE FAILED: restart left %zu tentative versions\n",
+                rs.tentative_leaks);
+    return 1;
+  }
+
+  bench::AddEnvFields(report.fields, /*shards=*/1);
+  if (!bench::EmitJson(out_path, report.fields)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!check_path.empty()) {
+    std::printf("-- checking against baseline %s --\n", check_path.c_str());
+    std::map<std::string, double> baseline = bench::ParseFlatJson(check_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "baseline %s missing or unreadable\n",
+                   check_path.c_str());
+      return 1;
+    }
+    std::map<std::string, double> current(report.fields.begin(),
+                                          report.fields.end());
+    bool pass = true;
+    // Wall-time-shaped metrics: loose 1.5x bound (CI machines are noisy).
+    pass &= CheckMetric(baseline, current, "load_items_per_sec", 1.5, true);
+    pass &= CheckMetric(baseline, current, "point_ops_per_sec", 1.5, true);
+    pass &= CheckMetric(baseline, current, "scan_items_per_sec", 1.5, true);
+    pass &= CheckMetric(baseline, current, "restart_ms", 1.5, false);
+    // Deterministic pool behavior: these move only when the replacer,
+    // pool accounting, or tree layout changes — tight bounds.
+    pass &= CheckMetric(baseline, current, "point_hit_rate", 1.1, true);
+    pass &= CheckMetric(baseline, current, "point_pages_evicted", 1.2, false);
+    pass &= CheckMetric(baseline, current, "pages_allocated", 1.1, false);
+    pass &= CheckMetric(baseline, current, "restart_tentative_leaks", 1.0,
+                        false, /*slack=*/0.0);
+    if (!pass) {
+      std::printf("perf-smoke: REGRESSION against %s\n", check_path.c_str());
+      return 1;
+    }
+    std::printf("perf-smoke: ok\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rainbow
+
+int main(int argc, char** argv) { return rainbow::Main(argc, argv); }

@@ -36,6 +36,15 @@ Status SystemConfig::Validate() const {
   if (items.empty()) {
     return Status::InvalidArgument("no database items configured");
   }
+  if (protocols.page_size < 64) {
+    return Status::InvalidArgument("page_size must be >= 64");
+  }
+  if (protocols.buffer_pool_pages < 8) {
+    return Status::InvalidArgument("buffer_pool_pages must be >= 8");
+  }
+  if (protocols.lru_k < 1) {
+    return Status::InvalidArgument("lru_k must be >= 1");
+  }
   for (const ItemConfig& item : items) {
     if (item.copies.empty()) {
       return Status::InvalidArgument("item '" + item.name + "' has no copies");
@@ -124,6 +133,11 @@ std::string SystemConfig::ToText() const {
      << "\n";
   os << "ordered_access = "
      << (protocols.ordered_access ? "true" : "false") << "\n";
+  os << "storage_engine = " << StorageEngineKindName(protocols.storage_engine)
+     << "\n";
+  os << "page_size = " << protocols.page_size << "\n";
+  os << "buffer_pool_pages = " << protocols.buffer_pool_pages << "\n";
+  os << "lru_k = " << protocols.lru_k << "\n";
   os << "op_timeout = " << protocols.op_timeout << "\n";
   os << "lock_wait_timeout = " << protocols.lock_wait_timeout << "\n";
   os << "vote_timeout = " << protocols.vote_timeout << "\n";
@@ -309,6 +323,23 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
       RAINBOW_ASSIGN_OR_RETURN(p.epoch_fencing, as_bool());
     } else if (key == "ordered_access") {
       RAINBOW_ASSIGN_OR_RETURN(p.ordered_access, as_bool());
+    } else if (key == "storage_engine") {
+      if (value == "map") {
+        p.storage_engine = StorageEngineKind::kMap;
+      } else if (value == "page") {
+        p.storage_engine = StorageEngineKind::kPage;
+      } else {
+        return Status::InvalidArgument("unknown storage_engine: " + value);
+      }
+    } else if (key == "page_size") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.page_size = static_cast<uint32_t>(v);
+    } else if (key == "buffer_pool_pages") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.buffer_pool_pages = static_cast<uint32_t>(v);
+    } else if (key == "lru_k") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.lru_k = static_cast<uint32_t>(v);
     } else if (key == "op_timeout") {
       RAINBOW_ASSIGN_OR_RETURN(p.op_timeout, as_int());
     } else if (key == "lock_wait_timeout") {

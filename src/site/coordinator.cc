@@ -34,6 +34,32 @@ void Coordinator::CancelCalls(std::map<SiteId, uint64_t>& calls) {
 void Coordinator::Start() {
   site_->Trace(TraceCategory::kTxn,
                id_.ToString() + " arrived: " + program_.ToString());
+  // Expand scan verbs into per-item reads: a scan of length L at item i
+  // becomes reads of i..i+L-1, each served through the normal
+  // replica-control path (the page engine feeds the copies from its B+
+  // tree leaf chain at the participants).
+  bool has_scan = false;
+  for (const Op& op : program_.ops) {
+    if (op.kind == OpKind::kScan) {
+      has_scan = true;
+      break;
+    }
+  }
+  if (has_scan) {
+    std::vector<Op> expanded;
+    expanded.reserve(program_.ops.size());
+    for (const Op& op : program_.ops) {
+      if (op.kind != OpKind::kScan) {
+        expanded.push_back(op);
+        continue;
+      }
+      Value len = op.value < 1 ? 1 : op.value;
+      for (Value k = 0; k < len; ++k) {
+        expanded.push_back(Op::Read(op.item + static_cast<ItemId>(k)));
+      }
+    }
+    program_.ops = std::move(expanded);
+  }
   read_slots_.assign(program_.ops.size(), std::nullopt);
   exec_order_.resize(program_.ops.size());
   for (size_t i = 0; i < exec_order_.size(); ++i) exec_order_[i] = i;
@@ -90,6 +116,13 @@ void Coordinator::NextOp() {
       WithView(op.item, AfterLookup::kRead);
       return;
     }
+    case OpKind::kScan:
+      // Scans were expanded into reads at Start(); none can reach the
+      // per-op loop.
+      assert(false && "unexpanded scan op");
+      ++op_index_;
+      NextOp();
+      return;
   }
 }
 
@@ -561,13 +594,13 @@ void Coordinator::Decide(bool commit, AbortCause cause, std::string detail) {
   // Read-only voters already released everything; only the rest take
   // part in the decision round.
   std::vector<SiteId> plist = DecisionParticipants();
-  site_->mutable_wal().Append(WalRecord{
+  site_->mutable_wal().Append(WalRecord::Protocol(
       commit ? WalRecordKind::kCommitDecision : WalRecordKind::kAbortDecision,
       id_,
       site_->id(),
       {},
       plist,
-      false});
+      false));
   site_->RememberDecision(id_, commit);
   site_->Trace(TraceCategory::kAcp,
                id_.ToString() + (commit ? " decision: COMMIT" : " decision: ABORT"));

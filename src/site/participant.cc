@@ -229,6 +229,7 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
     // Primary-copy backup path: buffer the write without CC — the
     // primary's lock serialized conflicting transactions already.
     t.buffered[item] = value;
+    site_->mutable_store().LogPrewrite(id, item, value);
     t.granted_any = true;
     PrewriteReply reply;
     reply.txn = id;
@@ -260,6 +261,7 @@ void ParticipantManager::OnPrewrite(SiteId from, const PrewriteRequest& req,
         reply.epoch = site_->epoch();
         if (g.granted) {
           it->second.buffered[item] = value;
+          site_->mutable_store().LogPrewrite(id, item, value);
           auto copy = site_->store().Get(item);
           reply.version = copy.ok() ? copy->version : 0;
         }
@@ -420,8 +422,8 @@ void ParticipantManager::OnPreCommit(SiteId from, const PreCommitRequest& req,
   }
   if (t.state == AcpState::kPrepared) {
     site_->mutable_wal().Append(
-        WalRecord{WalRecordKind::kPreCommitted, req.txn, t.coordinator, {},
-                  {}, true});
+        WalRecord::Protocol(WalRecordKind::kPreCommitted, req.txn, t.coordinator, {},
+                  {}, true));
     t.state = AcpState::kPreCommitted;
   }
   ArmDecisionTimer(t);  // reset patience
@@ -469,13 +471,13 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
   PTxn& t = it->second;
   CancelAll(t);
 
-  site_->mutable_wal().Append(WalRecord{
+  site_->mutable_wal().Append(WalRecord::Protocol(
       commit ? WalRecordKind::kCommitDecision : WalRecordKind::kAbortDecision,
       txn,
       t.coordinator,
       {},
       {},
-      t.three_phase});
+      t.three_phase));
   site_->RememberDecision(txn, commit);
 
   if ((t.state == AcpState::kPrepared || t.state == AcpState::kPreCommitted) &&
@@ -487,7 +489,7 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
     for (const auto& [item, value] : t.buffered) {
       auto vi = t.versions.find(item);
       if (vi == t.versions.end()) continue;  // stray prewrite, no version
-      site_->mutable_store().Apply(item, value, vi->second);
+      site_->mutable_store().Apply(item, value, vi->second, txn);
       site_->cc()->OnApply(txn, item, value, vi->second);
       if (site_->tracing()) {
         TraceRecord rec;
@@ -498,11 +500,14 @@ void ParticipantManager::ApplyDecision(TxnId txn, bool commit,
         site_->EmitTrace(std::move(rec));
       }
     }
+    site_->mutable_store().CommitStorageTxn(txn);
+  } else {
+    site_->mutable_store().AbortStorageTxn(txn);
   }
   if (!commit) doomed_.insert(txn);
   site_->cc()->Finish(txn, commit);
   site_->mutable_wal().Append(
-      WalRecord{WalRecordKind::kApplied, txn, t.coordinator, {}, {}, false});
+      WalRecord::Protocol(WalRecordKind::kApplied, txn, t.coordinator, {}, {}, false));
   site_->Trace(TraceCategory::kAcp,
                txn.ToString() + (commit ? " applied COMMIT" : " applied ABORT"));
   if (site_->tracing()) {
@@ -525,6 +530,7 @@ void ParticipantManager::LocalAbort(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   CancelAll(it->second);
+  site_->mutable_store().AbortStorageTxn(txn);
   site_->cc()->Finish(txn, false);
   txns_.erase(it);
 }
@@ -552,6 +558,7 @@ void ParticipantManager::OnCcVictim(TxnId txn, DenyReason reason) {
   // was only waiting held nothing, so a retransmission may start over.
   if (it->second.granted_any) doomed_.insert(txn);
   CancelAll(it->second);
+  site_->mutable_store().AbortStorageTxn(txn);
   txns_.erase(it);
   site_->SendTo(home, RemoteAbortNotify{txn, AbortCause::kCcp, reason});
 }
@@ -756,8 +763,8 @@ void ParticipantManager::FinishTerminationRound(TxnId txn) {
                    (*decision ? "COMMIT" : "ABORT"));
   if (!*decision) {
     std::vector<SiteId> peers = t.participants;
-    site_->mutable_wal().Append(WalRecord{WalRecordKind::kAbortDecision, txn,
-                                          t.coordinator, {}, peers, true});
+    site_->mutable_wal().Append(WalRecord::Protocol(WalRecordKind::kAbortDecision, txn,
+                                          t.coordinator, {}, peers, true));
     // The closer's Decision RPCs notify the peers (and retry until
     // acked); our own copy is applied directly.
     site_->StartCloser(txn, false, peers);
@@ -768,8 +775,8 @@ void ParticipantManager::FinishTerminationRound(TxnId txn) {
   // pre-committed state, so that if this leader fails mid-termination
   // the next round still converges on commit.
   if (t.state == AcpState::kPrepared) {
-    site_->mutable_wal().Append(WalRecord{WalRecordKind::kPreCommitted, txn,
-                                          t.coordinator, {}, {}, true});
+    site_->mutable_wal().Append(WalRecord::Protocol(WalRecordKind::kPreCommitted, txn,
+                                          t.coordinator, {}, {}, true));
     t.state = AcpState::kPreCommitted;
   }
   for (SiteId p : t.participants) {
@@ -786,8 +793,8 @@ void ParticipantManager::FinishTerminationCommit(TxnId txn) {
   if (it == txns_.end()) return;
   PTxn& t = it->second;
   std::vector<SiteId> peers = t.participants;
-  site_->mutable_wal().Append(WalRecord{WalRecordKind::kCommitDecision, txn,
-                                        t.coordinator, {}, peers, true});
+  site_->mutable_wal().Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, txn,
+                                        t.coordinator, {}, peers, true));
   site_->StartCloser(txn, true, peers);
   ApplyDecision(txn, true);
 }

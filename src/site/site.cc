@@ -10,6 +10,13 @@ namespace rainbow {
 
 Site::Site(SiteId id, Env env) : id_(id), env_(env) {
   assert(env_.sim && env_.net && env_.config);
+  if (env_.config->storage_engine == StorageEngineKind::kPage) {
+    store_ = std::make_unique<PageStore>(&wal_, env_.config->page_size,
+                                         env_.config->buffer_pool_pages,
+                                         env_.config->lru_k);
+  } else {
+    store_ = std::make_unique<MapStore>();
+  }
   rpc_ = std::make_unique<RpcEndpoint>(env_.sim, env_.net, id_, env_.seed);
   rpc_->set_collector(env_.collector);
   rpc_->set_late_reply_handler(
@@ -23,7 +30,7 @@ void Site::BuildVolatileState() {
   cc_ = CreateCcEngine(env_.config->cc, env_.config->deadlock);
   if (env_.config->cc == CcKind::kMultiversionTso) {
     auto* mvto = static_cast<MvtoManager*>(cc_.get());
-    for (const auto& [item, copy] : store_.copies()) {
+    for (const auto& [item, copy] : store_->Snapshot()) {
       mvto->LoadInitial(item, copy.value, copy.version);
     }
   }
@@ -34,7 +41,7 @@ void Site::BuildVolatileState() {
 }
 
 void Site::LoadItem(ItemId item, Value initial) {
-  store_.Load(item, initial);
+  store_->Load(item, initial);
   if (env_.config->cc == CcKind::kMultiversionTso) {
     static_cast<MvtoManager*>(cc_.get())->LoadInitial(item, initial, 0);
   }
@@ -43,6 +50,10 @@ void Site::LoadItem(ItemId item, Value initial) {
 void Site::Start() {
   if (started_) return;
   started_ = true;
+  // Checkpoint the freshly loaded database: Load() is not logged, so
+  // the initial values must be on disk before the first crash for the
+  // restart pass to redo against.
+  store_->FlushAll();
   env_.net->RegisterHandler(id_, [this](const Message& m) {
     if (crashed_) return;  // belt and braces; the network already drops
     // Hearing from a site clears its suspicion — any message counts,
@@ -201,6 +212,7 @@ void Site::Crash() {
   participants_->Shutdown();
   participants_.reset();
   cc_.reset();
+  store_->OnCrash();  // buffer pool frames and pending-txn table die
   closers_.clear();
   rpc_->Reset();  // drops every pending call and the duplicate windows
   decided_cache_.clear();
@@ -215,6 +227,18 @@ void Site::Recover() {
   Trace(TraceCategory::kSite, "RECOVER");
   env_.net->SetSiteUp(id_, true);
 
+  // Storage restart first: the page engine's ARIES pass (analysis ->
+  // redo -> undo) rebuilds the committed pages from the log before any
+  // protocol-level recovery reads the store. (No-op for the map store.)
+  if (env_.config->storage_engine == StorageEngineKind::kPage) {
+    RestartSummary rs = store_->Restart();
+    Trace(TraceCategory::kSite,
+          StringPrintf("restart: analyzed=%zu in_doubt=%zu losers=%zu "
+                       "redo=%zu redo_skipped=%zu undo_clrs=%zu",
+                       rs.analyzed_txns, rs.in_doubt, rs.losers,
+                       rs.redo_applied, rs.redo_skipped, rs.undo_clrs));
+  }
+
   auto scan = wal_.Scan();
   // Redo: apply committed-but-unapplied writes from prepared records
   // (the crash hit between logging/learning the decision and applying).
@@ -222,10 +246,10 @@ void Site::Recover() {
   for (const auto& [txn, st] : scan) {
     if (st.prepared && st.decided && st.commit && !st.applied) {
       for (const auto& w : st.prepared_record.writes) {
-        store_.Apply(w.item, w.value, w.version);
+        store_->Apply(w.item, w.value, w.version);
       }
-      wal_.Append(WalRecord{WalRecordKind::kApplied, txn,
-                            st.prepared_record.coordinator, {}, {}, false});
+      wal_.Append(WalRecord::Protocol(WalRecordKind::kApplied, txn,
+                            st.prepared_record.coordinator, {}, {}, false));
       Trace(TraceCategory::kAcp, txn.ToString() + " redo-applied at recovery");
     }
   }
@@ -254,9 +278,9 @@ void Site::Recover() {
 }
 
 void Site::RequestRefresh() {
-  if (store_.copies().empty()) return;
+  if (store_->size() == 0) return;
   RefreshRequest req;
-  for (const auto& [item, copy] : store_.copies()) req.items.push_back(item);
+  for (const auto& [item, copy] : store_->Snapshot()) req.items.push_back(item);
   // Ask every other site that could hold copies; peers that hold none of
   // the items reply with an empty list. A site does not know the full
   // schema locally, so it asks its schema cache first and falls back to
@@ -392,7 +416,7 @@ void Site::HandleStateQuery(SiteId from, const StateQuery& q,
 void Site::HandleRefreshRequest(SiteId from, const RefreshRequest& r) {
   RefreshReply reply;
   for (ItemId item : r.items) {
-    auto copy = store_.Get(item);
+    auto copy = store_->Get(item);
     if (copy.ok()) {
       reply.entries.push_back(RefreshReply::Entry{item, copy->value,
                                                   copy->version});
@@ -404,7 +428,7 @@ void Site::HandleRefreshRequest(SiteId from, const RefreshRequest& r) {
 void Site::HandleRefreshReply(const RefreshReply& r) {
   size_t adopted = 0;
   for (const auto& e : r.entries) {
-    if (store_.AdoptIfNewer(e.item, e.value, e.version)) ++adopted;
+    if (store_->AdoptIfNewer(e.item, e.value, e.version)) ++adopted;
   }
   if (adopted > 0) {
     Trace(TraceCategory::kSite,
@@ -412,7 +436,7 @@ void Site::HandleRefreshReply(const RefreshReply& r) {
     if (env_.config->cc == CcKind::kMultiversionTso) {
       auto* mvto = static_cast<MvtoManager*>(cc_.get());
       for (const auto& e : r.entries) {
-        auto copy = store_.Get(e.item);
+        auto copy = store_->Get(e.item);
         if (copy.ok() && copy->version == e.version) {
           mvto->LoadInitial(e.item, e.value, e.version);
         }
@@ -482,7 +506,7 @@ void Site::StartCloser(TxnId txn, bool commit,
   closer.commit = commit;
   for (SiteId p : participants) closer.pending.insert(p);
   if (closer.pending.empty()) {
-    wal_.Append(WalRecord{WalRecordKind::kEnd, txn, id_, {}, {}, false});
+    wal_.Append(WalRecord::Protocol(WalRecordKind::kEnd, txn, id_, {}, {}, false));
     Trace(TraceCategory::kAcp, txn.ToString() + " fully acknowledged (end)");
     closers_.erase(it);
     return;
@@ -515,7 +539,7 @@ void Site::OnCloserReply(TxnId txn, SiteId participant, bool ok) {
   }
   closer.pending.erase(participant);
   if (!closer.pending.empty()) return;
-  wal_.Append(WalRecord{WalRecordKind::kEnd, txn, id_, {}, {}, false});
+  wal_.Append(WalRecord::Protocol(WalRecordKind::kEnd, txn, id_, {}, {}, false));
   Trace(TraceCategory::kAcp, txn.ToString() + " fully acknowledged (end)");
   closers_.erase(it);
 }

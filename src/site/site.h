@@ -17,7 +17,7 @@
 #include "site/protocol_config.h"
 #include "sim/simulator.h"
 #include "stats/progress_monitor.h"
-#include "storage/local_store.h"
+#include "storage/storage_engine.h"
 #include "storage/wal.h"
 #include "txn/transaction.h"
 #include "verify/history.h"
@@ -38,10 +38,13 @@ class Coordinator;
 ///
 /// Crash semantics: Crash() destroys all volatile state (CC engine,
 /// participant and coordinator records, schema cache, timers, pending
-/// RPC calls) and stops network delivery; the LocalStore and Wal
-/// persist. Recover() rebuilds the volatile state, reinstates in-doubt
-/// transactions from the WAL, re-propagates unfinished decisions, and
-/// optionally refreshes item copies from a live peer.
+/// RPC calls, the page engine's buffer pool) and stops network
+/// delivery; the storage engine's durable half (disk image, B+ tree
+/// skeleton) and the Wal persist. Recover() first runs the engine's
+/// ARIES restart pass (analysis -> redo -> undo over the shared WAL),
+/// then rebuilds the volatile state, reinstates in-doubt transactions
+/// from the WAL, re-propagates unfinished decisions, and optionally
+/// refreshes item copies from a live peer.
 class Site {
  public:
   /// Shared infrastructure injected by RainbowSystem.
@@ -99,8 +102,8 @@ class Site {
 
   // --- introspection ---
   SiteId id() const { return id_; }
-  const LocalStore& store() const { return store_; }
-  LocalStore& mutable_store() { return store_; }
+  const StorageEngine& store() const { return *store_; }
+  StorageEngine& mutable_store() { return *store_; }
   const Wal& wal() const { return wal_; }
   CcEngine* cc() { return cc_.get(); }
   size_t active_coordinators() const { return coordinators_.size(); }
@@ -187,9 +190,10 @@ class Site {
   uint64_t epoch_ = 0;
   bool started_ = false;
 
-  // Durable state.
-  LocalStore store_;
+  // Durable state. The engine logs into wal_, so wal_ is declared (and
+  // constructed) first.
   Wal wal_;
+  std::unique_ptr<StorageEngine> store_;
 
   // The RPC endpoint outlives coordinators/participants (their
   // destructors cancel pending calls), so it is declared first.

@@ -1,0 +1,148 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rainbow {
+
+void DiskManager::ReadPage(PageId page_id, Page& out) const {
+  ++reads_;
+  auto it = pages_.find(page_id);
+  if (it == pages_.end()) {
+    std::memset(out.data(), 0, out.size());
+    return;
+  }
+  assert(it->second.size() == out.size());
+  std::memcpy(out.data(), it->second.data(), out.size());
+}
+
+void DiskManager::WritePage(PageId page_id, const Page& in) {
+  ++writes_;
+  pages_[page_id] = in.bytes();
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames, size_t lru_k)
+    : disk_(disk), frames_(num_frames), replacer_(num_frames, lru_k) {
+  free_list_.reserve(num_frames);
+  // Stack order: frame 0 is handed out first.
+  for (size_t i = num_frames; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+size_t BufferPool::AcquireFrame() {
+  if (!free_list_.empty()) {
+    size_t f = free_list_.back();
+    free_list_.pop_back();
+    return f;
+  }
+  std::optional<size_t> victim = replacer_.Evict();
+  if (!victim.has_value()) return static_cast<size_t>(-1);
+  Frame& fr = frames_[*victim];
+  ++stats_.evictions;
+  if (fr.dirty) {
+    ++stats_.dirty_evictions;
+    disk_->WritePage(fr.page_id, *fr.page);
+  }
+  page_table_.erase(fr.page_id);
+  fr.page_id = kInvalidPageId;
+  fr.dirty = false;
+  return *victim;
+}
+
+Page* BufferPool::FetchPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Frame& fr = frames_[it->second];
+    ++fr.pin_count;
+    replacer_.RecordAccess(it->second);
+    replacer_.SetEvictable(it->second, false);
+    return fr.page.get();
+  }
+  ++stats_.misses;
+  size_t f = AcquireFrame();
+  if (f == static_cast<size_t>(-1)) {
+    ++stats_.pin_failures;
+    return nullptr;
+  }
+  Frame& fr = frames_[f];
+  if (!fr.page) fr.page = std::make_unique<Page>(disk_->page_size());
+  disk_->ReadPage(page_id, *fr.page);
+  fr.page_id = page_id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_table_[page_id] = f;
+  replacer_.RecordAccess(f);
+  replacer_.SetEvictable(f, false);
+  return fr.page.get();
+}
+
+Page* BufferPool::NewPage(PageId* page_id) {
+  size_t f = AcquireFrame();
+  if (f == static_cast<size_t>(-1)) {
+    ++stats_.pin_failures;
+    return nullptr;
+  }
+  PageId id = disk_->AllocatePage();
+  Frame& fr = frames_[f];
+  if (!fr.page) fr.page = std::make_unique<Page>(disk_->page_size());
+  std::memset(fr.page->data(), 0, fr.page->size());
+  fr.page_id = id;
+  fr.pin_count = 1;
+  fr.dirty = true;  // a new page must reach disk even if never updated
+  page_table_[id] = f;
+  replacer_.RecordAccess(f);
+  replacer_.SetEvictable(f, false);
+  *page_id = id;
+  return fr.page.get();
+}
+
+bool BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return false;
+  Frame& fr = frames_[it->second];
+  if (fr.pin_count <= 0) return false;
+  fr.dirty = fr.dirty || dirty;
+  if (--fr.pin_count == 0) replacer_.SetEvictable(it->second, true);
+  return true;
+}
+
+bool BufferPool::FlushPage(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return false;
+  Frame& fr = frames_[it->second];
+  disk_->WritePage(page_id, *fr.page);
+  fr.dirty = false;
+  ++stats_.flushes;
+  return true;
+}
+
+void BufferPool::FlushAll() {
+  for (const auto& [page_id, f] : page_table_) {
+    Frame& fr = frames_[f];
+    if (!fr.dirty) continue;
+    disk_->WritePage(page_id, *fr.page);
+    fr.dirty = false;
+    ++stats_.flushes;
+  }
+}
+
+void BufferPool::Reset() {
+  page_table_.clear();
+  free_list_.clear();
+  for (size_t i = frames_.size(); i > 0; --i) {
+    size_t f = i - 1;
+    frames_[f].page_id = kInvalidPageId;
+    frames_[f].pin_count = 0;
+    frames_[f].dirty = false;
+    replacer_.Remove(f);
+    free_list_.push_back(f);
+  }
+}
+
+int BufferPool::PinCountOf(PageId page_id) const {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return -1;
+  return frames_[it->second].pin_count;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,112 @@
+#ifndef RAINBOW_STORAGE_BUFFER_POOL_H_
+#define RAINBOW_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "storage/lru_k_replacer.h"
+#include "storage/page.h"
+
+namespace rainbow {
+
+/// The durable page file of one site, simulated in memory. Like the Wal
+/// object, a DiskManager intentionally survives Site::Crash(): only the
+/// buffer pool (volatile frames) is wiped, so a restart sees exactly
+/// the pages that were flushed (or evicted dirty) before the crash —
+/// the honest no-force starting point for the ARIES redo pass.
+class DiskManager {
+ public:
+  explicit DiskManager(uint32_t page_size) : page_size_(page_size) {}
+
+  uint32_t page_size() const { return page_size_; }
+
+  PageId AllocatePage() { return next_page_id_++; }
+  uint32_t allocated_pages() const { return next_page_id_; }
+
+  /// Reads `page_id` into `out` (zero-filled if never written).
+  void ReadPage(PageId page_id, Page& out) const;
+  void WritePage(PageId page_id, const Page& in);
+  bool HasPage(PageId page_id) const { return pages_.contains(page_id); }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  uint32_t page_size_;
+  PageId next_page_id_ = 0;
+  std::map<PageId, std::vector<uint8_t>> pages_;
+  mutable uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// Fixed-size page buffer pool with pin/unpin/dirty accounting and an
+/// LRU-K replacer. Volatile: Reset() models a crash (all frames dropped
+/// without flushing). All internal iteration is structural (frame
+/// index / page-id order), never hash order, so eviction and flush
+/// sequences are deterministic.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t num_frames, size_t lru_k);
+
+  /// Pins and returns the page (fetched from disk on a miss, possibly
+  /// evicting). Returns nullptr only when every frame is pinned.
+  Page* FetchPage(PageId page_id);
+
+  /// Allocates a fresh page on disk, pins an empty frame for it.
+  /// Returns nullptr when every frame is pinned.
+  Page* NewPage(PageId* page_id);
+
+  /// Drops one pin; `dirty` accumulates (a false unpin never clears a
+  /// previous true). Returns false if the page is not resident.
+  bool UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes the page back if resident (regardless of pin state).
+  bool FlushPage(PageId page_id);
+
+  /// Flushes every resident dirty page (page-id order).
+  void FlushAll();
+
+  /// Crash: drop every frame without flushing. Pin counts reset.
+  void Reset();
+
+  size_t num_frames() const { return frames_.size(); }
+  size_t resident_pages() const { return page_table_.size(); }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t dirty_evictions = 0;
+    uint64_t flushes = 0;
+    uint64_t pin_failures = 0;  ///< fetch/new with all frames pinned
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Pin count of a resident page, -1 if not resident (tests).
+  int PinCountOf(PageId page_id) const;
+
+ private:
+  struct Frame {
+    std::unique_ptr<Page> page;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+  };
+
+  /// Finds a frame for a new resident page: free list first, then the
+  /// replacer; flushes a dirty victim. Returns SIZE_MAX if all pinned.
+  size_t AcquireFrame();
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_list_;  ///< stack of unused frame indices
+  std::map<PageId, size_t> page_table_;
+  LruKReplacer replacer_;
+  Stats stats_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_STORAGE_BUFFER_POOL_H_

@@ -13,6 +13,8 @@ namespace rainbow {
 struct ItemCopy {
   Value value = 0;
   Version version = 0;
+
+  bool operator==(const ItemCopy&) const = default;
 };
 
 /// The durable committed database at one Rainbow site: item copies with

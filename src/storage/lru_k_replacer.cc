@@ -1,0 +1,73 @@
+#include "storage/lru_k_replacer.h"
+
+#include <cassert>
+
+namespace rainbow {
+
+LruKReplacer::LruKReplacer(size_t num_frames, size_t k)
+    : k_(k == 0 ? 1 : k), frames_(num_frames) {
+  for (FrameInfo& f : frames_) f.history.resize(k_, 0);
+}
+
+void LruKReplacer::RecordAccess(size_t frame) {
+  assert(frame < frames_.size());
+  FrameInfo& f = frames_[frame];
+  f.present = true;
+  uint64_t now = ++clock_;
+  if (f.count < k_) {
+    f.history[(f.head + f.count) % k_] = now;
+    ++f.count;
+  } else {
+    f.history[f.head] = now;
+    f.head = (f.head + 1) % k_;
+  }
+}
+
+void LruKReplacer::SetEvictable(size_t frame, bool evictable) {
+  assert(frame < frames_.size());
+  FrameInfo& f = frames_[frame];
+  if (!f.present || f.evictable == evictable) return;
+  f.evictable = evictable;
+  evictable_count_ += evictable ? 1 : static_cast<size_t>(-1);
+}
+
+std::optional<size_t> LruKReplacer::Evict() {
+  // Scan all frames: the pool is small (tens to a few thousand frames)
+  // and the scan is branch-light; determinism matters more here than
+  // a heap. Victim = largest backward k-distance; frames with < k
+  // accesses are the +inf class and win over any full-history frame,
+  // ties within the class broken by earliest (oldest) recorded access.
+  std::optional<size_t> victim;
+  bool victim_inf = false;
+  uint64_t victim_key = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const FrameInfo& f = frames_[i];
+    if (!f.present || !f.evictable) continue;
+    bool inf = f.count < k_;
+    // Key: for +inf frames the earliest access (smaller = older =
+    // better victim); for full frames the k-th most recent access
+    // (smaller = larger backward distance = better victim).
+    uint64_t key = inf ? f.Oldest() : f.KthRecent();
+    if (!victim.has_value() || (inf && !victim_inf) ||
+        (inf == victim_inf && key < victim_key)) {
+      victim = i;
+      victim_inf = inf;
+      victim_key = key;
+    }
+  }
+  if (victim.has_value()) Remove(*victim);
+  return victim;
+}
+
+void LruKReplacer::Remove(size_t frame) {
+  assert(frame < frames_.size());
+  FrameInfo& f = frames_[frame];
+  if (!f.present) return;
+  if (f.evictable) --evictable_count_;
+  f.present = false;
+  f.evictable = false;
+  f.head = 0;
+  f.count = 0;
+}
+
+}  // namespace rainbow

@@ -1,0 +1,74 @@
+#ifndef RAINBOW_STORAGE_PAGE_H_
+#define RAINBOW_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "storage/wal.h"
+
+namespace rainbow {
+
+/// Identifier of a fixed-size page in a site's local page file.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// One fixed-size page frame. The first kPageHeaderLsnBytes hold the
+/// page LSN (the LSN of the last logged update applied to this page —
+/// the redo pass of restart replays exactly the records with
+/// lsn > page_lsn). All multi-byte fields are accessed through memcpy
+/// so the layout is well-defined regardless of alignment.
+class Page {
+ public:
+  explicit Page(uint32_t page_size) : data_(page_size, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+
+  Lsn page_lsn() const { return ReadU64(0); }
+  void set_page_lsn(Lsn lsn) { WriteU64(0, lsn); }
+
+  uint8_t ReadU8(uint32_t off) const { return data_[off]; }
+  void WriteU8(uint32_t off, uint8_t v) { data_[off] = v; }
+
+  uint32_t ReadU32(uint32_t off) const {
+    uint32_t v;
+    std::memcpy(&v, data_.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU32(uint32_t off, uint32_t v) {
+    std::memcpy(data_.data() + off, &v, sizeof(v));
+  }
+
+  uint64_t ReadU64(uint32_t off) const {
+    uint64_t v;
+    std::memcpy(&v, data_.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteU64(uint32_t off, uint64_t v) {
+    std::memcpy(data_.data() + off, &v, sizeof(v));
+  }
+
+  int64_t ReadI64(uint32_t off) const {
+    int64_t v;
+    std::memcpy(&v, data_.data() + off, sizeof(v));
+    return v;
+  }
+  void WriteI64(uint32_t off, int64_t v) {
+    std::memcpy(data_.data() + off, &v, sizeof(v));
+  }
+
+  std::vector<uint8_t>& bytes() { return data_; }
+  const std::vector<uint8_t>& bytes() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// Byte offset where page-type-specific content begins (after the LSN).
+inline constexpr uint32_t kPageHeaderLsnBytes = 8;
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_STORAGE_PAGE_H_

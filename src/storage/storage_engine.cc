@@ -1,0 +1,303 @@
+#include "storage/storage_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rainbow {
+
+void MapStore::Range(ItemId from, size_t limit,
+                     std::vector<std::pair<ItemId, ItemCopy>>& out) const {
+  for (auto it = store_.copies().lower_bound(from);
+       it != store_.copies().end() && out.size() < limit; ++it) {
+    out.emplace_back(it->first, it->second);
+  }
+}
+
+PageStore::PageStore(Wal* wal, uint32_t page_size, size_t pool_pages,
+                     size_t lru_k)
+    : wal_(wal),
+      disk_(page_size),
+      pool_(&disk_, pool_pages, lru_k),
+      tree_(&pool_, &disk_) {}
+
+void PageStore::Load(ItemId item, Value initial) {
+  tree_.Put(item, initial, 0);
+}
+
+Result<ItemCopy> PageStore::Get(ItemId item) const {
+  std::optional<ItemCopy> copy = tree_.Get(item);
+  if (!copy.has_value()) {
+    return Status::NotFound("no copy of item " + std::to_string(item));
+  }
+  return *copy;
+}
+
+std::map<ItemId, ItemCopy> PageStore::Snapshot() const {
+  std::map<ItemId, ItemCopy> out;
+  std::vector<std::pair<ItemId, ItemCopy>> entries;
+  tree_.Scan(0, tree_.size(), entries);
+  for (const auto& [item, copy] : entries) out.emplace(item, copy);
+  return out;
+}
+
+void PageStore::Range(ItemId from, size_t limit,
+                      std::vector<std::pair<ItemId, ItemCopy>>& out) const {
+  tree_.Scan(from, out.size() + limit, out);
+}
+
+Lsn PageStore::ChainFor(TxnId txn) {
+  auto it = att_.find(txn);
+  if (it != att_.end()) return it->second;
+  WalRecord begin;
+  begin.kind = WalRecordKind::kStoreBegin;
+  begin.txn = txn;
+  begin.prev_lsn = kNoLsn;
+  Lsn lsn = wal_->Append(std::move(begin));
+  att_[txn] = lsn;
+  return lsn;
+}
+
+void PageStore::LogPrewrite(TxnId txn, ItemId item, Value value) {
+  std::optional<ItemCopy> committed = tree_.Get(item);
+  if (!committed.has_value()) return;  // not hosted here
+  Lsn prev = ChainFor(txn);
+  WalRecord rec;
+  rec.kind = WalRecordKind::kStoreUpdate;
+  rec.txn = txn;
+  rec.prev_lsn = prev;
+  rec.store.item = item;
+  rec.store.page_id = tree_.LeafOf(item).value_or(kInvalidPageId);
+  rec.store.before_value = committed->value;
+  rec.store.before_version = committed->version;
+  rec.store.value = value;
+  // A unique tentative tag: restart's repeating-history pass installs
+  // it for losers, and the matching CLR only fires while the page still
+  // holds exactly this version.
+  rec.store.version = kTentativeBit | wal_->NextLsn();
+  rec.store.tentative = true;
+  att_[txn] = wal_->Append(std::move(rec));
+}
+
+bool PageStore::Apply(ItemId item, Value value, Version version, TxnId txn) {
+  std::optional<ItemCopy> committed = tree_.Get(item);
+  if (!committed.has_value()) return false;
+  if (version <= committed->version) return false;  // stale / duplicate
+  WalRecord rec;
+  rec.kind = WalRecordKind::kStoreUpdate;
+  rec.txn = txn;
+  rec.prev_lsn = txn.valid() ? ChainFor(txn) : kNoLsn;
+  rec.store.item = item;
+  rec.store.page_id = tree_.LeafOf(item).value_or(kInvalidPageId);
+  rec.store.before_value = committed->value;
+  rec.store.before_version = committed->version;
+  rec.store.value = value;
+  rec.store.version = version;
+  rec.store.tentative = false;
+  Lsn lsn = wal_->Append(std::move(rec));
+  if (txn.valid()) att_[txn] = lsn;
+  bool ok = tree_.Update(item, value, version, lsn);
+  assert(ok);
+  (void)ok;
+  return true;
+}
+
+bool PageStore::AdoptIfNewer(ItemId item, Value value, Version version) {
+  return Apply(item, value, version, TxnId{});
+}
+
+void PageStore::CommitStorageTxn(TxnId txn) {
+  auto it = att_.find(txn);
+  if (it == att_.end()) return;
+  WalRecord rec;
+  rec.kind = WalRecordKind::kStoreCommit;
+  rec.txn = txn;
+  rec.prev_lsn = it->second;
+  wal_->Append(std::move(rec));
+  att_.erase(it);
+}
+
+std::vector<Lsn> PageStore::PendingUpdates(Lsn last) const {
+  // Walk the backward chain; a CLR short-circuits to undo_next_lsn, so
+  // already-compensated updates are skipped (crash-during-undo safe).
+  std::vector<Lsn> pending;
+  Lsn cur = last;
+  while (cur != kNoLsn) {
+    const WalRecord& rec = wal_->records()[cur - 1];
+    if (rec.kind == WalRecordKind::kStoreClr) {
+      cur = rec.undo_next_lsn;
+      continue;
+    }
+    if (rec.kind == WalRecordKind::kStoreUpdate) pending.push_back(cur);
+    cur = rec.prev_lsn;
+  }
+  return pending;
+}
+
+bool PageStore::ApplyClrGuarded(const WalRecord& rec, Lsn lsn) {
+  std::optional<ItemCopy> current = tree_.Get(rec.store.item);
+  if (!current.has_value()) return false;
+  // Only compensate the exact image this CLR was written against; an
+  // interleaved committed write (different version) must survive.
+  if (current->version != rec.store.before_version) return false;
+  return tree_.Update(rec.store.item, rec.store.value, rec.store.version, lsn);
+}
+
+void PageStore::AbortStorageTxn(TxnId txn) {
+  auto it = att_.find(txn);
+  if (it == att_.end()) return;
+  Lsn last = it->second;
+  WalRecord abort;
+  abort.kind = WalRecordKind::kStoreAbort;
+  abort.txn = txn;
+  abort.prev_lsn = last;
+  Lsn tail = wal_->Append(std::move(abort));
+  for (Lsn ulsn : PendingUpdates(last)) {  // newest first
+    const WalRecord& upd = wal_->records()[ulsn - 1];
+    WalRecord clr;
+    clr.kind = WalRecordKind::kStoreClr;
+    clr.txn = txn;
+    clr.prev_lsn = tail;
+    clr.undo_next_lsn = upd.prev_lsn;
+    clr.store.item = upd.store.item;
+    clr.store.page_id = upd.store.page_id;
+    clr.store.value = upd.store.before_value;      // image restored
+    clr.store.version = upd.store.before_version;
+    clr.store.before_value = upd.store.value;      // image compensated
+    clr.store.before_version = upd.store.version;
+    Lsn clr_lsn = wal_->Append(clr);
+    tail = clr_lsn;
+    // At runtime pages never held the tentative image, so this is a
+    // no-op; during restart undo it reverts the repeated history.
+    ApplyClrGuarded(clr, clr_lsn);
+  }
+  WalRecord end;
+  end.kind = WalRecordKind::kStoreEnd;
+  end.txn = txn;
+  end.prev_lsn = tail;
+  wal_->Append(std::move(end));
+  att_.erase(it);
+}
+
+void PageStore::OnCrash() {
+  pool_.Reset();
+  att_.clear();
+}
+
+RestartSummary PageStore::Restart() {
+  RestartSummary summary;
+  const std::vector<WalRecord>& log = wal_->records();
+
+  // --- Analysis: rebuild the active storage-transaction table. ---
+  std::map<TxnId, Lsn> att;
+  for (size_t i = 0; i < log.size(); ++i) {
+    const WalRecord& rec = log[i];
+    if (!rec.txn.valid()) continue;
+    Lsn lsn = static_cast<Lsn>(i) + 1;
+    switch (rec.kind) {
+      case WalRecordKind::kStoreBegin:
+      case WalRecordKind::kStoreUpdate:
+      case WalRecordKind::kStoreAbort:
+      case WalRecordKind::kStoreClr:
+        att[rec.txn] = lsn;
+        break;
+      case WalRecordKind::kStoreCommit:
+      case WalRecordKind::kStoreEnd:
+        att.erase(rec.txn);
+        break;
+      default:
+        break;
+    }
+  }
+  summary.analyzed_txns = att.size();
+
+  // Prepared-but-undecided txns stay pending: the commit protocol's
+  // recovery (cooperative termination) owns their fate.
+  std::map<TxnId, Lsn> in_doubt;
+  std::map<TxnId, Lsn> losers;
+  auto protocol = wal_->Scan();
+  for (const auto& [txn, last] : att) {
+    auto pit = protocol.find(txn);
+    bool doubt = pit != protocol.end() && pit->second.prepared &&
+                 !pit->second.decided;
+    (doubt ? in_doubt : losers)[txn] = last;
+  }
+  summary.in_doubt = in_doubt.size();
+  summary.losers = losers.size();
+
+  // --- Redo: repeat history in LSN order. Tentative updates replay
+  // only for losers (so undo has real history to compensate); winners'
+  // effects are covered by their final non-tentative records, and
+  // in-doubt tentative data must stay off the pages.
+  for (size_t i = 0; i < log.size(); ++i) {
+    const WalRecord& rec = log[i];
+    Lsn lsn = static_cast<Lsn>(i) + 1;
+    if (rec.kind == WalRecordKind::kStoreUpdate) {
+      if (rec.store.tentative && !losers.contains(rec.txn)) {
+        ++summary.redo_skipped;
+        continue;
+      }
+      if (tree_.RedoUpdate(rec.store.item, rec.store.value, rec.store.version,
+                           lsn)) {
+        ++summary.redo_applied;
+      } else {
+        ++summary.redo_skipped;
+      }
+    } else if (rec.kind == WalRecordKind::kStoreClr) {
+      if (ApplyClrGuarded(rec, lsn)) {
+        ++summary.redo_applied;
+      } else {
+        ++summary.redo_skipped;
+      }
+    }
+  }
+
+  // --- Undo: roll losers back, newest update first across all of
+  // them, appending guarded CLRs; then close each with kStoreEnd.
+  std::vector<std::pair<Lsn, TxnId>> to_undo;
+  for (const auto& [txn, last] : losers) {
+    for (Lsn lsn : PendingUpdates(last)) to_undo.emplace_back(lsn, txn);
+  }
+  std::sort(to_undo.begin(), to_undo.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [ulsn, txn] : to_undo) {
+    const WalRecord& upd = wal_->records()[ulsn - 1];
+    WalRecord clr;
+    clr.kind = WalRecordKind::kStoreClr;
+    clr.txn = txn;
+    clr.prev_lsn = losers[txn];
+    clr.undo_next_lsn = upd.prev_lsn;
+    clr.store.item = upd.store.item;
+    clr.store.page_id = upd.store.page_id;
+    clr.store.value = upd.store.before_value;
+    clr.store.version = upd.store.before_version;
+    clr.store.before_value = upd.store.value;
+    clr.store.before_version = upd.store.version;
+    Lsn clr_lsn = wal_->Append(clr);
+    losers[txn] = clr_lsn;
+    ++summary.undo_clrs;
+    ApplyClrGuarded(clr, clr_lsn);
+  }
+  for (auto& [txn, last] : losers) {
+    WalRecord end;
+    end.kind = WalRecordKind::kStoreEnd;
+    end.txn = txn;
+    end.prev_lsn = last;
+    wal_->Append(std::move(end));
+  }
+
+  // In-doubt chains stay open so a later decision commits or aborts
+  // them through the normal hooks.
+  att_ = in_doubt;
+
+  // Invariant sweep: after undo no page may hold a tentative version.
+  std::vector<std::pair<ItemId, ItemCopy>> all;
+  tree_.Scan(0, tree_.size(), all);
+  for (const auto& [item, copy] : all) {
+    (void)item;
+    if ((copy.version & kTentativeBit) != 0) ++summary.tentative_leaks;
+  }
+  assert(summary.tentative_leaks == 0);
+  return summary;
+}
+
+}  // namespace rainbow

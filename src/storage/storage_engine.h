@@ -1,0 +1,197 @@
+#ifndef RAINBOW_STORAGE_STORAGE_ENGINE_H_
+#define RAINBOW_STORAGE_STORAGE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "storage/b_plus_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/local_store.h"
+#include "storage/wal.h"
+
+namespace rainbow {
+
+/// High bit of a Version: marks a tentative (prewrite-time) after-image
+/// version in the WAL. Pages only ever hold a tentative version while
+/// the restart pass is repeating a loser's history; the undo pass
+/// removes them all before the site comes back up. Coordinator-assigned
+/// versions are commit timestamps and never reach this bit.
+inline constexpr Version kTentativeBit = 1ull << 63;
+
+/// What one storage restart (analysis -> redo -> undo) did.
+struct RestartSummary {
+  size_t analyzed_txns = 0;  ///< storage txns alive in the log at crash
+  size_t in_doubt = 0;       ///< of those, prepared-undecided (kept pending)
+  size_t losers = 0;         ///< of those, rolled back by the undo pass
+  size_t redo_applied = 0;   ///< page writes performed by the redo pass
+  size_t redo_skipped = 0;   ///< redo records gated out (page LSN / guard)
+  size_t undo_clrs = 0;      ///< compensation records appended by undo
+  size_t tentative_leaks = 0;  ///< post-restart tentative versions (must be 0)
+};
+
+/// The committed database at one Rainbow site, behind an interface so a
+/// site can run either the legacy map store or the page-based engine.
+/// Both expose LocalStore's contract: Apply/AdoptIfNewer ignore stale
+/// versions (version <= stored), which keeps re-application idempotent.
+///
+/// The kStore hooks are the ARIES protocol surface; the map engine
+/// implements them as no-ops (its recovery path restores from the
+/// protocol log's prepared records instead of replaying page updates).
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Creates the copy of `item` at `initial`, version 0 (configuration
+  /// time; reloading an existing item resets it).
+  virtual void Load(ItemId item, Value initial) = 0;
+
+  virtual bool Has(ItemId item) const = 0;
+  virtual Result<ItemCopy> Get(ItemId item) const = 0;
+
+  /// Installs a committed write (stale versions ignored; returns true if
+  /// applied). A valid `txn` ties the write into that storage
+  /// transaction's log chain; an invalid one logs a standalone update
+  /// (legacy-recovery redo, refresh adoption).
+  virtual bool Apply(ItemId item, Value value, Version version,
+                     TxnId txn = TxnId{}) = 0;
+
+  /// Adopts a newer copy during recovery refresh (standalone write).
+  virtual bool AdoptIfNewer(ItemId item, Value value, Version version) = 0;
+
+  virtual size_t size() const = 0;
+
+  /// Full committed contents, item order (MVTO reseed, refresh).
+  virtual std::map<ItemId, ItemCopy> Snapshot() const = 0;
+
+  /// Up to `limit` committed copies with item >= `from`, ascending.
+  virtual void Range(ItemId from, size_t limit,
+                     std::vector<std::pair<ItemId, ItemCopy>>& out) const = 0;
+
+  // --- ARIES storage-transaction hooks ---
+
+  /// Called when a prewrite is granted: force-logs the intent (begin +
+  /// tentative update with the committed before-image). No page write.
+  virtual void LogPrewrite(TxnId txn, ItemId item, Value value) = 0;
+
+  /// Closes a storage txn whose writes were all applied (commit record).
+  virtual void CommitStorageTxn(TxnId txn) = 0;
+
+  /// Rolls a storage txn back: abort record, one CLR per pending
+  /// update, end record. Runtime pages never hold tentative data, so
+  /// the CLRs' guarded page writes are no-ops outside restart.
+  virtual void AbortStorageTxn(TxnId txn) = 0;
+
+  /// Models the crash: volatile state (buffer pool frames, pending txn
+  /// table) is dropped; disk image and log survive.
+  virtual void OnCrash() = 0;
+
+  /// ARIES restart pass: analysis -> redo -> undo against the shared
+  /// site WAL. Unended storage txns that the protocol log shows as
+  /// prepared-undecided stay pending (in doubt); the rest are losers
+  /// and are rolled back with CLRs.
+  virtual RestartSummary Restart() = 0;
+
+  /// Writes every dirty page back (graceful-start checkpointing).
+  virtual void FlushAll() = 0;
+};
+
+/// Legacy engine: LocalStore behind the interface, ARIES hooks no-ops.
+class MapStore : public StorageEngine {
+ public:
+  const char* name() const override { return "map"; }
+
+  void Load(ItemId item, Value initial) override { store_.Load(item, initial); }
+  bool Has(ItemId item) const override { return store_.Has(item); }
+  Result<ItemCopy> Get(ItemId item) const override { return store_.Get(item); }
+  bool Apply(ItemId item, Value value, Version version,
+             TxnId txn = TxnId{}) override {
+    (void)txn;
+    return store_.Apply(item, value, version);
+  }
+  bool AdoptIfNewer(ItemId item, Value value, Version version) override {
+    return store_.AdoptIfNewer(item, value, version);
+  }
+  size_t size() const override { return store_.size(); }
+  std::map<ItemId, ItemCopy> Snapshot() const override {
+    return store_.copies();
+  }
+  void Range(ItemId from, size_t limit,
+             std::vector<std::pair<ItemId, ItemCopy>>& out) const override;
+
+  void LogPrewrite(TxnId, ItemId, Value) override {}
+  void CommitStorageTxn(TxnId) override {}
+  void AbortStorageTxn(TxnId) override {}
+  void OnCrash() override {}
+  RestartSummary Restart() override { return RestartSummary{}; }
+  void FlushAll() override {}
+
+ private:
+  LocalStore store_;
+};
+
+/// Page-based engine: B+ tree over a buffer pool, sharing the site's
+/// WAL for ARIES-style physiological logging. The engine object itself
+/// (disk image, tree skeleton) survives Site::Crash(); OnCrash() wipes
+/// only the buffer pool and the pending-transaction table, and
+/// Restart() replays the log.
+class PageStore : public StorageEngine {
+ public:
+  PageStore(Wal* wal, uint32_t page_size, size_t pool_pages, size_t lru_k);
+
+  const char* name() const override { return "page"; }
+
+  void Load(ItemId item, Value initial) override;
+  bool Has(ItemId item) const override { return tree_.Has(item); }
+  Result<ItemCopy> Get(ItemId item) const override;
+  bool Apply(ItemId item, Value value, Version version,
+             TxnId txn = TxnId{}) override;
+  bool AdoptIfNewer(ItemId item, Value value, Version version) override;
+  size_t size() const override { return tree_.size(); }
+  std::map<ItemId, ItemCopy> Snapshot() const override;
+  void Range(ItemId from, size_t limit,
+             std::vector<std::pair<ItemId, ItemCopy>>& out) const override;
+
+  void LogPrewrite(TxnId txn, ItemId item, Value value) override;
+  void CommitStorageTxn(TxnId txn) override;
+  void AbortStorageTxn(TxnId txn) override;
+  void OnCrash() override;
+  RestartSummary Restart() override;
+  void FlushAll() override { pool_.FlushAll(); }
+
+  const BufferPool& pool() const { return pool_; }
+  const DiskManager& disk() const { return disk_; }
+  const BPlusTree& tree() const { return tree_; }
+  /// Storage txns with logged-but-undecided updates (tests).
+  size_t pending_txns() const { return att_.size(); }
+
+ private:
+  /// Ensures `txn` has a storage-txn entry (logging kStoreBegin on the
+  /// first touch) and returns its chain tail.
+  Lsn ChainFor(TxnId txn);
+
+  /// Applies a CLR's restore image iff the page still holds exactly the
+  /// image the CLR compensates. Returns true if the page was written.
+  bool ApplyClrGuarded(const WalRecord& rec, Lsn lsn);
+
+  /// LSNs of `txn`'s not-yet-compensated updates, walking the backward
+  /// chain from `last` and skipping through CLRs' undo_next_lsn.
+  std::vector<Lsn> PendingUpdates(Lsn last) const;
+
+  Wal* wal_;
+  DiskManager disk_;
+  BufferPool pool_;
+  BPlusTree tree_;
+
+  /// Active storage-transaction table: chain tail per open txn.
+  std::map<TxnId, Lsn> att_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_STORAGE_STORAGE_ENGINE_H_

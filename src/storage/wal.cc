@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/binary_io.h"
@@ -20,39 +21,68 @@ const char* WalRecordKindName(WalRecordKind k) {
       return "applied";
     case WalRecordKind::kEnd:
       return "end";
+    case WalRecordKind::kStoreBegin:
+      return "store_begin";
+    case WalRecordKind::kStoreUpdate:
+      return "store_update";
+    case WalRecordKind::kStoreCommit:
+      return "store_commit";
+    case WalRecordKind::kStoreAbort:
+      return "store_abort";
+    case WalRecordKind::kStoreClr:
+      return "store_clr";
+    case WalRecordKind::kStoreEnd:
+      return "store_end";
   }
   return "?";
 }
 
-void Wal::Append(WalRecord record) { records_.push_back(std::move(record)); }
+Lsn Wal::Append(WalRecord record) {
+  records_.push_back(std::move(record));
+  return static_cast<Lsn>(records_.size());
+}
 
 std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
   std::unordered_map<TxnId, TxnLogState> out;
   for (const WalRecord& r : records_) {
-    TxnLogState& st = out[r.txn];
     switch (r.kind) {
-      case WalRecordKind::kPrepared:
+      case WalRecordKind::kPrepared: {
+        TxnLogState& st = out[r.txn];
         st.prepared = true;
         st.prepared_record = r;
         break;
+      }
       case WalRecordKind::kPreCommitted:
-        st.precommitted = true;
+        out[r.txn].precommitted = true;
         break;
-      case WalRecordKind::kCommitDecision:
+      case WalRecordKind::kCommitDecision: {
+        TxnLogState& st = out[r.txn];
         st.decided = true;
         st.commit = true;
         if (!r.participants.empty()) st.decision_participants = r.participants;
         break;
-      case WalRecordKind::kAbortDecision:
+      }
+      case WalRecordKind::kAbortDecision: {
+        TxnLogState& st = out[r.txn];
         st.decided = true;
         st.commit = false;
         if (!r.participants.empty()) st.decision_participants = r.participants;
         break;
+      }
       case WalRecordKind::kApplied:
-        st.applied = true;
+        out[r.txn].applied = true;
         break;
       case WalRecordKind::kEnd:
-        st.ended = true;
+        out[r.txn].ended = true;
+        break;
+      case WalRecordKind::kStoreBegin:
+      case WalRecordKind::kStoreUpdate:
+      case WalRecordKind::kStoreCommit:
+      case WalRecordKind::kStoreAbort:
+      case WalRecordKind::kStoreClr:
+      case WalRecordKind::kStoreEnd:
+        // Storage-engine records are not protocol state; the page
+        // engine's restart analysis scans them itself.
         break;
     }
   }
@@ -66,13 +96,32 @@ std::vector<WalRecord> Wal::InDoubt() const {
       out.push_back(st.prepared_record);
     }
   }
+  // Scan() iterates a hash map; sort so recovery reinstates in-doubt
+  // transactions in one canonical (TxnId) order on every run.
+  std::sort(out.begin(), out.end(),
+            [](const WalRecord& a, const WalRecord& b) { return a.txn < b.txn; });
+  return out;
+}
+
+std::vector<Wal::UnendedDecision> Wal::DecidedUnended() const {
+  std::vector<UnendedDecision> out;
+  for (const auto& [txn, st] : Scan()) {
+    if (st.decided && !st.ended && !st.decision_participants.empty()) {
+      out.push_back(UnendedDecision{txn, st.commit, st.decision_participants});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UnendedDecision& a, const UnendedDecision& b) {
+              return a.txn < b.txn;
+            });
   return out;
 }
 
 namespace {
-// "RWAL" + format version 1.
+// "RWAL". Version 2 added the storage-engine record kinds with their
+// per-record StoreOp payload and LSN chain fields.
 constexpr uint32_t kWalMagic = 0x4c415752;
-constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalVersion = 2;
 }  // namespace
 
 std::vector<uint8_t> Wal::Serialize() const {
@@ -91,6 +140,15 @@ std::vector<uint8_t> Wal::Serialize() const {
     });
     e.PutVector(r.participants, [&](SiteId s) { e.PutU32(s); });
     e.PutBool(r.three_phase);
+    e.PutU32(r.store.item);
+    e.PutU32(r.store.page_id);
+    e.PutI64(r.store.before_value);
+    e.PutU64(r.store.before_version);
+    e.PutI64(r.store.value);
+    e.PutU64(r.store.version);
+    e.PutBool(r.store.tentative);
+    e.PutU64(r.prev_lsn);
+    e.PutU64(r.undo_next_lsn);
   }
   return e.Take();
 }
@@ -100,7 +158,7 @@ Status Wal::Deserialize(const std::vector<uint8_t>& buffer) {
   RAINBOW_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
   if (magic != kWalMagic) return Status::InvalidArgument("not a WAL file");
   RAINBOW_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
-  if (version != kWalVersion) {
+  if (version != 1 && version != kWalVersion) {
     return Status::InvalidArgument("unsupported WAL version " +
                                    std::to_string(version));
   }
@@ -110,7 +168,10 @@ Status Wal::Deserialize(const std::vector<uint8_t>& buffer) {
   for (uint32_t i = 0; i < count; ++i) {
     WalRecord r;
     RAINBOW_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
-    if (kind > static_cast<uint8_t>(WalRecordKind::kEnd)) {
+    uint8_t max_kind = version == 1
+                           ? static_cast<uint8_t>(WalRecordKind::kEnd)
+                           : static_cast<uint8_t>(WalRecordKind::kStoreEnd);
+    if (kind > max_kind) {
       return Status::InvalidArgument("bad record kind");
     }
     r.kind = static_cast<WalRecordKind>(kind);
@@ -130,6 +191,17 @@ Status Wal::Deserialize(const std::vector<uint8_t>& buffer) {
       r.participants.push_back(s);
     }
     RAINBOW_ASSIGN_OR_RETURN(r.three_phase, d.GetBool());
+    if (version >= 2) {
+      RAINBOW_ASSIGN_OR_RETURN(r.store.item, d.GetU32());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.page_id, d.GetU32());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.before_value, d.GetI64());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.before_version, d.GetU64());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.value, d.GetI64());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.version, d.GetU64());
+      RAINBOW_ASSIGN_OR_RETURN(r.store.tentative, d.GetBool());
+      RAINBOW_ASSIGN_OR_RETURN(r.prev_lsn, d.GetU64());
+      RAINBOW_ASSIGN_OR_RETURN(r.undo_next_lsn, d.GetU64());
+    }
     records.push_back(std::move(r));
   }
   if (!d.exhausted()) {
@@ -160,18 +232,13 @@ Status Wal::LoadFromFile(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     bytes.insert(bytes.end(), buf, buf + n);
   }
+  // fread returning 0 means EOF *or* error; without this check a
+  // mid-file read error would surface as a confusing decode failure (or
+  // silently truncate at a record boundary).
+  bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) return Status::IoError("read error on " + path);
   return Deserialize(bytes);
-}
-
-std::vector<Wal::UnendedDecision> Wal::DecidedUnended() const {
-  std::vector<UnendedDecision> out;
-  for (const auto& [txn, st] : Scan()) {
-    if (st.decided && !st.ended && !st.decision_participants.empty()) {
-      out.push_back(UnendedDecision{txn, st.commit, st.decision_participants});
-    }
-  }
-  return out;
 }
 
 }  // namespace rainbow

@@ -10,7 +10,16 @@
 
 namespace rainbow {
 
-/// Record types in a site's write-ahead log.
+/// Log sequence number: 1-based index into the site's WAL (record at
+/// records()[i] has LSN i + 1). kNoLsn marks "no record" in backward
+/// chains and in freshly loaded page headers.
+using Lsn = uint64_t;
+inline constexpr Lsn kNoLsn = 0;
+
+/// Record types in a site's write-ahead log. The first six are the
+/// commit-protocol records; the kStore* kinds are the storage engine's
+/// ARIES-style physiological records (begin / update / commit / abort /
+/// compensation / end) that the page engine's restart pass replays.
 enum class WalRecordKind {
   kPrepared,        ///< participant force-logged YES vote + buffered writes
   kPreCommitted,    ///< 3PC participant entered the pre-commit state
@@ -18,13 +27,21 @@ enum class WalRecordKind {
   kAbortDecision,   ///< coordinator (or participant) learned: abort
   kApplied,         ///< participant applied the decision locally
   kEnd,             ///< coordinator received all acks; txn closed
+  kStoreBegin,      ///< storage txn opened (first logged page update)
+  kStoreUpdate,     ///< physiological page update (before/after images)
+  kStoreCommit,     ///< storage txn committed; its updates are winners
+  kStoreAbort,      ///< storage txn rollback started
+  kStoreClr,        ///< compensation record written while undoing
+  kStoreEnd,        ///< storage txn rollback complete
 };
 
 const char* WalRecordKindName(WalRecordKind k);
 
 /// One WAL record. Prepared records carry the buffered writes (with the
 /// final versions from the coordinator) and the participant list needed
-/// for cooperative termination after a crash.
+/// for cooperative termination after a crash. Store records carry one
+/// physiological page update (kStoreUpdate/kStoreClr) and the backward
+/// LSN chain of their storage transaction.
 struct WalRecord {
   WalRecordKind kind = WalRecordKind::kEnd;
   TxnId txn;
@@ -37,19 +54,63 @@ struct WalRecord {
   std::vector<Write> writes;          ///< kPrepared only
   std::vector<SiteId> participants;   ///< kPrepared only
   bool three_phase = false;           ///< kPrepared only
+
+  /// Payload of kStoreUpdate / kStoreClr. For an update, (value,
+  /// version) is the after-image and (before_value, before_version) the
+  /// committed image it replaced. For a CLR, (value, version) is the
+  /// image being restored and (before_value, before_version) the image
+  /// being compensated away — restart undo only writes the page when it
+  /// still holds exactly that compensated image, so a CLR can never
+  /// clobber an interleaved committed write.
+  struct StoreOp {
+    ItemId item = kInvalidItem;
+    uint32_t page_id = 0;     ///< leaf page holding the item at log time
+    Value before_value = 0;
+    Version before_version = 0;
+    Value value = 0;
+    Version version = 0;
+    /// Prewrite-time image logged before the commit decision: its
+    /// version is a unique tentative tag, superseded by the final
+    /// kStoreUpdate written when the decision applies.
+    bool tentative = false;
+  };
+  StoreOp store;                ///< kStoreUpdate / kStoreClr only
+  Lsn prev_lsn = kNoLsn;        ///< backward chain within the storage txn
+  Lsn undo_next_lsn = kNoLsn;   ///< kStoreClr: next record left to undo
+
+  /// Convenience constructor for commit-protocol records (the storage
+  /// fields keep their defaults).
+  static WalRecord Protocol(WalRecordKind kind, TxnId txn, SiteId coordinator,
+                            std::vector<Write> writes,
+                            std::vector<SiteId> participants,
+                            bool three_phase) {
+    WalRecord r;
+    r.kind = kind;
+    r.txn = txn;
+    r.coordinator = coordinator;
+    r.writes = std::move(writes);
+    r.participants = std::move(participants);
+    r.three_phase = three_phase;
+    return r;
+  }
 };
 
 /// Per-site write-ahead log. In this simulation "durable" means the Wal
 /// object intentionally survives Site::Crash() (which wipes all volatile
 /// protocol state); recovery scans it to find transactions that were
 /// prepared but undecided, and decisions that were made but not fully
-/// acknowledged.
+/// acknowledged. The page storage engine shares this log: its kStore*
+/// records interleave with the protocol records in one LSN space.
 class Wal {
  public:
-  void Append(WalRecord record);
+  /// Appends and returns the record's LSN (1-based index).
+  Lsn Append(WalRecord record);
 
   const std::vector<WalRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }
+
+  /// LSN the next appended record will get.
+  Lsn NextLsn() const { return static_cast<Lsn>(records_.size()) + 1; }
 
   /// Recovery summary for one transaction found in the log.
   struct TxnLogState {
@@ -66,16 +127,19 @@ class Wal {
   };
 
   /// Scans the log and summarizes every transaction that appears in it.
+  /// Storage-engine records (kStore*) are invisible here — the page
+  /// engine's restart pass scans them separately.
   std::unordered_map<TxnId, TxnLogState> Scan() const;
 
   /// Transactions that this site prepared (voted YES) but whose outcome
   /// it never learned — the "in doubt" set the recovery protocol must
-  /// resolve.
+  /// resolve. Sorted by TxnId so recovery reinstates in a canonical
+  /// order regardless of the scan's hash-map iteration order.
   std::vector<WalRecord> InDoubt() const;
 
   /// Decisions this site (as coordinator) logged but never closed with
   /// an End record; after recovery the decision must be re-propagated to
-  /// the recorded participants.
+  /// the recorded participants. Sorted by TxnId (see InDoubt()).
   struct UnendedDecision {
     TxnId txn;
     bool commit = false;

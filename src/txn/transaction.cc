@@ -15,6 +15,8 @@ const char* OpKindName(OpKind k) {
       return "W";
     case OpKind::kIncrement:
       return "I";
+    case OpKind::kScan:
+      return "S";
   }
   return "?";
 }
@@ -27,6 +29,8 @@ std::string Op::ToString() const {
       return StringPrintf("W(%u=%lld)", item, static_cast<long long>(value));
     case OpKind::kIncrement:
       return StringPrintf("I(%u+=%lld)", item, static_cast<long long>(value));
+    case OpKind::kScan:
+      return StringPrintf("S(%u..%lld)", item, static_cast<long long>(value));
   }
   return "?";
 }

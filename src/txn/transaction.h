@@ -14,6 +14,7 @@ enum class OpKind {
   kRead,       ///< read the item
   kWrite,      ///< blind write of a constant
   kIncrement,  ///< read-modify-write: new value = current + delta
+  kScan,       ///< range read: `value` items starting at `item`
 };
 
 const char* OpKindName(OpKind k);
@@ -31,9 +32,18 @@ struct Op {
   static Op Increment(ItemId item, Value delta) {
     return Op{OpKind::kIncrement, item, delta};
   }
+  /// Range read of `length` consecutive items starting at `item`. The
+  /// coordinator expands it into per-item reads at Start() (the RCP
+  /// reads each copy through the replica-control path; the page engine
+  /// serves the copies from its B+ tree leaf chain).
+  static Op Scan(ItemId item, Value length) {
+    return Op{OpKind::kScan, item, length};
+  }
 
   bool reads() const { return kind != OpKind::kWrite; }
-  bool writes() const { return kind != OpKind::kRead; }
+  bool writes() const {
+    return kind != OpKind::kRead && kind != OpKind::kScan;
+  }
   std::string ToString() const;
 };
 

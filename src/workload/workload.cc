@@ -82,6 +82,16 @@ TxnProgram WorkloadGenerator::GenerateProgram(Rng& rng) {
       item = PickItem(rng);
     }
     chosen.push_back(item);
+    // The scan draw is guarded so a scan-free config consumes exactly
+    // the same RNG stream as before the verb existed.
+    if (config_.scan_fraction > 0 && rng.NextBool(config_.scan_fraction)) {
+      uint32_t len = std::max<uint32_t>(1, config_.scan_length);
+      if (len > num_items_) len = num_items_;
+      ItemId start = item;
+      if (start + len > num_items_) start = num_items_ - len;
+      program.ops.push_back(Op::Scan(start, static_cast<Value>(len)));
+      continue;
+    }
     if (rng.NextBool(config_.read_fraction)) {
       program.ops.push_back(Op::Read(item));
     } else if (config_.use_increments) {

@@ -47,6 +47,13 @@ struct WorkloadConfig {
   double read_fraction = 0.75;  ///< probability an op is a read
   bool use_increments = true;   ///< writes are read-modify-write increments
 
+  /// Probability an op is a range scan (drawn before the read/write
+  /// choice; 0 draws nothing from the RNG, so enabling scans never
+  /// perturbs the op stream of a scan-free config).
+  double scan_fraction = 0.0;
+  /// Items per scan (clamped to the database size).
+  uint32_t scan_length = 8;
+
   AccessPattern pattern = AccessPattern::kUniform;
   double zipf_theta = 0.8;
   double hot_fraction = 0.1;

@@ -81,6 +81,10 @@ RunArtifacts RunOnce(uint32_t shards, uint64_t seed) {
   wl.num_txns = 96;
   wl.mpl = 8;
   wl.max_retries = 2;
+  // Exercise the scan verb (page-engine leaf-chain reads) under the
+  // byte-identical gate too.
+  wl.scan_fraction = 0.15;
+  wl.scan_length = 4;
   // Identical client model at every shard count (forced anyway for
   // shards > 1; set explicitly so the 1-shard baseline matches).
   wl.per_site_clients = true;

@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "storage/storage_engine.h"
+
+namespace rainbow {
+namespace {
+
+// --- LRU-K replacer -------------------------------------------------------
+
+TEST(StorageLruKTest, EvictsInfiniteDistanceFirst) {
+  LruKReplacer r(/*num_frames=*/4, /*k=*/2);
+  // Frames 0 and 1 get two accesses (finite K-distance); 2 and 3 one.
+  r.RecordAccess(0);
+  r.RecordAccess(1);
+  r.RecordAccess(0);
+  r.RecordAccess(1);
+  r.RecordAccess(2);
+  r.RecordAccess(3);
+  for (size_t f = 0; f < 4; ++f) r.SetEvictable(f, true);
+  // +inf class (fewer than K accesses) goes first, oldest access first.
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(2));
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(3));
+  // Then the largest backward K-distance (frame 0's 2nd-recent access
+  // is older than frame 1's).
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(0));
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(1));
+  EXPECT_EQ(r.Evict(), std::nullopt);
+}
+
+TEST(StorageLruKTest, PinnedFramesNotEvicted) {
+  LruKReplacer r(2, 2);
+  r.RecordAccess(0);
+  r.RecordAccess(1);
+  r.SetEvictable(1, true);
+  EXPECT_EQ(r.evictable_count(), 1u);
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(1));
+  EXPECT_EQ(r.Evict(), std::nullopt);  // frame 0 never marked evictable
+}
+
+TEST(StorageLruKTest, RemoveForgetsHistory) {
+  LruKReplacer r(2, 2);
+  r.RecordAccess(0);
+  r.RecordAccess(0);
+  r.RecordAccess(1);
+  r.SetEvictable(0, true);
+  r.SetEvictable(1, true);
+  r.Remove(1);
+  EXPECT_EQ(r.evictable_count(), 1u);
+  EXPECT_EQ(r.Evict(), std::optional<size_t>(0));
+}
+
+// --- buffer pool ----------------------------------------------------------
+
+TEST(StorageBufferPoolTest, FetchMissReadsAndHitSkipsDisk) {
+  DiskManager disk(64);
+  BufferPool pool(&disk, 4, 2);
+  PageId id;
+  Page* p = pool.NewPage(&id);
+  ASSERT_NE(p, nullptr);
+  p->WriteU32(20, 0xabcd);
+  pool.UnpinPage(id, true);
+  pool.FlushAll();
+  pool.Reset();
+
+  uint64_t reads_before = disk.reads();
+  Page* q = pool.FetchPage(id);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->ReadU32(20), 0xabcdu);
+  EXPECT_EQ(disk.reads(), reads_before + 1);
+  pool.UnpinPage(id, false);
+  // Second fetch is a hit.
+  q = pool.FetchPage(id);
+  EXPECT_EQ(disk.reads(), reads_before + 1);
+  pool.UnpinPage(id, false);
+  EXPECT_GE(pool.stats().hits, 1u);
+}
+
+TEST(StorageBufferPoolTest, DirtyVictimFlushedOnEviction) {
+  DiskManager disk(64);
+  BufferPool pool(&disk, /*num_frames=*/2, 2);
+  PageId a, b, c;
+  Page* pa = pool.NewPage(&a);
+  pa->WriteU32(20, 11);
+  pool.UnpinPage(a, true);  // dirty, unpinned -> eviction candidate
+  pool.NewPage(&b);
+  pool.UnpinPage(b, false);
+  // Third page forces an eviction; the dirty victim must reach disk.
+  pool.NewPage(&c);
+  pool.UnpinPage(c, false);
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_GT(pool.stats().dirty_evictions, 0u);
+  Page check(64);
+  disk.ReadPage(a, check);
+  EXPECT_EQ(check.ReadU32(20), 11u);
+}
+
+TEST(StorageBufferPoolTest, AllPinnedFailsFetch) {
+  DiskManager disk(64);
+  BufferPool pool(&disk, 2, 2);
+  PageId a, b, c;
+  ASSERT_NE(pool.NewPage(&a), nullptr);
+  ASSERT_NE(pool.NewPage(&b), nullptr);
+  EXPECT_EQ(pool.NewPage(&c), nullptr);  // both frames pinned
+  EXPECT_GT(pool.stats().pin_failures, 0u);
+  pool.UnpinPage(a, false);
+  EXPECT_NE(pool.NewPage(&c), nullptr);  // freed frame reused
+}
+
+TEST(StorageBufferPoolTest, ResetDropsUnflushedWrites) {
+  DiskManager disk(64);
+  BufferPool pool(&disk, 4, 2);
+  PageId id;
+  Page* p = pool.NewPage(&id);
+  p->WriteU32(20, 7);
+  pool.UnpinPage(id, true);
+  pool.Reset();  // crash before any flush
+  Page check(64);
+  disk.ReadPage(id, check);
+  EXPECT_EQ(check.ReadU32(20), 0u);  // zero-filled: write never landed
+  EXPECT_EQ(pool.resident_pages(), 0u);
+}
+
+TEST(StorageBufferPoolTest, UnpinDirtyBitSticks) {
+  DiskManager disk(64);
+  BufferPool pool(&disk, 4, 2);
+  PageId id;
+  Page* p = pool.NewPage(&id);
+  p->WriteU32(20, 5);
+  pool.UnpinPage(id, true);
+  // A later clean unpin must not clear the dirty bit.
+  pool.FetchPage(id);
+  pool.UnpinPage(id, false);
+  pool.FlushAll();
+  Page check(64);
+  disk.ReadPage(id, check);
+  EXPECT_EQ(check.ReadU32(20), 5u);
+}
+
+// --- engines: parity ------------------------------------------------------
+
+constexpr uint32_t kTestPageSize = 128;
+
+std::unique_ptr<PageStore> MakePageStore(Wal* wal, size_t frames = 16) {
+  return std::make_unique<PageStore>(wal, kTestPageSize, frames, 2);
+}
+
+TEST(StorageEngineTest, MapAndPageAgreeOnApplySequences) {
+  Wal wal;
+  MapStore map;
+  auto page = MakePageStore(&wal);
+  for (ItemId i = 0; i < 50; ++i) {
+    map.Load(i, static_cast<Value>(i));
+    page->Load(i, static_cast<Value>(i));
+  }
+  // A scripted mix of fresh, duplicate, and stale applies.
+  struct Step { ItemId item; Value value; Version version; };
+  std::vector<Step> steps = {
+      {3, 30, 2}, {3, 31, 2}, {3, 29, 1}, {7, 70, 5}, {7, 71, 6},
+      {49, 1, 1}, {0, -4, 3}, {0, -4, 3}, {25, 8, 9}, {25, 7, 4},
+  };
+  for (const Step& s : steps) {
+    EXPECT_EQ(map.Apply(s.item, s.value, s.version),
+              page->Apply(s.item, s.value, s.version))
+        << "item " << s.item << " v" << s.version;
+  }
+  EXPECT_EQ(map.Snapshot(), page->Snapshot());
+  EXPECT_EQ(map.size(), page->size());
+  for (ItemId i = 0; i < 50; ++i) {
+    auto a = map.Get(i);
+    auto b = page->Get(i);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->value, b->value);
+    EXPECT_EQ(a->version, b->version);
+  }
+  EXPECT_FALSE(page->Get(99).ok());
+  EXPECT_FALSE(page->Apply(99, 1, 1));
+}
+
+TEST(StorageEngineTest, RangeMatchesBetweenEngines) {
+  Wal wal;
+  MapStore map;
+  auto page = MakePageStore(&wal);
+  for (ItemId i = 0; i < 40; ++i) {
+    map.Load(i * 3, static_cast<Value>(i));
+    page->Load(i * 3, static_cast<Value>(i));
+  }
+  std::vector<std::pair<ItemId, ItemCopy>> a, b;
+  map.Range(10, 7, a);
+  page->Range(10, 7, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second.value, b[i].second.value);
+  }
+  ASSERT_EQ(a.size(), 7u);
+  EXPECT_EQ(a[0].first, 12u);
+}
+
+TEST(StorageEngineTest, AdoptIfNewerParity) {
+  Wal wal;
+  MapStore map;
+  auto page = MakePageStore(&wal);
+  map.Load(1, 5);
+  page->Load(1, 5);
+  EXPECT_EQ(map.AdoptIfNewer(1, 50, 3), page->AdoptIfNewer(1, 50, 3));
+  EXPECT_EQ(map.AdoptIfNewer(1, 40, 2), page->AdoptIfNewer(1, 40, 2));
+  EXPECT_EQ(map.AdoptIfNewer(9, 1, 1), page->AdoptIfNewer(9, 1, 1));
+  EXPECT_EQ(map.Get(1)->value, page->Get(1)->value);
+}
+
+// --- page store: ARIES crash / restart ------------------------------------
+
+WalRecord Prepared(TxnId txn) {
+  WalRecord r;
+  r.kind = WalRecordKind::kPrepared;
+  r.txn = txn;
+  r.coordinator = txn.home;
+  r.participants = {0, 1};
+  return r;
+}
+
+size_t CountKind(const Wal& wal, WalRecordKind kind) {
+  size_t n = 0;
+  for (const auto& rec : wal.records()) {
+    if (rec.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(StoragePageStoreTest, CommittedWritesSurviveCrashViaRedo) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  for (ItemId i = 0; i < 20; ++i) store->Load(i, 0);
+  store->FlushAll();  // graceful start: initial image on disk
+
+  TxnId txn{0, 1};
+  store->LogPrewrite(txn, 4, 44);
+  store->LogPrewrite(txn, 9, 99);
+  ASSERT_TRUE(store->Apply(4, 44, 10, txn));
+  ASSERT_TRUE(store->Apply(9, 99, 11, txn));
+  store->CommitStorageTxn(txn);
+  EXPECT_EQ(store->pending_txns(), 0u);
+
+  // Crash without flushing: the committed values exist only in the log.
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.analyzed_txns, 0u);  // txn committed before the crash
+  EXPECT_GE(rs.redo_applied, 2u);
+  EXPECT_EQ(rs.losers, 0u);
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->Get(4)->value, 44);
+  EXPECT_EQ(store->Get(4)->version, 10u);
+  EXPECT_EQ(store->Get(9)->value, 99);
+}
+
+TEST(StoragePageStoreTest, UndecidedLoserRolledBackWithClrs) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  for (ItemId i = 0; i < 10; ++i) store->Load(i, 0);
+  store->FlushAll();
+
+  // The txn logged prewrites but was neither prepared (no protocol
+  // record) nor decided before the crash: a loser.
+  TxnId txn{0, 2};
+  store->LogPrewrite(txn, 1, 111);
+  store->LogPrewrite(txn, 2, 222);
+  EXPECT_EQ(store->pending_txns(), 1u);
+
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.analyzed_txns, 1u);
+  EXPECT_EQ(rs.losers, 1u);
+  EXPECT_EQ(rs.in_doubt, 0u);
+  EXPECT_EQ(rs.undo_clrs, 2u);  // one compensation per prewrite
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->pending_txns(), 0u);
+  // The pages hold the before-images.
+  EXPECT_EQ(store->Get(1)->value, 0);
+  EXPECT_EQ(store->Get(1)->version, 0u);
+  EXPECT_EQ(store->Get(2)->value, 0);
+  // The log closes the loser: abort-path CLRs plus an end record.
+  EXPECT_GE(CountKind(wal, WalRecordKind::kStoreClr), 2u);
+  EXPECT_GE(CountKind(wal, WalRecordKind::kStoreEnd), 1u);
+}
+
+TEST(StoragePageStoreTest, InDoubtTxnStaysPendingAcrossRestart) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  for (ItemId i = 0; i < 10; ++i) store->Load(i, 0);
+  store->FlushAll();
+
+  TxnId txn{1, 3};
+  store->LogPrewrite(txn, 5, 55);
+  wal.Append(Prepared(txn));  // force-logged YES vote, no decision
+
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.analyzed_txns, 1u);
+  EXPECT_EQ(rs.in_doubt, 1u);
+  EXPECT_EQ(rs.losers, 0u);
+  EXPECT_EQ(rs.undo_clrs, 0u);
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->pending_txns(), 1u);
+  // Tentative data never reached the page.
+  EXPECT_EQ(store->Get(5)->value, 0);
+
+  // The decision arrives later through the normal hooks.
+  ASSERT_TRUE(store->Apply(5, 55, 9, txn));
+  store->CommitStorageTxn(txn);
+  EXPECT_EQ(store->pending_txns(), 0u);
+  EXPECT_EQ(store->Get(5)->value, 55);
+}
+
+TEST(StoragePageStoreTest, InDoubtAbortAfterRestart) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  store->Load(5, 7);
+  store->FlushAll();
+  TxnId txn{1, 4};
+  store->LogPrewrite(txn, 5, 55);
+  wal.Append(Prepared(txn));
+  store->OnCrash();
+  store->Restart();
+  ASSERT_EQ(store->pending_txns(), 1u);
+  store->AbortStorageTxn(txn);
+  EXPECT_EQ(store->pending_txns(), 0u);
+  EXPECT_EQ(store->Get(5)->value, 7);  // untouched
+  EXPECT_GE(CountKind(wal, WalRecordKind::kStoreEnd), 1u);
+}
+
+TEST(StoragePageStoreTest, RuntimeAbortIsInertAtRestart) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  store->Load(3, 1);
+  store->FlushAll();
+  TxnId txn{0, 5};
+  store->LogPrewrite(txn, 3, 33);
+  store->AbortStorageTxn(txn);  // clean runtime abort: CLRs + end
+  EXPECT_EQ(store->pending_txns(), 0u);
+  EXPECT_EQ(store->Get(3)->value, 1);
+
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  // The txn ended before the crash: not analyzed, nothing undone.
+  EXPECT_EQ(rs.analyzed_txns, 0u);
+  EXPECT_EQ(rs.undo_clrs, 0u);
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->Get(3)->value, 1);
+}
+
+TEST(StoragePageStoreTest, LoserUndoPreservesInterleavedCommittedWrite) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  store->Load(3, 1);
+  store->FlushAll();
+  // Loser logs a prewrite against version 0...
+  TxnId loser{0, 6};
+  store->LogPrewrite(loser, 3, 333);
+  // ...then a different committed write lands on the same item (OCC /
+  // TSO interleavings allow this: the loser never had the decision).
+  TxnId winner{1, 7};
+  store->LogPrewrite(winner, 3, 77);
+  ASSERT_TRUE(store->Apply(3, 77, 12, winner));
+  store->CommitStorageTxn(winner);
+
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.losers, 1u);
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  // The loser's CLR is version-guarded: it must not clobber the
+  // committed value the winner installed.
+  EXPECT_EQ(store->Get(3)->value, 77);
+  EXPECT_EQ(store->Get(3)->version, 12u);
+}
+
+TEST(StoragePageStoreTest, DoubleRestartIsIdempotent) {
+  Wal wal;
+  auto store = MakePageStore(&wal);
+  for (ItemId i = 0; i < 10; ++i) store->Load(i, 0);
+  store->FlushAll();
+  TxnId committed{0, 8}, loser{0, 9};
+  store->LogPrewrite(committed, 1, 11);
+  ASSERT_TRUE(store->Apply(1, 11, 5, committed));
+  store->CommitStorageTxn(committed);
+  store->LogPrewrite(loser, 2, 22);
+
+  store->OnCrash();
+  RestartSummary first = store->Restart();
+  EXPECT_EQ(first.losers, 1u);
+  auto snap = store->Snapshot();
+
+  // Crash again immediately: the second restart replays the extended
+  // log (now containing the undo CLRs) to the identical state.
+  store->OnCrash();
+  RestartSummary second = store->Restart();
+  EXPECT_EQ(second.losers, 0u);  // the first restart ended the loser
+  EXPECT_EQ(second.undo_clrs, 0u);
+  EXPECT_EQ(second.tentative_leaks, 0u);
+  EXPECT_EQ(store->Snapshot(), snap);
+  EXPECT_EQ(store->Get(1)->value, 11);
+  EXPECT_EQ(store->Get(2)->value, 0);
+}
+
+TEST(StoragePageStoreTest, RestartFromColdDiskReplaysEverything) {
+  // No flush at all: the disk image is the post-load state only if
+  // FlushAll ran; here even loads were flushed, but every later write
+  // exists solely in the log — the honest no-force worst case.
+  Wal wal;
+  auto store = MakePageStore(&wal, /*frames=*/8);
+  for (ItemId i = 0; i < 64; ++i) store->Load(i, 0);
+  store->FlushAll();
+  Version v = 1;
+  for (int round = 0; round < 3; ++round) {
+    for (ItemId i = 0; i < 64; i += 3) {
+      TxnId txn{0, 100 + v};
+      store->LogPrewrite(txn, i, static_cast<Value>(i + round));
+      ASSERT_TRUE(store->Apply(i, static_cast<Value>(i + round), v, txn));
+      store->CommitStorageTxn(txn);
+      ++v;
+    }
+  }
+  auto before = store->Snapshot();
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->Snapshot(), before);
+}
+
+TEST(StoragePageStoreTest, ShadowMapFuzzWithCrashes) {
+  // Scripted (deterministic) interleaving of commits, aborts, crashes
+  // and restarts against a shadow map of the committed state.
+  Wal wal;
+  auto store = MakePageStore(&wal, /*frames=*/8);
+  std::map<ItemId, ItemCopy> shadow;
+  for (ItemId i = 0; i < 32; ++i) {
+    store->Load(i, 0);
+    shadow[i] = ItemCopy{0, 0};
+  }
+  store->FlushAll();
+
+  uint64_t seq = 1;
+  Version ver = 1;
+  uint32_t x = 1;
+  for (int step = 0; step < 200; ++step) {
+    x = x * 1664525 + 1013904223;  // LCG: reproducible op script
+    ItemId item = (x >> 8) % 32;
+    TxnId txn{0, seq++};
+    Value value = static_cast<Value>(x % 1000);
+    switch ((x >> 3) % 4) {
+      case 0:    // prewrite + commit
+      case 1: {
+        store->LogPrewrite(txn, item, value);
+        ASSERT_TRUE(store->Apply(item, value, ver, txn));
+        store->CommitStorageTxn(txn);
+        shadow[item] = ItemCopy{value, ver};
+        ++ver;
+        break;
+      }
+      case 2: {  // prewrite + abort
+        store->LogPrewrite(txn, item, value);
+        store->AbortStorageTxn(txn);
+        break;
+      }
+      case 3: {  // prewrite, then crash + restart (loser)
+        store->LogPrewrite(txn, item, value);
+        store->OnCrash();
+        RestartSummary rs = store->Restart();
+        ASSERT_EQ(rs.tentative_leaks, 0u);
+        break;
+      }
+    }
+    if (step % 37 == 0) store->FlushAll();
+  }
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  ASSERT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->Snapshot(), shadow);
+}
+
+}  // namespace
+}  // namespace rainbow

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "storage/local_store.h"
 #include "storage/wal.h"
@@ -69,8 +71,8 @@ TEST(WalTest, ScanSummarizesPerTxn) {
   Wal wal;
   TxnId t1{0, 1}, t2{0, 2};
   wal.Append(Prepared(t1, {{1, 10, 1}}, {0, 1}));
-  wal.Append(WalRecord{WalRecordKind::kCommitDecision, t1, 0, {}, {}, false});
-  wal.Append(WalRecord{WalRecordKind::kApplied, t1, 0, {}, {}, false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, t1, 0, {}, {}, false));
+  wal.Append(WalRecord::Protocol(WalRecordKind::kApplied, t1, 0, {}, {}, false));
   wal.Append(Prepared(t2, {}, {0, 2}));
 
   auto scan = wal.Scan();
@@ -88,8 +90,8 @@ TEST(WalTest, InDoubtFindsPreparedUndecided) {
   Wal wal;
   TxnId decided{0, 1}, in_doubt{0, 2};
   wal.Append(Prepared(decided, {}, {0}));
-  wal.Append(WalRecord{WalRecordKind::kAbortDecision, decided, 0, {}, {},
-                       false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kAbortDecision, decided, 0, {}, {},
+                       false));
   wal.Append(Prepared(in_doubt, {{4, 9, 2}}, {0, 1}));
 
   auto doubts = wal.InDoubt();
@@ -104,15 +106,15 @@ TEST(WalTest, DecidedUnendedIsCoordinatorOnly) {
   Wal wal;
   TxnId coord_txn{0, 1}, part_txn{2, 7}, closed{0, 3};
   // Coordinator decision (has participants), never ended.
-  wal.Append(WalRecord{WalRecordKind::kCommitDecision, coord_txn, 0, {},
-                       {0, 1, 2}, false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, coord_txn, 0, {},
+                       {0, 1, 2}, false));
   // Participant decision (no participants): not ours to finish.
-  wal.Append(WalRecord{WalRecordKind::kCommitDecision, part_txn, 2, {}, {},
-                       false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, part_txn, 2, {}, {},
+                       false));
   // Coordinator decision that was ended.
-  wal.Append(WalRecord{WalRecordKind::kAbortDecision, closed, 0, {}, {0, 1},
-                       false});
-  wal.Append(WalRecord{WalRecordKind::kEnd, closed, 0, {}, {}, false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kAbortDecision, closed, 0, {}, {0, 1},
+                       false));
+  wal.Append(WalRecord::Protocol(WalRecordKind::kEnd, closed, 0, {}, {}, false));
 
   auto open = wal.DecidedUnended();
   ASSERT_EQ(open.size(), 1u);
@@ -128,7 +130,7 @@ TEST(WalTest, CoordinatorAlsoParticipant) {
   TxnId txn{0, 1};
   wal.Append(Prepared(txn, {{1, 5, 1}}, {0, 1}));
   wal.Append(
-      WalRecord{WalRecordKind::kCommitDecision, txn, 0, {}, {0, 1}, false});
+      WalRecord::Protocol(WalRecordKind::kCommitDecision, txn, 0, {}, {0, 1}, false));
   auto open = wal.DecidedUnended();
   ASSERT_EQ(open.size(), 1u);
   EXPECT_EQ(open[0].txn, txn);
@@ -140,11 +142,11 @@ TEST(WalTest, SerializeRoundTrip) {
   Wal wal;
   TxnId t1{0, 1}, t2{3, 9};
   wal.Append(Prepared(t1, {{1, 10, 1}, {2, -5, 7}}, {0, 1, 2}, true));
-  wal.Append(WalRecord{WalRecordKind::kCommitDecision, t1, 0, {}, {0, 1},
-                       false});
-  wal.Append(WalRecord{WalRecordKind::kApplied, t1, 0, {}, {}, false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, t1, 0, {}, {0, 1},
+                       false));
+  wal.Append(WalRecord::Protocol(WalRecordKind::kApplied, t1, 0, {}, {}, false));
   wal.Append(Prepared(t2, {}, {3}));
-  wal.Append(WalRecord{WalRecordKind::kEnd, t1, 0, {}, {}, false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kEnd, t1, 0, {}, {}, false));
 
   Wal loaded;
   ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
@@ -196,8 +198,8 @@ TEST(WalTest, DeserializeRejectsCorruption) {
 TEST(WalTest, FileRoundTrip) {
   Wal wal;
   wal.Append(Prepared(TxnId{1, 2}, {{4, 44, 2}}, {0, 1}));
-  wal.Append(WalRecord{WalRecordKind::kAbortDecision, TxnId{1, 2}, 0, {}, {},
-                       false});
+  wal.Append(WalRecord::Protocol(WalRecordKind::kAbortDecision, TxnId{1, 2}, 0, {}, {},
+                       false));
   std::string path = ::testing::TempDir() + "/rainbow_wal_test.bin";
   ASSERT_TRUE(wal.SaveToFile(path).ok());
   Wal loaded;
@@ -212,12 +214,205 @@ TEST(WalTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(LocalStoreTest, ApplyIsIdempotent) {
+  // Recovery replays decisions; re-applying the exact same write must be
+  // a no-op (returns false, state unchanged) so replay order/multiplicity
+  // cannot change the committed state.
+  LocalStore store;
+  store.Load(1, 0);
+  EXPECT_TRUE(store.Apply(1, 10, 3));
+  EXPECT_FALSE(store.Apply(1, 10, 3));  // identical replay
+  EXPECT_EQ(store.Get(1)->value, 10);
+  EXPECT_EQ(store.Get(1)->version, 3u);
+  // Replaying a whole prefix of history is equally inert.
+  EXPECT_TRUE(store.Apply(1, 20, 5));
+  EXPECT_FALSE(store.Apply(1, 10, 3));
+  EXPECT_FALSE(store.Apply(1, 20, 5));
+  EXPECT_EQ(store.Get(1)->value, 20);
+  EXPECT_EQ(store.Get(1)->version, 5u);
+}
+
+TEST(LocalStoreTest, AdoptIfNewerIsIdempotent) {
+  LocalStore store;
+  store.Load(1, 0);
+  EXPECT_TRUE(store.AdoptIfNewer(1, 7, 2));
+  EXPECT_FALSE(store.AdoptIfNewer(1, 7, 2));  // identical replay
+  // Apply and AdoptIfNewer share the stale-version gate, so refresh
+  // adoption interleaved with decision replay converges the same way.
+  EXPECT_FALSE(store.Apply(1, 7, 2));
+  EXPECT_TRUE(store.Apply(1, 9, 4));
+  EXPECT_FALSE(store.AdoptIfNewer(1, 8, 3));
+  EXPECT_EQ(store.Get(1)->value, 9);
+  EXPECT_EQ(store.Get(1)->version, 4u);
+}
+
+TEST(WalTest, InDoubtCanonicalOrderRegardlessOfAppendOrder) {
+  // Regression: InDoubt() used to surface transactions in the scan's
+  // unordered_map iteration order, so two sites replaying the same log
+  // could reinstate in-doubt transactions in different orders. The
+  // result must be sorted by TxnId no matter how the appends interleave.
+  std::vector<TxnId> txns = {{2, 9}, {0, 3}, {1, 7}, {3, 1}, {0, 5}};
+  Wal shuffled;
+  for (TxnId t : txns) shuffled.Append(Prepared(t, {}, {0, 1}));
+  Wal ordered;
+  std::vector<TxnId> sorted = txns;
+  std::sort(sorted.begin(), sorted.end());
+  for (TxnId t : sorted) ordered.Append(Prepared(t, {}, {0, 1}));
+
+  auto a = shuffled.InDoubt();
+  auto b = ordered.InDoubt();
+  ASSERT_EQ(a.size(), txns.size());
+  ASSERT_EQ(b.size(), txns.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].txn, b[i].txn) << "position " << i;
+    if (i > 0) {
+      EXPECT_TRUE(a[i - 1].txn < a[i].txn);
+    }
+  }
+}
+
+TEST(WalTest, DecidedUnendedCanonicalOrderRegardlessOfAppendOrder) {
+  std::vector<TxnId> txns = {{1, 4}, {0, 8}, {2, 2}, {0, 6}};
+  Wal shuffled;
+  for (TxnId t : txns) {
+    shuffled.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, t,
+                                        t.home, {}, {0, 1}, false));
+  }
+  Wal ordered;
+  std::vector<TxnId> sorted = txns;
+  std::sort(sorted.begin(), sorted.end());
+  for (TxnId t : sorted) {
+    ordered.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, t,
+                                       t.home, {}, {0, 1}, false));
+  }
+  auto a = shuffled.DecidedUnended();
+  auto b = ordered.DecidedUnended();
+  ASSERT_EQ(a.size(), txns.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].txn, b[i].txn) << "position " << i;
+    if (i > 0) {
+      EXPECT_TRUE(a[i - 1].txn < a[i].txn);
+    }
+  }
+}
+
+TEST(WalTest, LoadFromFileReportsReadErrors) {
+  // Regression: LoadFromFile returned whatever partial bytes fread
+  // produced when the stream errored mid-read. fopen("rb") on a
+  // directory succeeds on POSIX but every read fails, which exercises
+  // exactly the ferror path.
+  std::string dir = ::testing::TempDir() + "/rainbow_wal_dir_test";
+  std::error_code ec;
+  std::filesystem::create_directory(dir, ec);
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  Wal wal;
+  Status s = wal.LoadFromFile(dir);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find(dir), std::string::npos);
+  EXPECT_EQ(wal.size(), 0u);
+  std::filesystem::remove(dir);
+}
+
+WalRecord StoreUpdate(TxnId txn, ItemId item, Value before_v, Version before_ver,
+                      Value value, Version version, bool tentative,
+                      Lsn prev_lsn) {
+  WalRecord r;
+  r.kind = WalRecordKind::kStoreUpdate;
+  r.txn = txn;
+  r.prev_lsn = prev_lsn;
+  r.store.item = item;
+  r.store.page_id = 3;
+  r.store.before_value = before_v;
+  r.store.before_version = before_ver;
+  r.store.value = value;
+  r.store.version = version;
+  r.store.tentative = tentative;
+  return r;
+}
+
+TEST(WalTest, StoreRecordsRoundTrip) {
+  Wal wal;
+  TxnId txn{1, 6};
+  WalRecord begin;
+  begin.kind = WalRecordKind::kStoreBegin;
+  begin.txn = txn;
+  Lsn b = wal.Append(begin);
+  Lsn u = wal.Append(StoreUpdate(txn, 4, 10, 2, 99, (1ull << 63) | 2, true, b));
+  WalRecord clr;
+  clr.kind = WalRecordKind::kStoreClr;
+  clr.txn = txn;
+  clr.prev_lsn = u;
+  clr.undo_next_lsn = b;
+  clr.store.item = 4;
+  clr.store.value = 10;
+  clr.store.version = 2;
+  clr.store.before_value = 99;
+  clr.store.before_version = (1ull << 63) | 2;
+  wal.Append(clr);
+  WalRecord end;
+  end.kind = WalRecordKind::kStoreEnd;
+  end.txn = txn;
+  wal.Append(end);
+
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
+  ASSERT_EQ(loaded.size(), 4u);
+  const WalRecord& lu = loaded.records()[1];
+  EXPECT_EQ(lu.kind, WalRecordKind::kStoreUpdate);
+  EXPECT_EQ(lu.store.item, 4u);
+  EXPECT_EQ(lu.store.before_value, 10);
+  EXPECT_EQ(lu.store.before_version, 2u);
+  EXPECT_EQ(lu.store.value, 99);
+  EXPECT_EQ(lu.store.version, (1ull << 63) | 2);
+  EXPECT_TRUE(lu.store.tentative);
+  EXPECT_EQ(lu.prev_lsn, b);
+  const WalRecord& lc = loaded.records()[2];
+  EXPECT_EQ(lc.kind, WalRecordKind::kStoreClr);
+  EXPECT_EQ(lc.undo_next_lsn, b);
+}
+
+TEST(WalTest, DeserializePrefixPropertyNeverPartiallyApplies) {
+  // Property: for EVERY prefix of a valid serialized log, Deserialize
+  // returns a clean error (no crash, no partial state) and leaves the
+  // target's records untouched. Uses a log with protocol AND store
+  // records so every field's decoder sees truncation.
+  Wal wal;
+  TxnId t1{0, 1}, t2{2, 5};
+  wal.Append(Prepared(t1, {{1, 10, 1}, {2, -5, 7}}, {0, 1, 2}, true));
+  WalRecord begin;
+  begin.kind = WalRecordKind::kStoreBegin;
+  begin.txn = t2;
+  Lsn b = wal.Append(begin);
+  wal.Append(StoreUpdate(t2, 7, 1, 0, 42, (1ull << 63) | 3, true, b));
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, t1, 0, {},
+                                 {0, 1}, false));
+  std::vector<uint8_t> good = wal.Serialize();
+
+  Wal target;
+  WalRecord seed;
+  seed.kind = WalRecordKind::kStoreCommit;
+  seed.txn = t1;
+  target.Append(seed);
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(len));
+    Status s = target.Deserialize(cut);
+    EXPECT_FALSE(s.ok()) << "prefix length " << len;
+    ASSERT_EQ(target.size(), 1u) << "partial apply at length " << len;
+    EXPECT_EQ(target.records()[0].kind, WalRecordKind::kStoreCommit);
+  }
+  // The full buffer still parses (the loop didn't poison the target).
+  ASSERT_TRUE(target.Deserialize(good).ok());
+  EXPECT_EQ(target.size(), wal.size());
+}
+
 TEST(WalTest, PreCommittedTracked) {
   Wal wal;
   TxnId txn{1, 4};
   wal.Append(Prepared(txn, {}, {0, 1}, /*three_phase=*/true));
   wal.Append(
-      WalRecord{WalRecordKind::kPreCommitted, txn, 0, {}, {}, true});
+      WalRecord::Protocol(WalRecordKind::kPreCommitted, txn, 0, {}, {}, true));
   auto scan = wal.Scan();
   EXPECT_TRUE(scan[txn].precommitted);
   ASSERT_EQ(wal.InDoubt().size(), 1u);

@@ -82,6 +82,84 @@ TEST(WorkloadTest, DistinctItemsWithinTransaction) {
   }
 }
 
+TEST(WorkloadTest, ScanFractionZeroProducesNoScans) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 21;
+  cfg.scan_fraction = 0.0;
+  cfg.ops_min = cfg.ops_max = 6;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  for (int i = 0; i < 50; ++i) {
+    for (const Op& op : wlg.GenerateProgram().ops) {
+      EXPECT_NE(op.kind, OpKind::kScan);
+    }
+  }
+}
+
+TEST(WorkloadTest, ScanOpsStayInBounds) {
+  auto sys = MakeSystem(/*items=*/100);
+  WorkloadConfig cfg;
+  cfg.seed = 22;
+  cfg.scan_fraction = 1.0;  // every op becomes a scan
+  cfg.scan_length = 8;
+  cfg.ops_min = cfg.ops_max = 4;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  int scans = 0;
+  for (int i = 0; i < 50; ++i) {
+    for (const Op& op : wlg.GenerateProgram().ops) {
+      ASSERT_EQ(op.kind, OpKind::kScan);
+      ++scans;
+      EXPECT_GE(op.value, 1);
+      EXPECT_LE(op.value, 8);
+      // The whole range must fall inside the item space.
+      EXPECT_LE(op.item + static_cast<ItemId>(op.value), 100u);
+    }
+  }
+  EXPECT_GT(scans, 0);
+}
+
+TEST(WorkloadTest, ScanExpandsToRangeOfReads) {
+  // A scan verb is expanded by the coordinator into per-item reads;
+  // read-own-write still applies to items the txn wrote earlier.
+  auto sys = MakeSystem(/*items=*/100);
+  TxnProgram p;
+  p.ops = {Op::Write(10, 7), Op::Write(12, 9), Op::Scan(10, 5)};
+  TxnOutcome outcome;
+  bool done = false;
+  ASSERT_TRUE(sys->Submit(0, p, [&](const TxnOutcome& o) {
+                    outcome = o;
+                    done = true;
+                  })
+                  .ok());
+  sys->RunToQuiescence(5'000'000);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(outcome.committed) << outcome.ToString();
+  // The scan contributed one read per covered item: 10..14.
+  ASSERT_EQ(outcome.reads.size(), 5u);
+  EXPECT_EQ(outcome.reads[0], 7);  // own write to 10
+  EXPECT_EQ(outcome.reads[1], 0);  // initial value
+  EXPECT_EQ(outcome.reads[2], 9);  // own write to 12
+  EXPECT_EQ(outcome.reads[3], 0);
+  EXPECT_EQ(outcome.reads[4], 0);
+}
+
+TEST(WorkloadTest, ScanWorkloadRunsToCompletion) {
+  auto sys = MakeSystem();
+  WorkloadConfig cfg;
+  cfg.seed = 23;
+  cfg.num_txns = 40;
+  cfg.mpl = 4;
+  cfg.scan_fraction = 0.3;
+  cfg.scan_length = 6;
+  WorkloadGenerator wlg(sys.get(), cfg);
+  bool done = false;
+  wlg.Run([&] { done = true; });
+  sys->RunToQuiescence(20'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(wlg.completed(), 40u);
+  EXPECT_TRUE(sys->CheckReplicaConsistency(false).ok());
+}
+
 TEST(WorkloadTest, ClosedLoopCompletesExactly) {
   auto sys = MakeSystem();
   WorkloadConfig cfg;
