@@ -1,0 +1,77 @@
+#ifndef RAINBOW_COMMON_MUTEX_H_
+#define RAINBOW_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace rainbow {
+
+/// Annotated wrapper over std::mutex. Clang's thread safety analysis
+/// only tracks capabilities it can see, and the std primitives carry no
+/// annotations — so every mutex in the codebase is a rainbow::Mutex and
+/// every RAINBOW_GUARDED_BY refers to one. Lock/Unlock are lowercase
+/// (BasicLockable) so std generic code keeps working.
+class RAINBOW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RAINBOW_ACQUIRE() { mu_.lock(); }
+  void unlock() RAINBOW_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for interop that is deliberately outside
+  /// the analysis (CondVar::Wait re-acquires through here).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock with scoped-capability annotations: the analysis treats
+/// the guarded region as exactly the lexical scope of the MutexLock.
+class RAINBOW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RAINBOW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RAINBOW_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() requires the caller to
+/// hold the mutex and (like std::condition_variable::wait) holds it
+/// again on return; waiters use the explicit while-loop form
+///
+///   MutexLock l(mu_);
+///   while (!ready_) cv_.Wait(mu_);
+///
+/// so reads of RAINBOW_GUARDED_BY state stay inside the analyzed
+/// critical section (predicate lambdas would be analyzed as separate,
+/// lock-free functions and rejected).
+class CondVar {
+ public:
+  void Wait(Mutex& mu) RAINBOW_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand
+    // ownership back without unlocking: to the analysis `mu` is simply
+    // held across the call, which matches the wait semantics.
+    std::unique_lock<std::mutex> l(mu.native(), std::adopt_lock);
+    cv_.wait(l);
+    l.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_MUTEX_H_

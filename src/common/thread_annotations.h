@@ -1,0 +1,64 @@
+#ifndef RAINBOW_COMMON_THREAD_ANNOTATIONS_H_
+#define RAINBOW_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (see
+/// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), compiled to
+/// nothing on toolchains without the attributes (GCC). The CI leg
+/// `clang-thread-safety` builds the tree with clang and
+/// `-Wthread-safety -Werror=thread-safety`, turning the locking
+/// discipline these macros document into a compile-time property:
+/// touching a RAINBOW_GUARDED_BY member without holding its mutex is a
+/// build failure, not a code-review catch.
+///
+/// The annotations only attach to types that are themselves annotated
+/// as capabilities, so `common/mutex.h` provides thin annotated
+/// wrappers (`Mutex`, `MutexLock`, `CondVar`) over the std primitives;
+/// raw `std::mutex` + `std::lock_guard` is invisible to the analysis.
+///
+/// House rules:
+///  * every member written by more than one thread is either
+///    RAINBOW_GUARDED_BY a mutex, std::atomic, or documented as
+///    confined to one thread (per-shard lanes, driver-only state);
+///  * functions that expect a caller-held mutex say so with
+///    RAINBOW_REQUIRES instead of a comment.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define RAINBOW_CAPABILITY(x) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define RAINBOW_SCOPED_CAPABILITY \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define RAINBOW_GUARDED_BY(x) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define RAINBOW_PT_GUARDED_BY(x) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define RAINBOW_ACQUIRE(...) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define RAINBOW_RELEASE(...) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RAINBOW_REQUIRES(...) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define RAINBOW_EXCLUDES(...) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define RAINBOW_RETURN_CAPABILITY(x) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define RAINBOW_ASSERT_CAPABILITY(x) \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RAINBOW_NO_THREAD_SAFETY_ANALYSIS \
+  RAINBOW_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // RAINBOW_COMMON_THREAD_ANNOTATIONS_H_

@@ -299,6 +299,18 @@ class Network {
  private:
   /// Per-shard execution lane: everything a worker thread writes while
   /// delivering traffic for its own sites.
+  ///
+  /// Thread-safety: lanes are *confined*, not locked. Lane `i` is
+  /// touched only by shard `i`'s worker thread inside a barrier window
+  /// (or by the driver thread between windows, when no worker runs), so
+  /// no lane member needs a mutex or a RAINBOW_GUARDED_BY annotation.
+  /// The only cross-thread path is a cross-shard send, which never
+  /// touches the peer's lane: it posts into the destination shard's
+  /// mailbox in sim/sharded_simulator.h — the mutex-protected,
+  /// annotated handoff point — and the owner drains it at the next
+  /// virtual-time barrier. Anything added to Lane must keep this
+  /// property; state shared across shards belongs behind the driver's
+  /// annotated mutexes instead.
   struct Lane {
     Simulator* sim = nullptr;
     TraceLog* trace = nullptr;

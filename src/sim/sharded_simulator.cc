@@ -16,10 +16,10 @@ ShardedSimulator::ShardedSimulator(uint32_t num_shards)
 ShardedSimulator::~ShardedSimulator() {
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> l(mu_);
+      MutexLock l(mu_);
       stop_ = true;
     }
-    cv_work_.notify_all();
+    cv_work_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 }
@@ -29,7 +29,7 @@ void ShardedSimulator::PostToShard(uint32_t shard, SimTime when, uint64_t key,
   assert(shard < num_shards_);
   Shard& s = *shards_[shard];
   {
-    std::lock_guard<std::mutex> l(s.mb_mu);
+    MutexLock l(s.mb_mu);
     s.mailbox.push_back(Pending{when, key, std::move(cb)});
   }
   cross_posts_.fetch_add(1, std::memory_order_relaxed);
@@ -39,7 +39,7 @@ SimTime ShardedSimulator::EarliestPending() {
   SimTime t = control_.NextEventTime();
   for (auto& sp : shards_) {
     t = std::min(t, sp->sim.NextEventTime());
-    std::lock_guard<std::mutex> l(sp->mb_mu);
+    MutexLock l(sp->mb_mu);
     for (const Pending& p : sp->mailbox) t = std::min(t, p.when);
   }
   return t;
@@ -48,7 +48,7 @@ SimTime ShardedSimulator::EarliestPending() {
 void ShardedSimulator::DrainMailbox(uint32_t k) {
   Shard& s = *shards_[k];
   {
-    std::lock_guard<std::mutex> l(s.mb_mu);
+    MutexLock l(s.mb_mu);
     if (s.mailbox.empty()) return;
     s.drain.swap(s.mailbox);
   }
@@ -77,8 +77,11 @@ void ShardedSimulator::WorkerLoop(uint32_t k) {
   for (;;) {
     SimTime run_to;
     {
-      std::unique_lock<std::mutex> l(mu_);
-      cv_work_.wait(l, [&] { return stop_ || epoch_ != seen; });
+      // Explicit wait loop (not the predicate overload): the guarded
+      // reads of stop_/epoch_ stay inside this analyzed critical
+      // section instead of a lambda the analysis treats as lock-free.
+      MutexLock l(mu_);
+      while (!stop_ && epoch_ == seen) cv_work_.Wait(mu_);
       if (stop_) return;
       seen = epoch_;
       run_to = window_run_to_;
@@ -86,8 +89,8 @@ void ShardedSimulator::WorkerLoop(uint32_t k) {
     DrainMailbox(k);
     shards_[k]->sim.RunUntil(run_to);
     {
-      std::lock_guard<std::mutex> l(mu_);
-      if (--pending_workers_ == 0) cv_done_.notify_one();
+      MutexLock l(mu_);
+      if (--pending_workers_ == 0) cv_done_.NotifyOne();
     }
   }
 }
@@ -125,15 +128,15 @@ bool ShardedSimulator::RunWindow(SimTime horizon) {
     return true;
   }
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     window_run_to_ = run_to;
     pending_workers_ = num_shards_;
     ++epoch_;
   }
-  cv_work_.notify_all();
+  cv_work_.NotifyAll();
   {
-    std::unique_lock<std::mutex> l(mu_);
-    cv_done_.wait(l, [&] { return pending_workers_ == 0; });
+    MutexLock l(mu_);
+    while (pending_workers_ != 0) cv_done_.Wait(mu_);
   }
   return true;
 }

@@ -2,14 +2,14 @@
 #define RAINBOW_SIM_SHARDED_SIMULATOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "sim/simulator.h"
 
@@ -111,10 +111,14 @@ class ShardedSimulator {
     uint64_t key;
     EventQueue::Callback cb;
   };
+  /// One shard lane. `sim` and `drain` are confined to the shard's own
+  /// worker thread during a window (the barrier handoff through `mu_`
+  /// publishes them to the driver between windows); only the mailbox —
+  /// the one structure other shards' workers write — takes a lock.
   struct Shard {
     Simulator sim;
-    std::mutex mb_mu;
-    std::vector<Pending> mailbox;
+    Mutex mb_mu;
+    std::vector<Pending> mailbox RAINBOW_GUARDED_BY(mb_mu);
     std::vector<Pending> drain;  // worker-local scratch
   };
 
@@ -142,16 +146,21 @@ class ShardedSimulator {
   std::function<SimTime()> lookahead_provider_;
 
   // Worker coordination. Workers start lazily at the first run and
-  // persist until destruction; epoch_ increments per window.
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_done_;
-  uint64_t epoch_ = 0;
-  SimTime window_run_to_ = 0;
-  uint32_t pending_workers_ = 0;
-  bool stop_ = false;
+  // persist until destruction; epoch_ increments per window. The
+  // barrier state below is the driver↔worker rendezvous and every
+  // field of it is guarded by mu_ (checked by clang -Wthread-safety).
+  std::vector<std::thread> workers_;  // driver-only after EnsureWorkers
+  Mutex mu_;
+  CondVar cv_work_;
+  CondVar cv_done_;
+  uint64_t epoch_ RAINBOW_GUARDED_BY(mu_) = 0;
+  SimTime window_run_to_ RAINBOW_GUARDED_BY(mu_) = 0;
+  uint32_t pending_workers_ RAINBOW_GUARDED_BY(mu_) = 0;
+  bool stop_ RAINBOW_GUARDED_BY(mu_) = false;
 
+  // Driver-thread-only statistics; workers never touch these. The
+  // control lane (control_) likewise runs exclusively on the driver
+  // thread, with every worker parked at the barrier.
   uint64_t windows_ = 0;
   std::atomic<uint64_t> cross_posts_{0};
 };

@@ -3,8 +3,8 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -82,7 +82,7 @@ class ProgressMonitor {
   /// Load-balance indicator over message handling: CV of per-site
   /// delivered message counts (name server excluded).
   static double net_load_cv(const NetworkStats& net);
-  const std::unordered_map<SiteId, uint64_t>& homed_per_site() const {
+  const std::map<SiteId, uint64_t>& homed_per_site() const {
     return homed_per_site_;
   }
 
@@ -138,7 +138,11 @@ class ProgressMonitor {
   Histogram response_all_;
   Histogram blocked_;
   std::vector<uint64_t> commit_buckets_;
-  std::unordered_map<SiteId, uint64_t> homed_per_site_;
+  /// Sorted map, not unordered: home_load_cv() accumulates doubles in
+  /// iteration order and MergeFrom() rebuilds the table shard by shard,
+  /// so hash-order iteration would make the reported CV (and anything
+  /// rendered from this table) depend on shard count (rainbow_lint D1).
+  std::map<SiteId, uint64_t> homed_per_site_;
   std::vector<TxnOutcome> outcomes_;
 };
 

@@ -91,6 +91,7 @@ std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
 
 std::vector<WalRecord> Wal::InDoubt() const {
   std::vector<WalRecord> out;
+  // RAINBOW_LINT(allow:D1 reason=result is sorted by TxnId below)
   for (const auto& [txn, st] : Scan()) {
     if (st.prepared && !st.decided) {
       out.push_back(st.prepared_record);
@@ -105,6 +106,7 @@ std::vector<WalRecord> Wal::InDoubt() const {
 
 std::vector<Wal::UnendedDecision> Wal::DecidedUnended() const {
   std::vector<UnendedDecision> out;
+  // RAINBOW_LINT(allow:D1 reason=result is sorted by TxnId below)
   for (const auto& [txn, st] : Scan()) {
     if (st.decided && !st.ended && !st.decision_participants.empty()) {
       out.push_back(UnendedDecision{txn, st.commit, st.decision_participants});

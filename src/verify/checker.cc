@@ -4,8 +4,6 @@
 #include <map>
 #include <set>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "common/string_util.h"
@@ -235,7 +233,11 @@ void HistoryChecker::CheckSerializability(const TraceCollector& trace,
     std::map<Version, TxnId> writers;
     std::map<Version, std::set<TxnId>> readers;
   };
-  std::unordered_map<ItemId, ItemHistory> items;
+  // Keyed by ItemId in a *sorted* map: the iteration below assigns the
+  // precedence-graph node indices and emits violations, so hash-order
+  // iteration would leak into the printed cycle and the violation list
+  // (rainbow_lint D1).
+  std::map<ItemId, ItemHistory> items;
   for (const TraceRecord& r : trace.records()) {
     if (!committed.contains(r.txn)) continue;
     if (r.kind == TraceEventKind::kWriteApplied) {

@@ -4,7 +4,6 @@
 #include <map>
 #include <set>
 #include <sstream>
-#include <unordered_map>
 
 #include "common/string_util.h"
 
@@ -34,8 +33,10 @@ struct ItemVersions {
 }  // namespace
 
 Status CheckConflictSerializable(const std::vector<CommittedTxn>& history) {
-  // Index accesses per item.
-  std::unordered_map<ItemId, ItemVersions> items;
+  // Index accesses per item. Sorted map, not unordered: the edge-build
+  // loop below returns the first inconsistency it sees, and which one
+  // that is must not depend on hash order (rainbow_lint D1).
+  std::map<ItemId, ItemVersions> items;
   for (size_t i = 0; i < history.size(); ++i) {
     for (const CommittedAccess& a : history[i].accesses) {
       ItemVersions& iv = items[a.item];

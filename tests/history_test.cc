@@ -103,6 +103,21 @@ TEST(SerializabilityTest, SnapshotStyleReadOk) {
   EXPECT_TRUE(CheckConflictSerializable(h).ok());
 }
 
+// Regression (rainbow_lint D1): CheckConflictSerializable returns the
+// *first* inconsistency it sees while walking the per-item index. That
+// index used to be an unordered_map, so which of two errors was
+// reported depended on hash order. With the sorted map it is always
+// the lowest ItemId, independent of access order in the history.
+TEST(SerializabilityTest, FirstErrorIsLowestItemNotHashOrder) {
+  std::vector<CommittedTxn> h = {
+      {T(1), {R(5, 7)}},  // dirty read on item 5, seen first
+      {T(2), {R(2, 9)}},  // dirty read on item 2
+  };
+  Status s = CheckConflictSerializable(h);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("item 2:"), std::string::npos) << s.message();
+}
+
 TEST(RenderHistoryTest, Renders) {
   std::vector<CommittedTxn> h = {{T(1), {R(0, 0), W(1, 1)}}};
   std::string out = RenderHistory(h);

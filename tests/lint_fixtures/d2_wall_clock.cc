@@ -1,0 +1,40 @@
+// Lint fixture: wall-clock and entropy sources (rule D2). Inside src/
+// the only legal time is the simulator's virtual clock and the only
+// legal randomness is a seeded common/rng.h stream — anything below
+// makes two runs with the same seed diverge.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct FakeSim {
+  long now = 0;
+  long time() const { return now; }  // member named `time` is fine
+};
+
+long VirtualNow(const FakeSim& sim) {
+  return sim.time();  // no finding: member call, not ::time()
+}
+
+long WallClockNow() {
+  auto t = std::chrono::steady_clock::now();  // EXPECT-LINT: D2
+  return t.time_since_epoch().count();
+}
+
+long WallClockSystem() {
+  auto now = std::chrono::system_clock::now();  // EXPECT-LINT: D2
+  return now.time_since_epoch().count();
+}
+
+long CTime() {
+  return static_cast<long>(time(nullptr));  // EXPECT-LINT: D2
+}
+
+int UnseededRand() {
+  return std::rand();  // EXPECT-LINT: D2
+}
+
+unsigned TrueEntropy() {
+  std::random_device rd;  // EXPECT-LINT: D2
+  return rd();
+}

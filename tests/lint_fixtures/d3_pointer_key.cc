@@ -1,0 +1,26 @@
+// Lint fixture: orderings and container keys derived from pointer
+// values (rule D3). Allocator addresses differ run to run, so any
+// pointer-keyed structure iterates (or compares) nondeterministically.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Site {
+  unsigned id;
+};
+
+std::map<Site*, int> g_scores;               // EXPECT-LINT: D3
+std::set<const Site*> g_live;                // EXPECT-LINT: D3
+std::unordered_map<Site*, int> g_attempts;   // EXPECT-LINT: D3
+
+// Stable-id keys are the fix — no finding.
+std::map<unsigned, int> g_scores_by_id;
+
+uint64_t OrderKey(const Site* s) {
+  return reinterpret_cast<uintptr_t>(s);  // EXPECT-LINT: D3
+}
+
+// Pointers as *values* are fine; only keys order the container.
+std::map<unsigned, Site*> g_by_id;

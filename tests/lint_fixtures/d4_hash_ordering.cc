@@ -1,0 +1,35 @@
+// Lint fixture: std::hash-derived values feeding ordering or output
+// (rule D4). Hash values are implementation-defined — libstdc++ and
+// libc++ disagree, and so can two releases of the same library — so a
+// trace, render, or recovery path that consumes them is only
+// byte-identical by luck.
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+struct TxnId {
+  unsigned seq = 0;
+};
+
+// Specialization DEFINITIONS are exempt: providing a hash for an
+// unordered container is fine, consuming its value for order is not.
+template <>
+struct std::hash<TxnId> {
+  size_t operator()(const TxnId& id) const noexcept {
+    return std::hash<unsigned>()(id.seq) * 1000003u;
+  }
+};
+
+void SortByHash(std::vector<std::string>& names) {
+  std::sort(names.begin(), names.end(),
+            [](const std::string& a, const std::string& b) {
+              return std::hash<std::string>()(a) <  // EXPECT-LINT: D4
+                     std::hash<std::string>()(b);   // EXPECT-LINT: D4
+            });
+}
+
+size_t RenderBucket(const std::string& trace_key) {
+  return std::hash<std::string>()(trace_key) % 16;  // EXPECT-LINT: D4
+}

@@ -1,0 +1,35 @@
+// Lint fixture: suppression semantics. A reasoned allow-annotation
+// on the finding line or the line above silences the finding (still
+// counted against the budget); a reasonless one never suppresses and
+// is itself flagged; a suppression with no matching finding is flagged
+// as stale.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<unsigned, int> Snapshot();
+
+std::vector<unsigned> SuppressedSameLine() {
+  std::vector<unsigned> out;
+  for (const auto& [k, v] : Snapshot()) out.push_back(k);  // RAINBOW_LINT(allow:D1 reason=caller sorts before rendering)
+  return out;
+}
+
+std::vector<unsigned> SuppressedLineAbove() {
+  std::vector<unsigned> out;
+  // RAINBOW_LINT(allow:D1 reason=fed into a std::set downstream)
+  for (const auto& [k, v] : Snapshot()) out.push_back(k);
+  return out;
+}
+
+std::vector<unsigned> ReasonlessDoesNotSuppress() {
+  std::vector<unsigned> out;
+  // RAINBOW_LINT(allow:D1) — reasonless, flagged itself: EXPECT-LINT: LINT
+  for (const auto& [k, v] : Snapshot()) out.push_back(k);  // EXPECT-LINT: D1
+  return out;
+}
+
+int StaleSuppression() {
+  // RAINBOW_LINT(allow:D2 reason=nothing uses a clock) EXPECT-LINT: LINT
+  return 42;
+}

@@ -1,0 +1,37 @@
+// Deliberately misannotated translation unit: reads and writes a
+// RAINBOW_GUARDED_BY member without holding its mutex. The CI
+// clang-thread-safety leg compiles this file with
+// `-Wthread-safety -Werror` and asserts the compile FAILS — proving
+// the gate actually rejects locking-discipline violations (a no-op
+// macro expansion or a mis-wired flag would let it compile). Under
+// GCC the annotations expand to nothing and the file is inert; it is
+// never part of any build target.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace rainbow {
+
+class Misannotated {
+ public:
+  // BAD: touches counter_ without mu_ — clang must reject this.
+  int ReadWithoutLock() const { return counter_; }
+  void IncrementWithoutLock() { ++counter_; }
+
+  // Fine: the MutexLock scope holds mu_.
+  int ReadLocked() {
+    MutexLock l(mu_);
+    return counter_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int counter_ RAINBOW_GUARDED_BY(mu_) = 0;
+};
+
+int DriveMisannotated() {
+  Misannotated m;
+  m.IncrementWithoutLock();
+  return m.ReadWithoutLock() + m.ReadLocked();
+}
+
+}  // namespace rainbow

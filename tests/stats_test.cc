@@ -76,6 +76,32 @@ TEST(ProgressMonitorTest, LoadCv) {
   EXPECT_GT(pm.home_load_cv(), 0.3);
 }
 
+// Regression (rainbow_lint D1): home_load_cv() accumulates doubles in
+// table-iteration order, and sharded runs MergeFrom() each shard's
+// monitor in turn. With the old unordered_map the rebuilt table's order
+// — and hence the float accumulation order — depended on merge order;
+// with the sorted map the CV is bit-identical either way.
+TEST(ProgressMonitorTest, HomeLoadCvIndependentOfMergeOrder) {
+  ProgressMonitor shard_a, shard_b, shard_c;
+  for (int i = 0; i < 7; ++i) shard_a.OnSubmit(3, 0);
+  for (int i = 0; i < 11; ++i) shard_b.OnSubmit(1, 0);
+  for (int i = 0; i < 5; ++i) shard_c.OnSubmit(2, 0);
+  for (int i = 0; i < 2; ++i) shard_c.OnSubmit(3, 0);
+
+  ProgressMonitor forward;
+  forward.MergeFrom(shard_a);
+  forward.MergeFrom(shard_b);
+  forward.MergeFrom(shard_c);
+  ProgressMonitor backward;
+  backward.MergeFrom(shard_c);
+  backward.MergeFrom(shard_b);
+  backward.MergeFrom(shard_a);
+
+  EXPECT_EQ(forward.homed_per_site(), backward.homed_per_site());
+  EXPECT_EQ(forward.home_load_cv(), backward.home_load_cv());
+  EXPECT_GT(forward.home_load_cv(), 0.0);
+}
+
 TEST(ProgressMonitorTest, OrphansAndBlockedTimes) {
   ProgressMonitor pm;
   pm.OnOrphanCleanup(TxnId{0, 1}, 2);

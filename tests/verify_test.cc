@@ -115,6 +115,27 @@ TEST(VerifyTest, ReadOfUninstalledVersionDetected) {
   EXPECT_TRUE(HasCode(report, "read-uninstalled-version")) << report.Render();
 }
 
+// Regression (rainbow_lint D1): the checker used to build its per-item
+// history in an unordered_map, so with several violations the report
+// order depended on hash order. Violations must come out in ItemId
+// order no matter what order the trace touches the items in.
+TEST(VerifyTest, ViolationOrderIsItemOrderNotInsertionOrder) {
+  TxnId t1 = Txn(1);
+  // Touch items 3, 1, 2 in that order, each with an uninstalled read.
+  auto trace = Collect({
+      Rec(TraceEventKind::kReadDone, t1, 0, 3, 9),
+      Rec(TraceEventKind::kReadDone, t1, 0, 1, 9),
+      Rec(TraceEventKind::kReadDone, t1, 0, 2, 9),
+      Rec(TraceEventKind::kTxnCommit, t1),
+  });
+  CheckReport report = MakeChecker().Check(trace);
+  std::vector<ItemId> flagged;
+  for (const Violation& v : report.violations) {
+    if (v.code == "read-uninstalled-version") flagged.push_back(v.item);
+  }
+  EXPECT_EQ(flagged, (std::vector<ItemId>{1, 2, 3})) << report.Render();
+}
+
 // --- atomicity ---
 
 TEST(VerifyTest, SplitDecisionDetected) {

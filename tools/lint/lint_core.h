@@ -1,0 +1,86 @@
+#ifndef RAINBOW_TOOLS_LINT_LINT_CORE_H_
+#define RAINBOW_TOOLS_LINT_LINT_CORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// rainbow_lint — determinism-contract static analysis over the
+/// Rainbow sources. No LLVM dependency: a C++ tokenizer plus
+/// lightweight file-local declaration tracking, which is enough for
+/// the rule families below because they target *shapes* the codebase
+/// bans outright rather than deep dataflow:
+///
+///   D1  range-for / iterator loop over a std::unordered_map or
+///       std::unordered_set whose body emits (push_back/Append/
+///       Serialize/Render/printf/`<<`/...). Hash-order iteration
+///       leaking into recovery- or trace-visible output is exactly the
+///       Wal::InDoubt bug class PR 7 fixed twice.
+///   D2  wall-clock / entropy calls (steady_clock, system_clock,
+///       time(), rand(), random_device, ...). Virtual time and seeded
+///       Rng streams are the only time/randomness sources allowed in
+///       src/; bench/ and tools/ are exempt.
+///   D3  ordering or container keys derived from pointer values
+///       (map/set keyed by T*, reinterpret_cast<uintptr_t> feeding a
+///       key). Allocator addresses differ run to run.
+///   D4  std::hash values used outside a std::hash specialization
+///       body. Hash values are implementation-defined; deriving
+///       ordering or output from them breaks the same-seed
+///       byte-identical-trace guarantee across standard libraries.
+///
+/// Suppressions are explicit comments on the finding line or the line
+/// above:
+///
+///   // RAINBOW_LINT(allow:D1 reason=result is sorted below)
+///
+/// A suppression with an empty reason, or one that no longer matches a
+/// finding, is itself reported (rule LINT) — suppressions cannot rot.
+/// The CLI additionally enforces a checked-in per-rule budget
+/// (tools/lint/suppressions.budget) so the total cannot silently grow.
+namespace rainbow::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< "D1".."D4", or "LINT" for meta findings
+  std::string message;  ///< one-line statement of the defect
+  std::string hint;     ///< fix-it hint
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+struct Report {
+  std::vector<Finding> findings;  ///< includes suppressed findings
+  /// Files that could not be read (CLI surfaces these as errors).
+  std::vector<std::string> io_errors;
+
+  int Unsuppressed() const;
+  /// Count of *used* suppressions per rule (what the budget bounds).
+  std::map<std::string, int> SuppressionsByRule() const;
+  void MergeFrom(const Report& other);
+};
+
+/// Lints `content` as if read from `filename` (the name drives the D2
+/// bench//tools/ exemption and appears in findings).
+Report LintSource(const std::string& filename, const std::string& content);
+
+/// Reads and lints one file.
+Report LintFile(const std::string& path);
+
+/// Recursively collects .h/.cc files under `path` (or `path` itself if
+/// it is a file), sorted for deterministic output.
+std::vector<std::string> CollectSources(const std::string& path);
+
+/// Parses a suppression-budget file: `<rule> <count>` per line, `#`
+/// comments. Unknown rules are allowed (budget 0 applies otherwise).
+std::map<std::string, int> ParseBudget(const std::string& content);
+
+/// Returns human-readable violations ("D1: 3 suppressions > budget 2")
+/// for every rule whose used-suppression count exceeds the budget;
+/// empty means within budget.
+std::vector<std::string> CheckBudget(const Report& report,
+                                     const std::map<std::string, int>& budget);
+
+}  // namespace rainbow::lint
+
+#endif  // RAINBOW_TOOLS_LINT_LINT_CORE_H_

@@ -1,0 +1,108 @@
+// rainbow_lint CLI — determinism-contract lint over the Rainbow
+// sources. See lint_core.h for the rule families (D1..D4) and the
+// suppression syntax.
+//
+// Usage:
+//   rainbow_lint [--budget FILE] [--list-suppressions] PATH...
+//
+// PATH arguments are files or directories (directories are walked
+// recursively for .h/.cc). Exit codes:
+//   0  clean (no unsuppressed findings, suppressions within budget)
+//   1  findings or budget violations
+//   2  usage / I-O error
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rainbow_lint [--budget FILE] [--list-suppressions] "
+               "PATH...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string budget_path;
+  bool list_suppressions = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--budget") {
+      if (++i >= argc) return Usage();
+      budget_path = argv[i];
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  rainbow::lint::Report report;
+  size_t files = 0;
+  for (const std::string& path : paths) {
+    for (const std::string& file : rainbow::lint::CollectSources(path)) {
+      report.MergeFrom(rainbow::lint::LintFile(file));
+      ++files;
+    }
+  }
+  for (const std::string& e : report.io_errors) {
+    std::fprintf(stderr, "rainbow_lint: cannot read %s\n", e.c_str());
+  }
+  if (files == 0 || !report.io_errors.empty()) return 2;
+
+  int shown = 0;
+  for (const auto& f : report.findings) {
+    if (f.suppressed) {
+      if (list_suppressions) {
+        std::printf("%s:%d: [%s] suppressed (%s)\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.suppress_reason.c_str());
+      }
+      continue;
+    }
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+    std::printf("    hint: %s\n", f.hint.c_str());
+    ++shown;
+  }
+
+  bool budget_ok = true;
+  if (!budget_path.empty()) {
+    std::ifstream in(budget_path);
+    if (!in) {
+      std::fprintf(stderr, "rainbow_lint: cannot read budget file %s\n",
+                   budget_path.c_str());
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto budget = rainbow::lint::ParseBudget(ss.str());
+    for (const std::string& v :
+         rainbow::lint::CheckBudget(report, budget)) {
+      std::printf("suppression budget exceeded: %s (%s)\n", v.c_str(),
+                  budget_path.c_str());
+      budget_ok = false;
+    }
+  }
+
+  int suppressed =
+      static_cast<int>(report.findings.size()) - report.Unsuppressed();
+  std::printf("rainbow_lint: %zu file(s), %d finding(s), %d suppressed%s\n",
+              files, shown, suppressed,
+              budget_ok ? "" : ", BUDGET EXCEEDED");
+  return (shown == 0 && budget_ok) ? 0 : 1;
+}
