@@ -13,6 +13,12 @@
 //   * restart — a crash (pool dropped) after a batch of logged commits,
 //     then the ARIES analysis->redo->undo pass; reports replay time and
 //     redo counts.
+//   * checkpoint — a second store running fuzzy checkpoints on a fixed
+//     LSN cadence; crash-and-restart after 20k and again after 100k
+//     commits. With checkpoints the analysis scan starts at the last
+//     complete checkpoint, so the 100k restart must scan at most ~2x
+//     the records of the 20k restart even though the log is 5x longer
+//     (hard in-binary gate on the ratio).
 //
 // The numbers are written as flat JSON (bench::EmitJson). The repo
 // checks in BENCH_M8.json as the baseline; the CI perf-smoke step runs
@@ -54,6 +60,14 @@ constexpr int kScanOps = 20000;
 constexpr uint32_t kScanLength = 64;
 constexpr int kRestartTxns = 20000;
 constexpr double kZipfTheta = 0.99;
+constexpr uint32_t kCheckpointItems = 100000;
+constexpr uint64_t kCheckpointInterval = 5000;  // LSNs between checkpoints
+// Crash points sit off the natural checkpoint cadence (~1250 commits at
+// 4 log records per commit) so the analysis tail is a representative
+// partial window rather than the degenerate crash-right-after-checkpoint.
+constexpr int kCheckpointTxnsSmall = 20700;
+constexpr int kCheckpointTxnsLarge = 100700;
+constexpr double kCheckpointScanRatioGate = 2.0;
 
 struct Report {
   std::vector<std::pair<std::string, double>> fields;
@@ -206,6 +220,70 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // --- checkpoint ---------------------------------------------------------
+  std::printf(
+      "-- checkpoint: fuzzy checkpoints every %llu LSNs, restart after "
+      "%d and %d commits --\n",
+      static_cast<unsigned long long>(kCheckpointInterval),
+      kCheckpointTxnsSmall, kCheckpointTxnsLarge);
+  Wal ckpt_wal;
+  PageStoreOptions ckpt_opts;
+  ckpt_opts.page_size = kPageSize;
+  ckpt_opts.pool_pages = kPoolPages;
+  ckpt_opts.lru_k = kLruK;
+  ckpt_opts.checkpoint_interval = kCheckpointInterval;
+  PageStore ckpt_store(&ckpt_wal, ckpt_opts);
+  for (uint32_t i = 0; i < kCheckpointItems; ++i) {
+    ckpt_store.Load(i, static_cast<Value>(i));
+  }
+  ckpt_store.FlushAll();
+  ZipfSampler ckpt_zipf(kCheckpointItems, kZipfTheta);
+  Version ckpt_version = 1;
+  uint64_t ckpt_seq = 1;
+  auto run_commits = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      ItemId item = static_cast<ItemId>(ckpt_zipf.Sample(rng));
+      TxnId txn{0, ckpt_seq++};
+      Value value = static_cast<Value>(i);
+      ckpt_store.LogPrewrite(txn, item, value);
+      if (ckpt_store.Apply(item, value, ckpt_version++, txn)) {
+        ckpt_store.CommitStorageTxn(txn);
+      } else {
+        ckpt_store.AbortStorageTxn(txn);
+      }
+    }
+  };
+  run_commits(kCheckpointTxnsSmall);
+  ckpt_store.OnCrash();
+  t0 = Clock::now();
+  RestartSummary rs_small = ckpt_store.Restart();
+  t1 = Clock::now();
+  report.Add("ckpt_restart20_ms", ElapsedSec(t0, t1) * 1e3);
+  report.Add("ckpt_scanned_20k", static_cast<double>(rs_small.log_scanned));
+  run_commits(kCheckpointTxnsLarge - kCheckpointTxnsSmall);
+  ckpt_store.OnCrash();
+  t0 = Clock::now();
+  RestartSummary rs_large = ckpt_store.Restart();
+  t1 = Clock::now();
+  report.Add("ckpt_restart100_ms", ElapsedSec(t0, t1) * 1e3);
+  report.Add("ckpt_scanned_100k", static_cast<double>(rs_large.log_scanned));
+  double scan_ratio = rs_small.log_scanned == 0
+                          ? 0.0
+                          : static_cast<double>(rs_large.log_scanned) /
+                                static_cast<double>(rs_small.log_scanned);
+  report.Add("ckpt_scan_ratio", scan_ratio);
+  if (rs_small.tentative_leaks != 0 || rs_large.tentative_leaks != 0) {
+    std::printf("GATE FAILED: checkpointed restart leaked tentative versions\n");
+    return 1;
+  }
+  if (scan_ratio > kCheckpointScanRatioGate) {
+    std::printf(
+        "GATE FAILED: 100k-commit restart scanned %.2fx the records of the "
+        "20k restart (gate %.1fx) — checkpoints are not bounding analysis\n",
+        scan_ratio, kCheckpointScanRatioGate);
+    return 1;
+  }
+
   bench::AddEnvFields(report.fields, /*shards=*/1);
   if (!bench::EmitJson(out_path, report.fields)) {
     std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
@@ -236,6 +314,10 @@ int Main(int argc, char** argv) {
     pass &= CheckMetric(baseline, current, "pages_allocated", 1.1, false);
     pass &= CheckMetric(baseline, current, "restart_tentative_leaks", 1.0,
                         false, /*slack=*/0.0);
+    // Checkpointed restart: wall-time loose, scan counts deterministic.
+    pass &= CheckMetric(baseline, current, "ckpt_restart20_ms", 1.5, false);
+    pass &= CheckMetric(baseline, current, "ckpt_restart100_ms", 1.5, false);
+    pass &= CheckMetric(baseline, current, "ckpt_scan_ratio", 1.2, false);
     if (!pass) {
       std::printf("perf-smoke: REGRESSION against %s\n", check_path.c_str());
       return 1;

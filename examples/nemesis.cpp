@@ -31,6 +31,12 @@
 //                     the barrier/mailbox machinery under TSan
 //   --no-epoch-fencing    disable the incarnation-epoch fix (plants the
 //                     resurrection bug for bug-hunt demos and labs)
+//   --storage-faults  mix storage-fault windows (torn/short/lost writes,
+//                     read bit flips) into the schedules, on a small-page
+//                     config that actually exercises the disk
+//   --no-page-crc     disable page checksums + doublewrite (plants the
+//                     torn-page bug for storage bug-hunt demos); replays
+//                     of a repro found this way need the same flag
 //
 // Exit status: 0 = all rounds clean, or replay reproduced the
 // violation; 1 = violation found (repro printed / emitted), or replay
@@ -64,6 +70,7 @@ int Usage() {
                "               [--shrink | --no-shrink] [--shrink-budget N]\n"
                "               [--emit-repro FILE] [--config FILE]\n"
                "               [--shards N] [--no-epoch-fencing]\n"
+               "               [--storage-faults] [--no-page-crc]\n"
                "       nemesis --replay FILE [--replay-seed N] ...\n";
   return 2;
 }
@@ -144,6 +151,10 @@ int main(int argc, char** argv) {
       shards = static_cast<uint32_t>(std::stoul(v));
     } else if (arg == "--no-epoch-fencing") {
       opts.base_config.protocols.epoch_fencing = false;
+    } else if (arg == "--storage-faults") {
+      opts.storage_faults = true;
+    } else if (arg == "--no-page-crc") {
+      opts.base_config.protocols.page_checksums = false;
     } else {
       std::cerr << "unknown flag: " << arg << "\n";
       return Usage();

@@ -1,0 +1,65 @@
+#include "common/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace rainbow {
+
+namespace {
+
+/// 8 slice tables, built once at first use (constant-time, no I/O — the
+/// determinism linter's D2 rule is about entropy, not table setup).
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+  Crc32Tables() {
+    constexpr uint32_t kPoly = 0xedb88320u;  // reflected IEEE polynomial
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (size_t s = 1; s < 8; ++s) {
+        c = t[0][c & 0xff] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed) {
+  const auto& t = Tables().t;
+  uint32_t crc = ~seed;
+  // Slice-by-8 main loop: one 64-bit load feeds eight table lookups.
+  while (size >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, data, sizeof(chunk));
+    // Little-endian lane order; on a big-endian host the memcpy lanes
+    // would differ, but the repo's toolchain targets are little-endian
+    // and the value is only ever compared against itself.
+    crc ^= static_cast<uint32_t>(chunk);
+    const uint32_t hi = static_cast<uint32_t>(chunk >> 32);
+    crc = t[7][crc & 0xff] ^ t[6][(crc >> 8) & 0xff] ^
+          t[5][(crc >> 16) & 0xff] ^ t[4][(crc >> 24) & 0xff] ^
+          t[3][hi & 0xff] ^ t[2][(hi >> 8) & 0xff] ^
+          t[1][(hi >> 16) & 0xff] ^ t[0][(hi >> 24) & 0xff];
+    data += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *data++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rainbow

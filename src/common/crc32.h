@@ -1,0 +1,17 @@
+#ifndef RAINBOW_COMMON_CRC32_H_
+#define RAINBOW_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rainbow {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip one) over `size` bytes.
+/// `seed` chains partial computations: Crc32(b, n) ==
+/// Crc32(b + k, n - k, Crc32(b, k)). Implemented slice-by-8, so the page
+/// checksum and WAL record framing stay off the profile's top entries.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+}  // namespace rainbow
+
+#endif  // RAINBOW_COMMON_CRC32_H_

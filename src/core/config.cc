@@ -45,6 +45,9 @@ Status SystemConfig::Validate() const {
   if (protocols.lru_k < 1) {
     return Status::InvalidArgument("lru_k must be >= 1");
   }
+  if (protocols.checkpoint_interval != 0 && protocols.checkpoint_interval < 8) {
+    return Status::InvalidArgument("checkpoint_interval must be 0 or >= 8");
+  }
   for (const ItemConfig& item : items) {
     if (item.copies.empty()) {
       return Status::InvalidArgument("item '" + item.name + "' has no copies");
@@ -138,6 +141,9 @@ std::string SystemConfig::ToText() const {
   os << "page_size = " << protocols.page_size << "\n";
   os << "buffer_pool_pages = " << protocols.buffer_pool_pages << "\n";
   os << "lru_k = " << protocols.lru_k << "\n";
+  os << "checkpoint_interval = " << protocols.checkpoint_interval << "\n";
+  os << "page_checksums = " << (protocols.page_checksums ? "true" : "false")
+     << "\n";
   os << "op_timeout = " << protocols.op_timeout << "\n";
   os << "lock_wait_timeout = " << protocols.lock_wait_timeout << "\n";
   os << "vote_timeout = " << protocols.vote_timeout << "\n";
@@ -340,6 +346,11 @@ Status ParseKeyValue(SystemConfig& cfg, const std::string& section,
     } else if (key == "lru_k") {
       RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
       p.lru_k = static_cast<uint32_t>(v);
+    } else if (key == "checkpoint_interval") {
+      RAINBOW_ASSIGN_OR_RETURN(int64_t v, as_int());
+      p.checkpoint_interval = static_cast<uint64_t>(v);
+    } else if (key == "page_checksums") {
+      RAINBOW_ASSIGN_OR_RETURN(p.page_checksums, as_bool());
     } else if (key == "op_timeout") {
       RAINBOW_ASSIGN_OR_RETURN(p.op_timeout, as_int());
     } else if (key == "lock_wait_timeout") {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/system.h"
+#include "storage/buffer_pool.h"
 
 namespace rainbow {
 
@@ -25,6 +26,10 @@ const char* FaultKindName(FaultEvent::Kind k) {
     case FaultEvent::Kind::kLinkDup: return "dup";
     case FaultEvent::Kind::kLinkReorder: return "reorder";
     case FaultEvent::Kind::kClearLinkFaults: return "clearlinks";
+    case FaultEvent::Kind::kStorageTorn: return "tornwrite";
+    case FaultEvent::Kind::kStorageShort: return "shortwrite";
+    case FaultEvent::Kind::kStorageLost: return "lostwrite";
+    case FaultEvent::Kind::kStorageReadFlip: return "readflip";
     case FaultEvent::Kind::kCount: break;
   }
   return "?";
@@ -173,6 +178,26 @@ void FaultInjector::Apply(const FaultEvent& e) {
                    "link overrides cleared");
       net.ClearLinkOverrides();
       break;
+    case FaultEvent::Kind::kStorageTorn:
+    case FaultEvent::Kind::kStorageShort:
+    case FaultEvent::Kind::kStorageLost:
+    case FaultEvent::Kind::kStorageReadFlip: {
+      StorageFaultKind kind = StorageFaultKind::kTornWrite;
+      if (e.kind == FaultEvent::Kind::kStorageShort) {
+        kind = StorageFaultKind::kShortWrite;
+      } else if (e.kind == FaultEvent::Kind::kStorageLost) {
+        kind = StorageFaultKind::kLostWrite;
+      } else if (e.kind == FaultEvent::Kind::kStorageReadFlip) {
+        kind = StorageFaultKind::kReadBitFlip;
+      }
+      trace.Record(now, TraceCategory::kFault, e.site,
+                   std::string("storage ") + StorageFaultKindName(kind) +
+                       " p=" + AmountString(e.amount));
+      // Arms the DISK, which (like the WAL) survives Site::Crash(), so
+      // a crashed site's storage faults persist into its restart.
+      system_->site(e.site)->mutable_store().SetStorageFault(kind, e.amount);
+      break;
+    }
     case FaultEvent::Kind::kCount:
       return;
   }

@@ -35,6 +35,10 @@ struct FaultEvent {
     kLinkDup,          ///< per-link duplication probability (amount in [0,1])
     kLinkReorder,      ///< per-link reorder jitter (amount = window in µs)
     kClearLinkFaults,  ///< drop every per-link override
+    kStorageTorn,      ///< per-write torn-write probability (amount in [0,1])
+    kStorageShort,     ///< per-write short-write probability
+    kStorageLost,      ///< per-write lost-write ("fsync lie") probability
+    kStorageReadFlip,  ///< per-read stored-bit-flip probability
     kCount,            ///< number of kinds; not a real event
   };
   SimTime at = 0;
@@ -92,6 +96,18 @@ struct FaultEvent {
   static FaultEvent ClearLinkFaults(SimTime at) {
     return FaultEvent{at,  Kind::kClearLinkFaults, kInvalidSite, kInvalidSite,
                       0.0, {}};
+  }
+  static FaultEvent StorageTorn(SimTime at, SiteId s, double p) {
+    return FaultEvent{at, Kind::kStorageTorn, s, kInvalidSite, p, {}};
+  }
+  static FaultEvent StorageShort(SimTime at, SiteId s, double p) {
+    return FaultEvent{at, Kind::kStorageShort, s, kInvalidSite, p, {}};
+  }
+  static FaultEvent StorageLost(SimTime at, SiteId s, double p) {
+    return FaultEvent{at, Kind::kStorageLost, s, kInvalidSite, p, {}};
+  }
+  static FaultEvent StorageReadFlip(SimTime at, SiteId s, double p) {
+    return FaultEvent{at, Kind::kStorageReadFlip, s, kInvalidSite, p, {}};
   }
 };
 

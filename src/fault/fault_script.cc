@@ -130,6 +130,18 @@ Result<FaultEvent> ParseVerb(const std::vector<std::string>& tok,
     }
     return FaultEvent::Partition(at, std::move(groups));
   }
+  if (verb == "tornwrite" || verb == "shortwrite" || verb == "lostwrite" ||
+      verb == "readflip") {
+    if (Status s = need(2); !s.ok()) return s;
+    Result<SiteId> site = ParseSite(tok[1]);
+    if (!site.ok()) return site.status();
+    Result<double> p = ParseAmount(tok[2], 0.0, 1.0);
+    if (!p.ok()) return p.status();
+    if (verb == "tornwrite") return FaultEvent::StorageTorn(at, *site, *p);
+    if (verb == "shortwrite") return FaultEvent::StorageShort(at, *site, *p);
+    if (verb == "lostwrite") return FaultEvent::StorageLost(at, *site, *p);
+    return FaultEvent::StorageReadFlip(at, *site, *p);
+  }
   if (verb == "heal") {
     if (Status s = need(0); !s.ok()) return s;
     return FaultEvent::Heal(at);
@@ -199,6 +211,12 @@ std::string FormatFaultEvent(const FaultEvent& e) {
     case FaultEvent::Kind::kLinkDup:
     case FaultEvent::Kind::kLinkReorder:
       os << ' ' << e.site << ' ' << e.peer << ' ' << AmountText(e.amount);
+      break;
+    case FaultEvent::Kind::kStorageTorn:
+    case FaultEvent::Kind::kStorageShort:
+    case FaultEvent::Kind::kStorageLost:
+    case FaultEvent::Kind::kStorageReadFlip:
+      os << ' ' << e.site << ' ' << AmountText(e.amount);
       break;
     case FaultEvent::Kind::kPartition:
       os << ' ';

@@ -98,7 +98,14 @@ Result<NemesisProfile> NemesisProfile::ByName(const std::string& name) {
 }
 
 Nemesis::Nemesis(const NemesisOptions& options, const NemesisProfile& profile)
-    : opts_(options), profile_(profile) {}
+    : opts_(options), profile_(profile) {
+  // Storage faults opt in per run, not per profile: raising the weight
+  // here (instead of in the built-in profiles) keeps every historical
+  // seed's schedule byte-identical when the option is off.
+  if (opts_.storage_faults && profile_.storage_weight == 0.0) {
+    profile_.storage_weight = 0.25;
+  }
+}
 
 Result<Nemesis> Nemesis::Make(const NemesisOptions& options) {
   Result<NemesisProfile> profile = NemesisProfile::ByName(options.profile);
@@ -118,7 +125,20 @@ SystemConfig Nemesis::MakeConfig() const {
     // matter — fully replicated schemas hide a whole class of
     // crash-recovery bugs from the fuzzer.
     cfg.num_sites = 5;
-    cfg.AddUniformItems(12, 100, 3);
+    cfg.AddUniformItems(opts_.storage_faults ? 24 : 12, 100, 3);
+  }
+  if (opts_.storage_faults) {
+    // Shrink the disk geometry so each site's tree spans several pages
+    // and the pool actually evicts: under the default 4 KiB pages the
+    // whole database fits in one leaf that is never written back, so a
+    // per-write fault would have nothing to tear. A tight checkpoint
+    // cadence keeps flush (and thus fault) traffic up.
+    cfg.protocols.page_size = 64;
+    cfg.protocols.buffer_pool_pages = 8;
+    if (cfg.protocols.checkpoint_interval == 0 ||
+        cfg.protocols.checkpoint_interval > 32) {
+      cfg.protocols.checkpoint_interval = 32;
+    }
   }
   cfg.record_history = true;
   if (!cfg.trace_enabled) {
@@ -137,9 +157,9 @@ std::vector<FaultWindow> Nemesis::GenerateWindows(
       static_cast<int>(rng.NextUint(static_cast<uint64_t>(
           profile_.max_windows - profile_.min_windows + 1)));
 
-  const double total_weight = profile_.crash_weight +
-                              profile_.partition_weight +
-                              profile_.link_weight + profile_.override_weight;
+  const double total_weight =
+      profile_.crash_weight + profile_.partition_weight +
+      profile_.link_weight + profile_.override_weight + profile_.storage_weight;
 
   std::vector<FaultWindow> windows;
   windows.reserve(static_cast<size_t>(n_windows));
@@ -173,6 +193,32 @@ std::vector<FaultWindow> Nemesis::GenerateWindows(
                        sites.end());
       w.start = FaultEvent::Partition(start, std::move(groups));
       w.end = FaultEvent::Heal(end);
+    } else if (pick - profile_.link_weight - profile_.override_weight >= 0) {
+      // Storage-fault window: arm one fault kind on one site's disk for
+      // the window, then disarm (probability 0). Only reachable when
+      // storage_weight > 0, so schedules generated without the option
+      // draw the identical event stream they always did.
+      const SiteId s = static_cast<SiteId>(rng.NextUint(num_sites));
+      const uint64_t kind = rng.NextUint(4);
+      const double p = rng.NextDouble() * profile_.max_storage_fault;
+      switch (kind) {
+        case 0:
+          w.start = FaultEvent::StorageTorn(start, s, p);
+          w.end = FaultEvent::StorageTorn(end, s, 0.0);
+          break;
+        case 1:
+          w.start = FaultEvent::StorageShort(start, s, p);
+          w.end = FaultEvent::StorageShort(end, s, 0.0);
+          break;
+        case 2:
+          w.start = FaultEvent::StorageLost(start, s, p);
+          w.end = FaultEvent::StorageLost(end, s, 0.0);
+          break;
+        default:
+          w.start = FaultEvent::StorageReadFlip(start, s, p);
+          w.end = FaultEvent::StorageReadFlip(end, s, 0.0);
+          break;
+      }
     } else {
       const SiteId a = static_cast<SiteId>(rng.NextUint(num_sites));
       SiteId b = static_cast<SiteId>(rng.NextUint(num_sites - 1));
@@ -331,6 +377,10 @@ std::vector<FaultWindow> Nemesis::Shrink(std::vector<FaultWindow> windows,
         case FaultEvent::Kind::kLinkLoss:
         case FaultEvent::Kind::kLinkDup:
         case FaultEvent::Kind::kLinkReorder:
+        case FaultEvent::Kind::kStorageTorn:
+        case FaultEvent::Kind::kStorageShort:
+        case FaultEvent::Kind::kStorageLost:
+        case FaultEvent::Kind::kStorageReadFlip:
           next = e.amount / 2.0;
           if (next < 0.01) next = 0.0;
           break;

@@ -44,11 +44,18 @@ struct NemesisProfile {
   double partition_weight = 0.1;
   double link_weight = 0.4;      ///< bidirectional + one-way link downs
   double override_weight = 0.4;  ///< loss / delay / dup / reorder
+  /// Storage-fault windows (torn/short/lost writes, read bit flips on
+  /// one site's disk). 0 in every built-in profile so existing seeds
+  /// reproduce byte-identically; NemesisOptions.storage_faults raises
+  /// it at construction.
+  double storage_weight = 0.0;
   /// Intensity caps for override windows.
   double max_loss = 0.2;
   double max_dup = 0.2;
   double max_delay_multiplier = 3.0;
   SimTime max_reorder_jitter = Millis(2);
+  /// Per-write/per-read probability cap for storage-fault windows.
+  double max_storage_fault = 0.3;
 
   /// The built-in profile with this name, or InvalidArgument.
   static Result<NemesisProfile> ByName(const std::string& name);
@@ -73,6 +80,10 @@ struct NemesisOptions {
   /// Workload driven through each schedule.
   uint32_t txns = 120;
   uint32_t mpl = 4;
+  /// Mix storage-fault windows (torn/short/lost writes, read bit
+  /// flips) into the schedules and shrink the disk-geometry config so
+  /// multi-page trees actually exercise the fault paths.
+  bool storage_faults = false;
   /// Shrink the first failing schedule before reporting it.
   bool shrink = true;
   /// Hard cap on simulator re-runs the shrinker may spend.

@@ -73,6 +73,14 @@ struct ProtocolConfig {
   uint32_t buffer_pool_pages = 64;
   /// K of the LRU-K replacer (>= 1).
   uint32_t lru_k = 2;
+  /// The page engine takes a fuzzy checkpoint whenever this many LSNs
+  /// accumulated since the last one (0 disables the cadence; >= 8
+  /// otherwise). Checkpoints bound restart's log scan.
+  uint64_t checkpoint_interval = 256;
+  /// Per-page CRC32 verification plus the doublewrite journal. Leave
+  /// on; turning it off re-exposes torn/corrupt pages to recovery as a
+  /// known target for the nemesis fuzzer's storage bug hunts.
+  bool page_checksums = true;
 
   // --- timeouts (simulated time) ---
   /// Coordinator's per-operation deadline for assembling a quorum.

@@ -11,9 +11,16 @@ namespace rainbow {
 Site::Site(SiteId id, Env env) : id_(id), env_(env) {
   assert(env_.sim && env_.net && env_.config);
   if (env_.config->storage_engine == StorageEngineKind::kPage) {
-    store_ = std::make_unique<PageStore>(&wal_, env_.config->page_size,
-                                         env_.config->buffer_pool_pages,
-                                         env_.config->lru_k);
+    PageStoreOptions opts;
+    opts.page_size = env_.config->page_size;
+    opts.pool_pages = env_.config->buffer_pool_pages;
+    opts.lru_k = env_.config->lru_k;
+    opts.checkpoint_interval = env_.config->checkpoint_interval;
+    opts.page_checksums = env_.config->page_checksums;
+    // Every site's disk gets its own fault stream, decorrelated from
+    // the RPC jitter streams that also fork env_.seed.
+    opts.fault_seed = env_.seed * 0x9e3779b97f4a7c15ULL + id_ + 1;
+    store_ = std::make_unique<PageStore>(&wal_, opts);
   } else {
     store_ = std::make_unique<MapStore>();
   }
@@ -232,11 +239,16 @@ void Site::Recover() {
   // protocol-level recovery reads the store. (No-op for the map store.)
   if (env_.config->storage_engine == StorageEngineKind::kPage) {
     RestartSummary rs = store_->Restart();
+    // Append-only trace line: tools grep the leading tokens by name.
     Trace(TraceCategory::kSite,
           StringPrintf("restart: analyzed=%zu in_doubt=%zu losers=%zu "
-                       "redo=%zu redo_skipped=%zu undo_clrs=%zu",
+                       "redo=%zu redo_skipped=%zu undo_clrs=%zu "
+                       "scanned=%zu redo_start=%llu quarantined=%zu",
                        rs.analyzed_txns, rs.in_doubt, rs.losers,
-                       rs.redo_applied, rs.redo_skipped, rs.undo_clrs));
+                       rs.redo_applied, rs.redo_skipped, rs.undo_clrs,
+                       rs.log_scanned,
+                       static_cast<unsigned long long>(rs.redo_start),
+                       rs.pages_quarantined));
   }
 
   auto scan = wal_.Scan();

@@ -1,5 +1,6 @@
 #include "storage/b_plus_tree.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -25,8 +26,8 @@ BPlusTree::BPlusTree(BufferPool* pool, DiskManager* disk)
 
 // --- entry accessors -------------------------------------------------------
 
-static uint32_t LeafOff(uint32_t i) { return 20 + i * 20; }
-static uint32_t InternalOff(uint32_t i) { return 20 + i * 8; }
+static uint32_t LeafOff(uint32_t i) { return 24 + i * 20; }
+static uint32_t InternalOff(uint32_t i) { return 24 + i * 8; }
 
 static LeafEntry ReadLeaf(const Page& p, uint32_t i) {
   LeafEntry e;
@@ -57,7 +58,10 @@ static uint32_t LeafLowerBound(const Page& p, uint32_t count, ItemId item) {
 }
 
 PageId BPlusTree::ChildFor(const Page& page, ItemId item) {
-  uint32_t count = Count(page);
+  // Clamp to physical capacity: a corrupt count (reachable only with
+  // page checksums off) must not index past the page.
+  uint32_t count = std::min(
+      Count(page), (page.size() - kOffEntries) / kInternalEntryBytes);
   // Entries sorted by separator key; child = last entry with key <= item,
   // or the leftmost child when item precedes every separator.
   uint32_t lo = 0, hi = count;
@@ -75,7 +79,10 @@ PageId BPlusTree::ChildFor(const Page& page, ItemId item) {
 
 PageId BPlusTree::FindLeaf(ItemId item) const {
   PageId cur = root_;
-  while (cur != kInvalidPageId) {
+  // Hop bound: a healthy descent visits at most `height` pages; corrupt
+  // link bytes (checksums off) could otherwise cycle forever.
+  uint32_t hops = disk_->allocated_pages() + 2;
+  while (cur != kInvalidPageId && hops-- > 0) {
     Page* page = pool_->FetchPage(cur);
     if (page == nullptr) return kInvalidPageId;  // pool exhausted
     if (page->ReadU8(kOffType) == kLeaf) {
@@ -96,7 +103,7 @@ std::optional<ItemCopy> BPlusTree::Get(ItemId item) const {
   if (leaf == kInvalidPageId) return std::nullopt;
   Page* page = pool_->FetchPage(leaf);
   if (page == nullptr) return std::nullopt;
-  uint32_t count = Count(*page);
+  uint32_t count = std::min(Count(*page), leaf_cap_);
   uint32_t i = LeafLowerBound(*page, count, item);
   std::optional<ItemCopy> out;
   if (i < count && page->ReadU32(LeafOff(i)) == item) {
@@ -117,10 +124,12 @@ void BPlusTree::Scan(ItemId from, size_t limit,
                      std::vector<std::pair<ItemId, ItemCopy>>& out) const {
   PageId cur = FindLeaf(from);
   if (cur == kInvalidPageId) cur = leftmost_leaf_;
-  while (cur != kInvalidPageId && out.size() < limit) {
+  // Leaf-chain hop bound, for the same reason as FindLeaf's.
+  uint32_t hops = disk_->allocated_pages() + 1;
+  while (cur != kInvalidPageId && out.size() < limit && hops-- > 0) {
     Page* page = pool_->FetchPage(cur);
     if (page == nullptr) return;
-    uint32_t count = Count(*page);
+    uint32_t count = std::min(Count(*page), leaf_cap_);
     for (uint32_t i = LeafLowerBound(*page, count, from);
          i < count && out.size() < limit; ++i) {
       LeafEntry e = ReadLeaf(*page, i);
@@ -135,7 +144,8 @@ void BPlusTree::Scan(ItemId from, size_t limit,
 uint32_t BPlusTree::height() const {
   uint32_t h = 0;
   PageId cur = root_;
-  while (cur != kInvalidPageId) {
+  uint32_t hops = disk_->allocated_pages() + 2;
+  while (cur != kInvalidPageId && hops-- > 0) {
     Page* page = pool_->FetchPage(cur);
     if (page == nullptr) break;
     ++h;
@@ -149,36 +159,39 @@ uint32_t BPlusTree::height() const {
 
 // --- updates ---------------------------------------------------------------
 
-bool BPlusTree::Update(ItemId item, Value value, Version version, Lsn lsn) {
+bool BPlusTree::Update(ItemId item, Value value, Version version, Lsn lsn,
+                       PageId* dirtied) {
   PageId leaf = FindLeaf(item);
   if (leaf == kInvalidPageId) return false;
   Page* page = pool_->FetchPage(leaf);
   if (page == nullptr) return false;
-  uint32_t count = Count(*page);
+  uint32_t count = std::min(Count(*page), leaf_cap_);
   uint32_t i = LeafLowerBound(*page, count, item);
   bool found = i < count && page->ReadU32(LeafOff(i)) == item;
   if (found) {
     WriteLeaf(*page, i, LeafEntry{item, value, version});
     if (lsn > page->page_lsn()) page->set_page_lsn(lsn);
+    if (dirtied != nullptr) *dirtied = leaf;
   }
   pool_->UnpinPage(leaf, found);
   return found;
 }
 
-bool BPlusTree::RedoUpdate(ItemId item, Value value, Version version,
-                           Lsn lsn) {
+bool BPlusTree::RedoUpdate(ItemId item, Value value, Version version, Lsn lsn,
+                           PageId* dirtied) {
   PageId leaf = FindLeaf(item);
   if (leaf == kInvalidPageId) return false;
   Page* page = pool_->FetchPage(leaf);
   if (page == nullptr) return false;
   bool applied = false;
   if (page->page_lsn() < lsn) {
-    uint32_t count = Count(*page);
+    uint32_t count = std::min(Count(*page), leaf_cap_);
     uint32_t i = LeafLowerBound(*page, count, item);
     if (i < count && page->ReadU32(LeafOff(i)) == item) {
       WriteLeaf(*page, i, LeafEntry{item, value, version});
       page->set_page_lsn(lsn);
       applied = true;
+      if (dirtied != nullptr) *dirtied = leaf;
     }
   }
   pool_->UnpinPage(leaf, applied);
@@ -223,7 +236,7 @@ void BPlusTree::Put(ItemId item, Value value, Version version) {
 std::optional<BPlusTree::SplitResult> BPlusTree::LeafInsert(
     Page* page, PageId page_id, ItemId item, Value value, Version version,
     bool* inserted_new) {
-  uint32_t count = Count(*page);
+  uint32_t count = std::min(Count(*page), leaf_cap_);
   uint32_t i = LeafLowerBound(*page, count, item);
   if (i < count && page->ReadU32(LeafOff(i)) == item) {
     // Overwrite (configuration-time reload).
@@ -288,7 +301,7 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRec(
 
   page = pool_->FetchPage(page_id);
   assert(page != nullptr);
-  uint32_t count = Count(*page);
+  uint32_t count = std::min(Count(*page), internal_cap_);
   // Position of the new separator among the sorted keys.
   uint32_t lo = 0, hi = count;
   while (lo < hi) {

@@ -26,11 +26,18 @@ namespace rainbow {
 ///
 /// Page layout (all little-endian via memcpy):
 ///   [0..8)   page LSN
-///   [8]      node type (1 = leaf, 2 = internal)
-///   [12..16) entry count
-///   [16..20) leaf: next-leaf page id; internal: leftmost child page id
-///   [20..)   entries — leaf: (item u32, value i64, version u64) = 20 B;
+///   [8..12)  page CRC32 (owned by the disk layer; see page.h)
+///   [12]     node type (1 = leaf, 2 = internal)
+///   [16..20) entry count
+///   [20..24) leaf: next-leaf page id; internal: leftmost child page id
+///   [24..)   entries — leaf: (item u32, value i64, version u64) = 20 B;
 ///            internal: (separator key u32, child page id u32) = 8 B
+///
+/// Read paths are hardened against corrupt page bytes (reachable only
+/// when page checksums are disabled and a storage fault lands): entry
+/// counts are clamped to capacity and descents/leaf-chain walks are
+/// hop-bounded, so garbage degrades to wrong answers the verification
+/// oracle can see — never out-of-bounds access or an unbounded loop.
 class BPlusTree {
  public:
   BPlusTree(BufferPool* pool, DiskManager* disk);
@@ -42,12 +49,17 @@ class BPlusTree {
   bool Has(ItemId item) const { return Get(item).has_value(); }
 
   /// Overwrites an existing item in place and stamps the leaf's page
-  /// LSN. Returns false if the item is not in the tree.
-  bool Update(ItemId item, Value value, Version version, Lsn lsn);
+  /// LSN. Returns false if the item is not in the tree. On success
+  /// `dirtied` (optional) receives the written leaf's page id — the
+  /// dirty-page-table hook for fuzzy checkpoints.
+  bool Update(ItemId item, Value value, Version version, Lsn lsn,
+              PageId* dirtied = nullptr);
 
   /// Redo-path update: applies only when the leaf's page LSN < `lsn`
-  /// (the ARIES redo test). Returns true if the page was written.
-  bool RedoUpdate(ItemId item, Value value, Version version, Lsn lsn);
+  /// (the ARIES redo test). Returns true if the page was written; on
+  /// true `dirtied` (optional) receives the leaf's page id.
+  bool RedoUpdate(ItemId item, Value value, Version version, Lsn lsn,
+                  PageId* dirtied = nullptr);
 
   /// The leaf page currently holding `item` (for logging page ids).
   std::optional<PageId> LeafOf(ItemId item) const;
@@ -65,9 +77,9 @@ class BPlusTree {
 
  private:
   static constexpr uint32_t kOffType = kPageHeaderLsnBytes;
-  static constexpr uint32_t kOffCount = 12;
-  static constexpr uint32_t kOffLink = 16;
-  static constexpr uint32_t kOffEntries = 20;
+  static constexpr uint32_t kOffCount = 16;
+  static constexpr uint32_t kOffLink = 20;
+  static constexpr uint32_t kOffEntries = 24;
   static constexpr uint32_t kLeafEntryBytes = 20;
   static constexpr uint32_t kInternalEntryBytes = 8;
   static constexpr uint8_t kLeaf = 1;

@@ -3,22 +3,200 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/crc32.h"
+
 namespace rainbow {
 
-void DiskManager::ReadPage(PageId page_id, Page& out) const {
-  ++reads_;
-  auto it = pages_.find(page_id);
-  if (it == pages_.end()) {
-    std::memset(out.data(), 0, out.size());
-    return;
+const char* PageReadStatusName(PageReadStatus status) {
+  switch (status) {
+    case PageReadStatus::kOk:
+      return "ok";
+    case PageReadStatus::kNeverWritten:
+      return "never-written";
+    case PageReadStatus::kRecovered:
+      return "recovered";
+    case PageReadStatus::kCorrupt:
+      return "corrupt";
   }
-  assert(it->second.size() == out.size());
-  std::memcpy(out.data(), it->second.data(), out.size());
+  return "?";
+}
+
+const char* StorageFaultKindName(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kTornWrite:
+      return "torn-write";
+    case StorageFaultKind::kShortWrite:
+      return "short-write";
+    case StorageFaultKind::kLostWrite:
+      return "lost-write";
+    case StorageFaultKind::kReadBitFlip:
+      return "read-bit-flip";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> DiskManager::Stamp(const Page& in) const {
+  std::vector<uint8_t> bytes = in.bytes();
+  uint32_t crc = 0;
+  if (checksums_) {
+    // CRC over everything except the CRC field itself, chained.
+    crc = Crc32(bytes.data(), kPageCrcOffset);
+    crc = Crc32(bytes.data() + kPageHeaderLsnBytes,
+                bytes.size() - kPageHeaderLsnBytes, crc);
+  }
+  std::memcpy(bytes.data() + kPageCrcOffset, &crc, sizeof(crc));
+  return bytes;
+}
+
+bool DiskManager::Verify(const std::vector<uint8_t>& bytes) const {
+  if (bytes.size() != page_size_ || bytes.size() < kPageHeaderLsnBytes) {
+    return false;
+  }
+  uint32_t stored;
+  std::memcpy(&stored, bytes.data() + kPageCrcOffset, sizeof(stored));
+  uint32_t crc = Crc32(bytes.data(), kPageCrcOffset);
+  crc = Crc32(bytes.data() + kPageHeaderLsnBytes,
+              bytes.size() - kPageHeaderLsnBytes, crc);
+  return stored == crc;
+}
+
+Lsn DiskManager::LsnOf(const std::vector<uint8_t>& bytes) {
+  Lsn lsn;
+  std::memcpy(&lsn, bytes.data(), sizeof(lsn));
+  return lsn;
+}
+
+PageReadStatus DiskManager::ReadPage(PageId page_id, Page& out) {
+  ++reads_;
+  auto pit = pages_.find(page_id);
+  auto jit = journal_.find(page_id);
+  if (pit == pages_.end() && jit == journal_.end()) {
+    std::memset(out.data(), 0, out.size());
+    return PageReadStatus::kNeverWritten;
+  }
+  if (!checksums_) {
+    // Defense disabled: the primary bytes are taken on faith and the
+    // journal is never consulted — the configuration that lets nemesis
+    // demonstrate what torn writes do to an unprotected page file.
+    if (pit == pages_.end()) {
+      std::memset(out.data(), 0, out.size());
+      return PageReadStatus::kNeverWritten;
+    }
+    assert(pit->second.size() == out.size());
+    std::memcpy(out.data(), pit->second.data(), out.size());
+    return PageReadStatus::kOk;
+  }
+  bool p_ok = pit != pages_.end() && Verify(pit->second);
+  bool j_ok = jit != journal_.end() && Verify(jit->second);
+  if (p_ok && (!j_ok || LsnOf(jit->second) <= LsnOf(pit->second))) {
+    std::memcpy(out.data(), pit->second.data(), out.size());
+    return PageReadStatus::kOk;
+  }
+  if (j_ok) {
+    // The journal supplies the bytes: the primary is corrupt or missing
+    // (quarantine-and-rebuild) or stale (a lost write — the journal saw
+    // a newer image). Heal the primary so each fault costs one read.
+    if (p_ok) {
+      ++lost_write_restores_;
+    } else {
+      ++quarantined_;
+    }
+    pages_[page_id] = jit->second;
+    std::memcpy(out.data(), jit->second.data(), out.size());
+    return PageReadStatus::kRecovered;
+  }
+  ++corrupt_reads_;
+  std::memset(out.data(), 0, out.size());
+  return PageReadStatus::kCorrupt;
 }
 
 void DiskManager::WritePage(PageId page_id, const Page& in) {
   ++writes_;
-  pages_[page_id] = in.bytes();
+  std::vector<uint8_t> stamped = Stamp(in);
+  journal_[page_id] = stamped;
+  pages_[page_id] = std::move(stamped);
+}
+
+FaultyDiskManager::FaultyDiskManager(uint32_t page_size, bool checksums,
+                                     uint64_t seed)
+    : DiskManager(page_size, checksums), rng_(seed) {}
+
+void FaultyDiskManager::Arm(StorageFaultKind kind, double probability) {
+  assert(probability >= 0.0 && probability <= 1.0);
+  prob_[static_cast<size_t>(kind)] = probability;
+}
+
+void FaultyDiskManager::ArmWriteLimit(uint64_t remaining) {
+  write_limit_armed_ = true;
+  writes_remaining_ = remaining;
+}
+
+void FaultyDiskManager::DisarmWriteLimit() {
+  write_limit_armed_ = false;
+  writes_remaining_ = 0;
+}
+
+void FaultyDiskManager::WritePage(PageId page_id, const Page& in) {
+  if (write_limit_armed_) {
+    if (writes_remaining_ == 0) {
+      // The machine died: nothing (journal included) persists anymore.
+      ++dropped_writes_;
+      return;
+    }
+    --writes_remaining_;
+  }
+  ++writes_;
+  std::vector<uint8_t> stamped = Stamp(in);
+  // The journal half of the doublewrite always lands intact; per-write
+  // faults below corrupt only the primary. (A fault striking both
+  // copies of the same write is what the write limit above models.)
+  journal_[page_id] = stamped;
+  const size_t half = stamped.size() / 2;
+  auto armed = [&](StorageFaultKind k) {
+    double p = prob_[static_cast<size_t>(k)];
+    return p > 0.0 && rng_.NextBool(p);
+  };
+  if (armed(StorageFaultKind::kLostWrite)) {
+    ++lost_writes_;
+    return;  // primary keeps its previous content (or stays absent)
+  }
+  if (armed(StorageFaultKind::kTornWrite)) {
+    ++torn_writes_;
+    std::vector<uint8_t>& primary = pages_[page_id];
+    if (primary.size() != stamped.size()) {
+      primary.assign(stamped.size(), 0);  // tear over a hole: rest zeros
+    }
+    std::memcpy(primary.data(), stamped.data(), half);
+    return;
+  }
+  if (armed(StorageFaultKind::kShortWrite)) {
+    ++short_writes_;
+    std::vector<uint8_t> img(stamped.size(), 0);
+    std::memcpy(img.data(), stamped.data(), half);
+    pages_[page_id] = std::move(img);
+    return;
+  }
+  pages_[page_id] = std::move(stamped);
+}
+
+PageReadStatus FaultyDiskManager::ReadPage(PageId page_id, Page& out) {
+  double p = prob_[static_cast<size_t>(StorageFaultKind::kReadBitFlip)];
+  if (p > 0.0 && rng_.NextBool(p)) {
+    auto it = pages_.find(page_id);
+    if (it != pages_.end() && !it->second.empty()) {
+      ++read_flips_;
+      uint64_t bit = rng_.NextUint(it->second.size() * 8);
+      it->second[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+  }
+  return DiskManager::ReadPage(page_id, out);
+}
+
+bool FaultyDiskManager::FlipPrimaryByte(PageId page_id, uint32_t offset) {
+  auto it = pages_.find(page_id);
+  if (it == pages_.end() || offset >= it->second.size()) return false;
+  it->second[offset] ^= 0xff;
+  return true;
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t num_frames, size_t lru_k)
@@ -41,6 +219,7 @@ size_t BufferPool::AcquireFrame() {
   if (fr.dirty) {
     ++stats_.dirty_evictions;
     disk_->WritePage(fr.page_id, *fr.page);
+    if (flush_listener_) flush_listener_(fr.page_id);
   }
   page_table_.erase(fr.page_id);
   fr.page_id = kInvalidPageId;
@@ -113,6 +292,7 @@ bool BufferPool::FlushPage(PageId page_id) {
   disk_->WritePage(page_id, *fr.page);
   fr.dirty = false;
   ++stats_.flushes;
+  if (flush_listener_) flush_listener_(page_id);
   return true;
 }
 
@@ -123,7 +303,16 @@ void BufferPool::FlushAll() {
     disk_->WritePage(page_id, *fr.page);
     fr.dirty = false;
     ++stats_.flushes;
+    if (flush_listener_) flush_listener_(page_id);
   }
+}
+
+std::vector<PageId> BufferPool::DirtyPages() const {
+  std::vector<PageId> dirty;
+  for (const auto& [page_id, f] : page_table_) {
+    if (frames_[f].dirty) dirty.push_back(page_id);
+  }
+  return dirty;
 }
 
 void BufferPool::Reset() {

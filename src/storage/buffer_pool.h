@@ -1,44 +1,152 @@
 #ifndef RAINBOW_STORAGE_BUFFER_POOL_H_
 #define RAINBOW_STORAGE_BUFFER_POOL_H_
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "storage/lru_k_replacer.h"
 #include "storage/page.h"
 
 namespace rainbow {
+
+/// What a DiskManager read actually delivered. Callers that only want
+/// bytes can ignore it; recovery and the checksum machinery care.
+enum class PageReadStatus {
+  kOk,            ///< primary copy read (and verified, if checksums on)
+  kNeverWritten,  ///< no durable copy exists; `out` is zero-filled
+  kRecovered,     ///< primary missing/corrupt/stale — healed from journal
+  kCorrupt,       ///< no intact copy anywhere; `out` is zero-filled
+};
+
+const char* PageReadStatusName(PageReadStatus status);
+
+/// Storage fault kinds a FaultyDiskManager can inject (probabilistic,
+/// armed per kind by the nemesis through the fault injector).
+enum class StorageFaultKind : uint8_t {
+  kTornWrite = 0,    ///< first half of the write persists, rest is stale
+  kShortWrite = 1,   ///< first half persists, rest reads back as zeros
+  kLostWrite = 2,    ///< primary never updated ("fsync lie")
+  kReadBitFlip = 3,  ///< one stored bit flips (persistently) on a read
+};
+inline constexpr size_t kStorageFaultKinds = 4;
+
+const char* StorageFaultKindName(StorageFaultKind kind);
 
 /// The durable page file of one site, simulated in memory. Like the Wal
 /// object, a DiskManager intentionally survives Site::Crash(): only the
 /// buffer pool (volatile frames) is wiped, so a restart sees exactly
 /// the pages that were flushed (or evicted dirty) before the crash —
 /// the honest no-force starting point for the ARIES redo pass.
+///
+/// With `checksums` on (the default), every write-out stamps a CRC32
+/// into the page header ([8..12), see page.h) and goes to TWO places:
+/// a doublewrite journal first, then the primary page file. Reads
+/// verify the primary's CRC; a torn/corrupt/lost primary is healed
+/// from the journal copy (quarantine-and-rebuild), so a single
+/// mid-write fault never surfaces garbage. With checksums off, reads
+/// return the primary bytes unverified — the configuration nemesis
+/// uses to demonstrate why the defense exists.
 class DiskManager {
  public:
-  explicit DiskManager(uint32_t page_size) : page_size_(page_size) {}
+  explicit DiskManager(uint32_t page_size, bool checksums = true)
+      : page_size_(page_size), checksums_(checksums) {}
+  virtual ~DiskManager() = default;
 
   uint32_t page_size() const { return page_size_; }
+  bool checksums() const { return checksums_; }
 
   PageId AllocatePage() { return next_page_id_++; }
   uint32_t allocated_pages() const { return next_page_id_; }
 
-  /// Reads `page_id` into `out` (zero-filled if never written).
-  void ReadPage(PageId page_id, Page& out) const;
-  void WritePage(PageId page_id, const Page& in);
+  /// Reads `page_id` into `out`; the status says which copy (if any)
+  /// supplied the bytes. Never-written pages are zero-filled and
+  /// reported as such — indistinguishability from an all-zero page was
+  /// a real bug (quarantine must not "heal" pages that never existed).
+  virtual PageReadStatus ReadPage(PageId page_id, Page& out);
+
+  virtual void WritePage(PageId page_id, const Page& in);
+
   bool HasPage(PageId page_id) const { return pages_.contains(page_id); }
 
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
+  /// Primary copies found corrupt and rebuilt from the journal.
+  uint64_t quarantined() const { return quarantined_; }
+  /// Stale primaries (journal LSN newer) restored — lost-write catches.
+  uint64_t lost_write_restores() const { return lost_write_restores_; }
+  /// Reads with no intact copy anywhere (zero-filled).
+  uint64_t corrupt_reads() const { return corrupt_reads_; }
+
+ protected:
+  /// Copy of `in`'s bytes with the header CRC stamped (checksums on)
+  /// or cleared (checksums off, so stored images stay comparable).
+  std::vector<uint8_t> Stamp(const Page& in) const;
+
+  /// True iff the stored image's CRC matches its contents.
+  bool Verify(const std::vector<uint8_t>& bytes) const;
+
+  static Lsn LsnOf(const std::vector<uint8_t>& bytes);
+
+  uint32_t page_size_;
+  bool checksums_;
+  PageId next_page_id_ = 0;
+  std::map<PageId, std::vector<uint8_t>> pages_;    ///< primary file
+  std::map<PageId, std::vector<uint8_t>> journal_;  ///< doublewrite area
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t quarantined_ = 0;
+  uint64_t lost_write_restores_ = 0;
+  uint64_t corrupt_reads_ = 0;
+};
+
+/// DiskManager that injects storage faults on the write/read path,
+/// driven by its own seeded Rng stream so runs replay exactly. The
+/// journal half of the doublewrite is kept intact by every per-write
+/// fault (that is what makes recovery possible); only the write limit
+/// — modelling the machine dying mid-sequence — silences both copies.
+class FaultyDiskManager : public DiskManager {
+ public:
+  FaultyDiskManager(uint32_t page_size, bool checksums = true,
+                    uint64_t seed = 1);
+
+  /// Sets the per-write (or per-read, for kReadBitFlip) probability of
+  /// `kind`; 0 disarms it. Probabilities are independent per kind.
+  void Arm(StorageFaultKind kind, double probability);
+
+  /// After `remaining` more WritePage calls, drop every subsequent
+  /// write entirely (journal included) until DisarmWriteLimit() — the
+  /// crash-sweep hook for double-crash-during-redo tests.
+  void ArmWriteLimit(uint64_t remaining);
+  void DisarmWriteLimit();
+
+  PageReadStatus ReadPage(PageId page_id, Page& out) override;
+  void WritePage(PageId page_id, const Page& in) override;
+
+  /// Deterministic test hook: XORs 0xff into one byte of the stored
+  /// primary copy. Returns false if the page has no primary copy.
+  bool FlipPrimaryByte(PageId page_id, uint32_t offset);
+
+  uint64_t torn_writes() const { return torn_writes_; }
+  uint64_t short_writes() const { return short_writes_; }
+  uint64_t lost_writes() const { return lost_writes_; }
+  uint64_t read_flips() const { return read_flips_; }
+  uint64_t dropped_writes() const { return dropped_writes_; }
 
  private:
-  uint32_t page_size_;
-  PageId next_page_id_ = 0;
-  std::map<PageId, std::vector<uint8_t>> pages_;
-  mutable uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
+  Rng rng_;
+  std::array<double, kStorageFaultKinds> prob_{};
+  bool write_limit_armed_ = false;
+  uint64_t writes_remaining_ = 0;
+  uint64_t torn_writes_ = 0;
+  uint64_t short_writes_ = 0;
+  uint64_t lost_writes_ = 0;
+  uint64_t read_flips_ = 0;
+  uint64_t dropped_writes_ = 0;
 };
 
 /// Fixed-size page buffer pool with pin/unpin/dirty accounting and an
@@ -70,6 +178,15 @@ class BufferPool {
 
   /// Crash: drop every frame without flushing. Pin counts reset.
   void Reset();
+
+  /// Invoked with the page id after every write-back (explicit flush or
+  /// dirty eviction) — the dirty-page-table maintenance hook.
+  void SetFlushListener(std::function<void(PageId)> listener) {
+    flush_listener_ = std::move(listener);
+  }
+
+  /// Page ids of resident dirty frames, ascending (checkpoint support).
+  std::vector<PageId> DirtyPages() const;
 
   size_t num_frames() const { return frames_.size(); }
   size_t resident_pages() const { return page_table_.size(); }
@@ -105,6 +222,7 @@ class BufferPool {
   std::map<PageId, size_t> page_table_;
   LruKReplacer replacer_;
   Stats stats_;
+  std::function<void(PageId)> flush_listener_;
 };
 
 }  // namespace rainbow

@@ -13,11 +13,16 @@ namespace rainbow {
 using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xffffffffu;
 
-/// One fixed-size page frame. The first kPageHeaderLsnBytes hold the
-/// page LSN (the LSN of the last logged update applied to this page —
-/// the redo pass of restart replays exactly the records with
-/// lsn > page_lsn). All multi-byte fields are accessed through memcpy
-/// so the layout is well-defined regardless of alignment.
+/// One fixed-size page frame. Header layout:
+///   [0..8)   page LSN — the LSN of the last logged update applied to
+///            this page; the redo pass of restart replays exactly the
+///            records with lsn > page_lsn.
+///   [8..12)  page CRC32 — stamped by the disk layer on every write-out
+///            over all other bytes, verified on read-in. In-pool frames
+///            carry whatever CRC the last disk round-trip left; it is
+///            authoritative only on the durable copy.
+/// All multi-byte fields are accessed through memcpy so the layout is
+/// well-defined regardless of alignment.
 class Page {
  public:
   explicit Page(uint32_t page_size) : data_(page_size, 0) {}
@@ -66,8 +71,15 @@ class Page {
   std::vector<uint8_t> data_;
 };
 
-/// Byte offset where page-type-specific content begins (after the LSN).
-inline constexpr uint32_t kPageHeaderLsnBytes = 8;
+/// Byte offset of the page CRC32 field (after the LSN).
+inline constexpr uint32_t kPageCrcOffset = 8;
+inline constexpr uint32_t kPageCrcBytes = 4;
+
+/// Byte offset where page-type-specific content begins (after the LSN
+/// and the CRC field). The name is historic — it is the full header
+/// size, not just the LSN's.
+inline constexpr uint32_t kPageHeaderLsnBytes =
+    kPageCrcOffset + kPageCrcBytes;
 
 }  // namespace rainbow
 

@@ -13,12 +13,21 @@ void MapStore::Range(ItemId from, size_t limit,
   }
 }
 
-PageStore::PageStore(Wal* wal, uint32_t page_size, size_t pool_pages,
-                     size_t lru_k)
+PageStore::PageStore(Wal* wal, PageStoreOptions options)
     : wal_(wal),
-      disk_(page_size),
-      pool_(&disk_, pool_pages, lru_k),
-      tree_(&pool_, &disk_) {}
+      opts_(options),
+      disk_(options.page_size, options.page_checksums, options.fault_seed),
+      pool_(&disk_, options.pool_pages, options.lru_k),
+      tree_(&pool_, &disk_) {
+  // Once a page reaches disk it no longer needs redo; drop it from the
+  // dirty-page table on every write-back (flush or dirty eviction).
+  pool_.SetFlushListener([this](PageId page) { dpt_.erase(page); });
+}
+
+void PageStore::NoteWrite(PageId page, Lsn lsn) {
+  if (page == kInvalidPageId) return;
+  dpt_.try_emplace(page, lsn);  // first dirtier's LSN is the recLSN
+}
 
 void PageStore::Load(ItemId item, Value initial) {
   tree_.Put(item, initial, 0);
@@ -95,10 +104,14 @@ bool PageStore::Apply(ItemId item, Value value, Version version, TxnId txn) {
   rec.store.tentative = false;
   Lsn lsn = wal_->Append(std::move(rec));
   if (txn.valid()) att_[txn] = lsn;
-  bool ok = tree_.Update(item, value, version, lsn);
-  assert(ok);
-  (void)ok;
-  return true;
+  PageId dirtied = kInvalidPageId;
+  bool ok = tree_.Update(item, value, version, lsn, &dirtied);
+  // With checksums off a storage fault can corrupt the tree badly
+  // enough that the item is unreachable; that mode exists to let the
+  // verification oracle see the damage, not to die on it.
+  assert(ok || !opts_.page_checksums);
+  if (ok) NoteWrite(dirtied, lsn);
+  return ok;
 }
 
 bool PageStore::AdoptIfNewer(ItemId item, Value value, Version version) {
@@ -114,6 +127,7 @@ void PageStore::CommitStorageTxn(TxnId txn) {
   rec.prev_lsn = it->second;
   wal_->Append(std::move(rec));
   att_.erase(it);
+  MaybeCheckpoint();
 }
 
 std::vector<Lsn> PageStore::PendingUpdates(Lsn last) const {
@@ -139,7 +153,11 @@ bool PageStore::ApplyClrGuarded(const WalRecord& rec, Lsn lsn) {
   // Only compensate the exact image this CLR was written against; an
   // interleaved committed write (different version) must survive.
   if (current->version != rec.store.before_version) return false;
-  return tree_.Update(rec.store.item, rec.store.value, rec.store.version, lsn);
+  PageId dirtied = kInvalidPageId;
+  bool ok = tree_.Update(rec.store.item, rec.store.value, rec.store.version,
+                         lsn, &dirtied);
+  if (ok) NoteWrite(dirtied, lsn);
+  return ok;
 }
 
 void PageStore::AbortStorageTxn(TxnId txn) {
@@ -176,23 +194,112 @@ void PageStore::AbortStorageTxn(TxnId txn) {
   end.prev_lsn = tail;
   wal_->Append(std::move(end));
   att_.erase(it);
+  MaybeCheckpoint();
+}
+
+Lsn PageStore::BeginCheckpoint() {
+  WalRecord begin;
+  begin.kind = WalRecordKind::kCheckpointBegin;
+  return wal_->Append(std::move(begin));
+}
+
+void PageStore::EndCheckpoint(Lsn begin_lsn) {
+  WalRecord end;
+  end.kind = WalRecordKind::kCheckpointEnd;
+  end.prev_lsn = begin_lsn;
+  // att_ and dpt_ are std::maps, so both tables serialize key-sorted.
+  for (const auto& [txn, lsn] : att_) end.checkpoint.att.emplace_back(txn, lsn);
+  for (const auto& [page, lsn] : dpt_) {
+    end.checkpoint.dpt.emplace_back(page, lsn);
+  }
+  wal_->Append(std::move(end));
+  // Only once the end record exists does the checkpoint count: restart
+  // ignores a begin with no matching end (crash mid-checkpoint) by
+  // falling back to the previous master.
+  wal_->SetMaster(begin_lsn);
+}
+
+Lsn PageStore::Checkpoint() {
+  // Flush-behind: a fuzzy checkpoint bounds the ANALYSIS scan, but redo
+  // starts at the minimum recLSN in the dirty-page table — and a hot
+  // page that never leaves the pool keeps an arbitrarily old recLSN.
+  // Writing out just the pages dirtied before the previous interval
+  // keeps min-recLSN (and with it restart time) within a bounded window
+  // of the checkpoint without the latency spike of a sharp FlushAll.
+  if (opts_.checkpoint_interval > 0) {
+    const Lsn next = wal_->NextLsn();
+    const Lsn floor_lsn = next > opts_.checkpoint_interval
+                              ? next - opts_.checkpoint_interval
+                              : kNoLsn;
+    std::vector<PageId> aged;
+    for (const auto& [page, rec_lsn] : dpt_) {
+      if (rec_lsn <= floor_lsn) aged.push_back(page);
+    }
+    for (PageId page : aged) pool_.FlushPage(page);  // listener prunes dpt_
+  }
+  Lsn begin = BeginCheckpoint();
+  EndCheckpoint(begin);
+  return begin;
+}
+
+void PageStore::MaybeCheckpoint() {
+  if (opts_.checkpoint_interval == 0) return;
+  if (wal_->NextLsn() >= wal_->master() + opts_.checkpoint_interval) {
+    Checkpoint();
+  }
 }
 
 void PageStore::OnCrash() {
   pool_.Reset();
   att_.clear();
+  dpt_.clear();
 }
 
 RestartSummary PageStore::Restart() {
   RestartSummary summary;
+  uint64_t quarantined_before = disk_.quarantined();
   const std::vector<WalRecord>& log = wal_->records();
 
-  // --- Analysis: rebuild the active storage-transaction table. ---
+  // --- Checkpoint lookup: the master pointer names the begin record of
+  // the last COMPLETE checkpoint. Seed the ATT and dirty-page table
+  // from its end record and scan only the log suffix after the begin —
+  // this is what keeps restart time bounded as the log grows. A begin
+  // with no matching end (crash mid-checkpoint) is never the master,
+  // so a full-log scan is the fallback only when no checkpoint ever
+  // completed.
   std::map<TxnId, Lsn> att;
-  for (size_t i = 0; i < log.size(); ++i) {
+  dpt_.clear();
+  size_t scan_from = 0;  // log index analysis starts at
+  Lsn master = wal_->master();
+  if (master != kNoLsn && master <= log.size() &&
+      log[master - 1].kind == WalRecordKind::kCheckpointBegin) {
+    for (size_t i = master; i < log.size(); ++i) {
+      const WalRecord& rec = log[i];
+      if (rec.kind == WalRecordKind::kCheckpointEnd &&
+          rec.prev_lsn == master) {
+        for (const auto& [txn, lsn] : rec.checkpoint.att) att[txn] = lsn;
+        for (const auto& [page, lsn] : rec.checkpoint.dpt) dpt_[page] = lsn;
+        scan_from = master;  // records with LSN > master
+        break;
+      }
+    }
+  }
+  summary.log_scanned = log.size() - scan_from;
+
+  // --- Analysis: rebuild the active storage-transaction table (and
+  // grow the dirty-page table conservatively: any page a post-
+  // checkpoint record touched may have been dirty at the crash; the
+  // page-LSN gate makes an unnecessary redo visit a no-op). ---
+  for (size_t i = scan_from; i < log.size(); ++i) {
     const WalRecord& rec = log[i];
-    if (!rec.txn.valid()) continue;
     Lsn lsn = static_cast<Lsn>(i) + 1;
+    if (rec.kind == WalRecordKind::kStoreUpdate ||
+        rec.kind == WalRecordKind::kStoreClr) {
+      if (rec.store.page_id != kInvalidPageId) {
+        dpt_.try_emplace(rec.store.page_id, lsn);
+      }
+    }
+    if (!rec.txn.valid()) continue;
     switch (rec.kind) {
       case WalRecordKind::kStoreBegin:
       case WalRecordKind::kStoreUpdate:
@@ -211,24 +318,35 @@ RestartSummary PageStore::Restart() {
   summary.analyzed_txns = att.size();
 
   // Prepared-but-undecided txns stay pending: the commit protocol's
-  // recovery (cooperative termination) owns their fate.
+  // recovery (cooperative termination) owns their fate. The WAL's
+  // incremental prepared/decided index answers this without rescanning
+  // the protocol records.
   std::map<TxnId, Lsn> in_doubt;
   std::map<TxnId, Lsn> losers;
-  auto protocol = wal_->Scan();
   for (const auto& [txn, last] : att) {
-    auto pit = protocol.find(txn);
-    bool doubt = pit != protocol.end() && pit->second.prepared &&
-                 !pit->second.decided;
-    (doubt ? in_doubt : losers)[txn] = last;
+    (wal_->IsPreparedUndecided(txn) ? in_doubt : losers)[txn] = last;
   }
   summary.in_doubt = in_doubt.size();
   summary.losers = losers.size();
 
-  // --- Redo: repeat history in LSN order. Tentative updates replay
-  // only for losers (so undo has real history to compensate); winners'
+  // --- Redo: repeat history in LSN order, starting at the smallest
+  // recLSN in the dirty-page table (a dirty page's earliest unflushed
+  // update may precede the checkpoint). Tentative updates replay only
+  // for losers (so undo has real history to compensate); winners'
   // effects are covered by their final non-tentative records, and
-  // in-doubt tentative data must stay off the pages.
-  for (size_t i = 0; i < log.size(); ++i) {
+  // in-doubt tentative data must stay off the pages. A loser's
+  // tentative update before the redo window was never applied to any
+  // page, so skipping it is safe: its CLR's exact-version guard
+  // no-ops.
+  size_t redo_from = scan_from;
+  for (const auto& [page, rec_lsn] : dpt_) {
+    (void)page;
+    if (rec_lsn != kNoLsn && static_cast<size_t>(rec_lsn - 1) < redo_from) {
+      redo_from = static_cast<size_t>(rec_lsn - 1);
+    }
+  }
+  summary.redo_start = static_cast<Lsn>(redo_from) + 1;
+  for (size_t i = redo_from; i < log.size(); ++i) {
     const WalRecord& rec = log[i];
     Lsn lsn = static_cast<Lsn>(i) + 1;
     if (rec.kind == WalRecordKind::kStoreUpdate) {
@@ -236,8 +354,10 @@ RestartSummary PageStore::Restart() {
         ++summary.redo_skipped;
         continue;
       }
+      PageId dirtied = kInvalidPageId;
       if (tree_.RedoUpdate(rec.store.item, rec.store.value, rec.store.version,
-                           lsn)) {
+                           lsn, &dirtied)) {
+        NoteWrite(dirtied, lsn);
         ++summary.redo_applied;
       } else {
         ++summary.redo_skipped;
@@ -289,14 +409,30 @@ RestartSummary PageStore::Restart() {
   // them through the normal hooks.
   att_ = in_doubt;
 
+  // Reconcile the dirty-page table with the pool: analysis seeded it
+  // conservatively (it lists pages whose updates did reach disk), and
+  // a stale entry would pin the next checkpoint's redo window forever.
+  {
+    std::map<uint32_t, Lsn> live;
+    for (PageId page : pool_.DirtyPages()) {
+      auto it = dpt_.find(page);
+      live[page] = it != dpt_.end() ? it->second : static_cast<Lsn>(1);
+    }
+    dpt_ = std::move(live);
+  }
+
+  summary.pages_quarantined = disk_.quarantined() - quarantined_before;
+
   // Invariant sweep: after undo no page may hold a tentative version.
+  // (With checksums disabled a storage fault can forge arbitrary page
+  // bytes, so the invariant only binds when the defense is on.)
   std::vector<std::pair<ItemId, ItemCopy>> all;
   tree_.Scan(0, tree_.size(), all);
   for (const auto& [item, copy] : all) {
     (void)item;
     if ((copy.version & kTentativeBit) != 0) ++summary.tentative_leaks;
   }
-  assert(summary.tentative_leaks == 0);
+  assert(summary.tentative_leaks == 0 || !opts_.page_checksums);
   return summary;
 }
 

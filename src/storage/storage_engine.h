@@ -31,6 +31,27 @@ struct RestartSummary {
   size_t redo_skipped = 0;   ///< redo records gated out (page LSN / guard)
   size_t undo_clrs = 0;      ///< compensation records appended by undo
   size_t tentative_leaks = 0;  ///< post-restart tentative versions (must be 0)
+  size_t log_scanned = 0;    ///< records the analysis pass visited (bounded
+                             ///< by the last checkpoint, not the log length)
+  Lsn redo_start = kNoLsn;   ///< first LSN the redo pass considered
+  size_t pages_quarantined = 0;  ///< corrupt primaries healed from the
+                                 ///< journal while restart read pages
+};
+
+/// Construction knobs for a PageStore (mirrors the config's storage
+/// block; Site fills one in from its ProtocolConfig).
+struct PageStoreOptions {
+  uint32_t page_size = 4096;
+  size_t pool_pages = 64;
+  size_t lru_k = 2;
+  /// Take a fuzzy checkpoint whenever this many LSNs accumulated since
+  /// the last one (checked at storage-txn commit/abort boundaries);
+  /// 0 disables automatic checkpoints.
+  uint64_t checkpoint_interval = 0;
+  /// Stamp/verify per-page CRC32 and keep the doublewrite journal.
+  bool page_checksums = true;
+  /// Seed for the disk fault injector's private Rng stream.
+  uint64_t fault_seed = 1;
 };
 
 /// The committed database at one Rainbow site, behind an interface so a
@@ -99,6 +120,18 @@ class StorageEngine {
 
   /// Writes every dirty page back (graceful-start checkpointing).
   virtual void FlushAll() = 0;
+
+  /// Takes a fuzzy checkpoint and returns its begin LSN; engines
+  /// without a log have nothing to checkpoint and return kNoLsn.
+  virtual Lsn Checkpoint() { return kNoLsn; }
+
+  /// Arms a storage fault (probability per write/read) on the engine's
+  /// disk; no-op for engines without a disk. Nemesis drives this
+  /// through the fault injector.
+  virtual void SetStorageFault(StorageFaultKind kind, double probability) {
+    (void)kind;
+    (void)probability;
+  }
 };
 
 /// Legacy engine: LocalStore behind the interface, ARIES hooks no-ops.
@@ -142,7 +175,11 @@ class MapStore : public StorageEngine {
 /// Restart() replays the log.
 class PageStore : public StorageEngine {
  public:
-  PageStore(Wal* wal, uint32_t page_size, size_t pool_pages, size_t lru_k);
+  explicit PageStore(Wal* wal, PageStoreOptions options = {});
+
+  /// Legacy signature (tests, pre-checkpoint call sites).
+  PageStore(Wal* wal, uint32_t page_size, size_t pool_pages, size_t lru_k)
+      : PageStore(wal, PageStoreOptions{page_size, pool_pages, lru_k}) {}
 
   const char* name() const override { return "page"; }
 
@@ -164,16 +201,40 @@ class PageStore : public StorageEngine {
   RestartSummary Restart() override;
   void FlushAll() override { pool_.FlushAll(); }
 
+  /// Fuzzy checkpoint: kCheckpointBegin, then kCheckpointEnd carrying
+  /// the ATT and dirty-page table, then the WAL's master pointer moves
+  /// to the begin record. Returns the begin LSN. The two halves are
+  /// also exposed separately so crash tests can die between them.
+  Lsn Checkpoint() override;
+  Lsn BeginCheckpoint();
+  void EndCheckpoint(Lsn begin_lsn);
+
+  void SetStorageFault(StorageFaultKind kind, double probability) override {
+    disk_.Arm(kind, probability);
+  }
+
   const BufferPool& pool() const { return pool_; }
-  const DiskManager& disk() const { return disk_; }
+  const FaultyDiskManager& disk() const { return disk_; }
+  /// Mutable disk access for fault hooks (write limits, byte flips).
+  FaultyDiskManager& mutable_disk() { return disk_; }
   const BPlusTree& tree() const { return tree_; }
+  const PageStoreOptions& options() const { return opts_; }
   /// Storage txns with logged-but-undecided updates (tests).
   size_t pending_txns() const { return att_.size(); }
+  /// Current dirty-page table (page -> recLSN), for tests.
+  const std::map<uint32_t, Lsn>& dirty_page_table() const { return dpt_; }
 
  private:
   /// Ensures `txn` has a storage-txn entry (logging kStoreBegin on the
   /// first touch) and returns its chain tail.
   Lsn ChainFor(TxnId txn);
+
+  /// Records `page` in the dirty-page table with recLSN `lsn` (first
+  /// dirtier wins) — called after every successful tree write.
+  void NoteWrite(PageId page, Lsn lsn);
+
+  /// Takes a checkpoint if the cadence knob says one is due.
+  void MaybeCheckpoint();
 
   /// Applies a CLR's restore image iff the page still holds exactly the
   /// image the CLR compensates. Returns true if the page was written.
@@ -184,12 +245,17 @@ class PageStore : public StorageEngine {
   std::vector<Lsn> PendingUpdates(Lsn last) const;
 
   Wal* wal_;
-  DiskManager disk_;
+  PageStoreOptions opts_;
+  FaultyDiskManager disk_;
   BufferPool pool_;
   BPlusTree tree_;
 
   /// Active storage-transaction table: chain tail per open txn.
   std::map<TxnId, Lsn> att_;
+  /// Dirty-page table: page -> recLSN (LSN of the update that first
+  /// dirtied the resident frame). Maintained by NoteWrite and the
+  /// pool's flush listener; snapshotted into kCheckpointEnd records.
+  std::map<uint32_t, Lsn> dpt_;
 };
 
 }  // namespace rainbow

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/binary_io.h"
+#include "common/crc32.h"
 
 namespace rainbow {
 
@@ -33,13 +35,38 @@ const char* WalRecordKindName(WalRecordKind k) {
       return "store_clr";
     case WalRecordKind::kStoreEnd:
       return "store_end";
+    case WalRecordKind::kCheckpointBegin:
+      return "checkpoint_begin";
+    case WalRecordKind::kCheckpointEnd:
+      return "checkpoint_end";
   }
   return "?";
 }
 
 Lsn Wal::Append(WalRecord record) {
+  IndexRecord(record);
   records_.push_back(std::move(record));
   return static_cast<Lsn>(records_.size());
+}
+
+void Wal::IndexRecord(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kPrepared:
+      proto_index_[record.txn].prepared = true;
+      break;
+    case WalRecordKind::kCommitDecision:
+    case WalRecordKind::kAbortDecision:
+      proto_index_[record.txn].decided = true;
+      break;
+    default:
+      break;
+  }
+}
+
+bool Wal::IsPreparedUndecided(const TxnId& txn) const {
+  auto it = proto_index_.find(txn);
+  return it != proto_index_.end() && it->second.prepared &&
+         !it->second.decided;
 }
 
 std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
@@ -81,6 +108,8 @@ std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
       case WalRecordKind::kStoreAbort:
       case WalRecordKind::kStoreClr:
       case WalRecordKind::kStoreEnd:
+      case WalRecordKind::kCheckpointBegin:
+      case WalRecordKind::kCheckpointEnd:
         // Storage-engine records are not protocol state; the page
         // engine's restart analysis scans them itself.
         break;
@@ -121,95 +150,241 @@ std::vector<Wal::UnendedDecision> Wal::DecidedUnended() const {
 
 namespace {
 // "RWAL". Version 2 added the storage-engine record kinds with their
-// per-record StoreOp payload and LSN chain fields.
+// per-record StoreOp payload and LSN chain fields. Version 3 frames
+// every record as [len u32][crc32 u32][payload] (so a torn tail is
+// detectable and truncatable), adds the checkpoint master pointer to
+// the header, and adds the checkpoint record kinds with their ATT /
+// dirty-page-table payload.
 constexpr uint32_t kWalMagic = 0x4c415752;
-constexpr uint32_t kWalVersion = 2;
+constexpr uint32_t kWalVersion = 3;
+// magic + version + master + count.
+constexpr size_t kWalHeaderBytes = 4 + 4 + 8 + 4;
+
+void EncodeRecordPayload(Encoder& e, const WalRecord& r) {
+  e.PutU8(static_cast<uint8_t>(r.kind));
+  e.PutTxnId(r.txn);
+  e.PutU32(r.coordinator);
+  e.PutVector(r.writes, [&](const WalRecord::Write& w) {
+    e.PutU32(w.item);
+    e.PutI64(w.value);
+    e.PutU64(w.version);
+  });
+  e.PutVector(r.participants, [&](SiteId s) { e.PutU32(s); });
+  e.PutBool(r.three_phase);
+  e.PutU32(r.store.item);
+  e.PutU32(r.store.page_id);
+  e.PutI64(r.store.before_value);
+  e.PutU64(r.store.before_version);
+  e.PutI64(r.store.value);
+  e.PutU64(r.store.version);
+  e.PutBool(r.store.tentative);
+  e.PutU64(r.prev_lsn);
+  e.PutU64(r.undo_next_lsn);
+  if (r.kind == WalRecordKind::kCheckpointEnd) {
+    e.PutVector(r.checkpoint.att, [&](const std::pair<TxnId, Lsn>& a) {
+      e.PutTxnId(a.first);
+      e.PutU64(a.second);
+    });
+    e.PutVector(r.checkpoint.dpt, [&](const std::pair<uint32_t, Lsn>& p) {
+      e.PutU32(p.first);
+      e.PutU64(p.second);
+    });
+  }
+}
+
+Result<WalRecord> DecodeRecordPayload(Decoder& d, uint32_t version) {
+  WalRecord r;
+  RAINBOW_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
+  uint8_t max_kind = static_cast<uint8_t>(WalRecordKind::kCheckpointEnd);
+  if (version == 1) max_kind = static_cast<uint8_t>(WalRecordKind::kEnd);
+  if (version == 2) max_kind = static_cast<uint8_t>(WalRecordKind::kStoreEnd);
+  if (kind > max_kind) {
+    return Status::InvalidArgument("bad record kind");
+  }
+  r.kind = static_cast<WalRecordKind>(kind);
+  RAINBOW_ASSIGN_OR_RETURN(r.txn, d.GetTxnId());
+  RAINBOW_ASSIGN_OR_RETURN(r.coordinator, d.GetU32());
+  RAINBOW_ASSIGN_OR_RETURN(uint32_t writes, d.GetU32());
+  for (uint32_t w = 0; w < writes; ++w) {
+    WalRecord::Write write;
+    RAINBOW_ASSIGN_OR_RETURN(write.item, d.GetU32());
+    RAINBOW_ASSIGN_OR_RETURN(write.value, d.GetI64());
+    RAINBOW_ASSIGN_OR_RETURN(write.version, d.GetU64());
+    r.writes.push_back(write);
+  }
+  RAINBOW_ASSIGN_OR_RETURN(uint32_t participants, d.GetU32());
+  for (uint32_t p = 0; p < participants; ++p) {
+    RAINBOW_ASSIGN_OR_RETURN(SiteId s, d.GetU32());
+    r.participants.push_back(s);
+  }
+  RAINBOW_ASSIGN_OR_RETURN(r.three_phase, d.GetBool());
+  if (version >= 2) {
+    RAINBOW_ASSIGN_OR_RETURN(r.store.item, d.GetU32());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.page_id, d.GetU32());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.before_value, d.GetI64());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.before_version, d.GetU64());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.value, d.GetI64());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.version, d.GetU64());
+    RAINBOW_ASSIGN_OR_RETURN(r.store.tentative, d.GetBool());
+    RAINBOW_ASSIGN_OR_RETURN(r.prev_lsn, d.GetU64());
+    RAINBOW_ASSIGN_OR_RETURN(r.undo_next_lsn, d.GetU64());
+  }
+  if (r.kind == WalRecordKind::kCheckpointEnd) {
+    RAINBOW_ASSIGN_OR_RETURN(uint32_t att, d.GetU32());
+    for (uint32_t a = 0; a < att; ++a) {
+      std::pair<TxnId, Lsn> entry;
+      RAINBOW_ASSIGN_OR_RETURN(entry.first, d.GetTxnId());
+      RAINBOW_ASSIGN_OR_RETURN(entry.second, d.GetU64());
+      r.checkpoint.att.push_back(entry);
+    }
+    RAINBOW_ASSIGN_OR_RETURN(uint32_t dpt, d.GetU32());
+    for (uint32_t p = 0; p < dpt; ++p) {
+      std::pair<uint32_t, Lsn> entry;
+      RAINBOW_ASSIGN_OR_RETURN(entry.first, d.GetU32());
+      RAINBOW_ASSIGN_OR_RETURN(entry.second, d.GetU64());
+      r.checkpoint.dpt.push_back(entry);
+    }
+  }
+  return r;
+}
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  uint8_t b[4];
+  std::memcpy(b, &v, sizeof(v));
+  out.insert(out.end(), b, b + sizeof(v));
+}
+
 }  // namespace
 
 std::vector<uint8_t> Wal::Serialize() const {
-  Encoder e;
-  e.PutU32(kWalMagic);
-  e.PutU32(kWalVersion);
-  e.PutU32(static_cast<uint32_t>(records_.size()));
+  Encoder header;
+  header.PutU32(kWalMagic);
+  header.PutU32(kWalVersion);
+  header.PutU64(master_);
+  header.PutU32(static_cast<uint32_t>(records_.size()));
+  std::vector<uint8_t> out = header.Take();
   for (const WalRecord& r : records_) {
-    e.PutU8(static_cast<uint8_t>(r.kind));
-    e.PutTxnId(r.txn);
-    e.PutU32(r.coordinator);
-    e.PutVector(r.writes, [&](const WalRecord::Write& w) {
-      e.PutU32(w.item);
-      e.PutI64(w.value);
-      e.PutU64(w.version);
-    });
-    e.PutVector(r.participants, [&](SiteId s) { e.PutU32(s); });
-    e.PutBool(r.three_phase);
-    e.PutU32(r.store.item);
-    e.PutU32(r.store.page_id);
-    e.PutI64(r.store.before_value);
-    e.PutU64(r.store.before_version);
-    e.PutI64(r.store.value);
-    e.PutU64(r.store.version);
-    e.PutBool(r.store.tentative);
-    e.PutU64(r.prev_lsn);
-    e.PutU64(r.undo_next_lsn);
+    Encoder pe;
+    EncodeRecordPayload(pe, r);
+    std::vector<uint8_t> payload = pe.Take();
+    AppendU32(out, static_cast<uint32_t>(payload.size()));
+    AppendU32(out, Crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
   }
-  return e.Take();
+  return out;
 }
 
 Status Wal::Deserialize(const std::vector<uint8_t>& buffer) {
+  return DeserializeImpl(buffer, /*tolerant=*/false, nullptr);
+}
+
+Status Wal::DeserializeTolerant(const std::vector<uint8_t>& buffer,
+                                size_t* dropped) {
+  return DeserializeImpl(buffer, /*tolerant=*/true, dropped);
+}
+
+Status Wal::DeserializeImpl(const std::vector<uint8_t>& buffer, bool tolerant,
+                            size_t* dropped) {
+  if (dropped != nullptr) *dropped = 0;
   Decoder d(buffer);
   RAINBOW_ASSIGN_OR_RETURN(uint32_t magic, d.GetU32());
   if (magic != kWalMagic) return Status::InvalidArgument("not a WAL file");
   RAINBOW_ASSIGN_OR_RETURN(uint32_t version, d.GetU32());
-  if (version != 1 && version != kWalVersion) {
+  if (version < 1 || version > kWalVersion) {
     return Status::InvalidArgument("unsupported WAL version " +
                                    std::to_string(version));
   }
+  if (version < 3) {
+    // Legacy formats: records inline, no framing, no master pointer.
+    RAINBOW_ASSIGN_OR_RETURN(uint32_t count, d.GetU32());
+    std::vector<WalRecord> records;
+    records.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      RAINBOW_ASSIGN_OR_RETURN(WalRecord r, DecodeRecordPayload(d, version));
+      records.push_back(std::move(r));
+    }
+    if (!d.exhausted()) {
+      return Status::InvalidArgument("trailing bytes in WAL file");
+    }
+    records_ = std::move(records);
+    master_ = kNoLsn;
+    proto_index_.clear();
+    for (const WalRecord& r : records_) IndexRecord(r);
+    return Status::OK();
+  }
+  if (buffer.size() < kWalHeaderBytes) {
+    // A file this short never finished its very first save; even the
+    // tolerant path has nothing to salvage.
+    return tolerant ? Status::IoError("truncated WAL header")
+                    : Status::InvalidArgument("truncated WAL header");
+  }
+  RAINBOW_ASSIGN_OR_RETURN(uint64_t master, d.GetU64());
   RAINBOW_ASSIGN_OR_RETURN(uint32_t count, d.GetU32());
   std::vector<WalRecord> records;
   records.reserve(count);
+  size_t off = kWalHeaderBytes;
+  size_t drop = 0;
   for (uint32_t i = 0; i < count; ++i) {
-    WalRecord r;
-    RAINBOW_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
-    uint8_t max_kind = version == 1
-                           ? static_cast<uint8_t>(WalRecordKind::kEnd)
-                           : static_cast<uint8_t>(WalRecordKind::kStoreEnd);
-    if (kind > max_kind) {
-      return Status::InvalidArgument("bad record kind");
+    if (buffer.size() - off < 8) {
+      // Frame header overruns the file: a record that never finished
+      // being appended. Tolerant mode truncates the log here.
+      if (!tolerant) {
+        return Status::InvalidArgument("truncated WAL record header");
+      }
+      drop = count - i;
+      break;
     }
-    r.kind = static_cast<WalRecordKind>(kind);
-    RAINBOW_ASSIGN_OR_RETURN(r.txn, d.GetTxnId());
-    RAINBOW_ASSIGN_OR_RETURN(r.coordinator, d.GetU32());
-    RAINBOW_ASSIGN_OR_RETURN(uint32_t writes, d.GetU32());
-    for (uint32_t w = 0; w < writes; ++w) {
-      WalRecord::Write write;
-      RAINBOW_ASSIGN_OR_RETURN(write.item, d.GetU32());
-      RAINBOW_ASSIGN_OR_RETURN(write.value, d.GetI64());
-      RAINBOW_ASSIGN_OR_RETURN(write.version, d.GetU64());
-      r.writes.push_back(write);
+    uint32_t len, crc;
+    std::memcpy(&len, buffer.data() + off, sizeof(len));
+    std::memcpy(&crc, buffer.data() + off + 4, sizeof(crc));
+    if (buffer.size() - off - 8 < len) {
+      if (!tolerant) return Status::InvalidArgument("truncated WAL record");
+      drop = count - i;
+      break;
     }
-    RAINBOW_ASSIGN_OR_RETURN(uint32_t participants, d.GetU32());
-    for (uint32_t p = 0; p < participants; ++p) {
-      RAINBOW_ASSIGN_OR_RETURN(SiteId s, d.GetU32());
-      r.participants.push_back(s);
+    const uint8_t* payload = buffer.data() + off + 8;
+    if (Crc32(payload, len) != crc) {
+      if (!tolerant) {
+        return Status::InvalidArgument("WAL record CRC mismatch");
+      }
+      if (i + 1 == count) {
+        // Torn final record: the crash landed mid-append.
+        drop = 1;
+        break;
+      }
+      // Intact records follow the damage, so this is NOT an interrupted
+      // append — it is media corruption, and truncating here would
+      // silently drop committed records.
+      return Status::IoError("WAL corruption at record " +
+                             std::to_string(i + 1) + " of " +
+                             std::to_string(count));
     }
-    RAINBOW_ASSIGN_OR_RETURN(r.three_phase, d.GetBool());
-    if (version >= 2) {
-      RAINBOW_ASSIGN_OR_RETURN(r.store.item, d.GetU32());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.page_id, d.GetU32());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.before_value, d.GetI64());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.before_version, d.GetU64());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.value, d.GetI64());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.version, d.GetU64());
-      RAINBOW_ASSIGN_OR_RETURN(r.store.tentative, d.GetBool());
-      RAINBOW_ASSIGN_OR_RETURN(r.prev_lsn, d.GetU64());
-      RAINBOW_ASSIGN_OR_RETURN(r.undo_next_lsn, d.GetU64());
+    Decoder pd(payload, len);
+    Result<WalRecord> rec = DecodeRecordPayload(pd, version);
+    if (!rec.ok()) {
+      // The CRC matched, so the bytes are what was written — the record
+      // itself is malformed. Never a torn tail.
+      return tolerant ? Status::IoError("bad WAL record payload")
+                      : rec.status();
     }
-    records.push_back(std::move(r));
+    if (!pd.exhausted()) {
+      return tolerant ? Status::IoError("trailing bytes in WAL record")
+                      : Status::InvalidArgument("trailing bytes in WAL record");
+    }
+    records.push_back(std::move(rec).value());
+    off += 8 + len;
   }
-  if (!d.exhausted()) {
+  if (!tolerant && off != buffer.size()) {
     return Status::InvalidArgument("trailing bytes in WAL file");
   }
   records_ = std::move(records);
+  // The master is advisory (analysis falls back to a full scan when it
+  // finds no checkpoint); clamp rather than fail if the tail truncation
+  // dropped the records it pointed at.
+  master_ = std::min<Lsn>(master, static_cast<Lsn>(records_.size()));
+  proto_index_.clear();
+  for (const WalRecord& r : records_) IndexRecord(r);
+  if (dropped != nullptr) *dropped = drop;
   return Status::OK();
 }
 
@@ -218,14 +393,20 @@ Status Wal::SaveToFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  // fwrite can report success while the data sits in the stdio buffer;
+  // fflush forces it down and surfaces ENOSPC-style failures, and
+  // ferror catches an error either call absorbed. Without these a full
+  // disk looked like a successful save.
+  bool flushed = std::fflush(f) == 0;
+  bool stream_error = std::ferror(f) != 0;
   int rc = std::fclose(f);
-  if (written != bytes.size() || rc != 0) {
+  if (written != bytes.size() || !flushed || stream_error || rc != 0) {
     return Status::IoError("short write to " + path);
   }
   return Status::OK();
 }
 
-Status Wal::LoadFromFile(const std::string& path) {
+Status Wal::LoadFromFile(const std::string& path, size_t* dropped) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   std::vector<uint8_t> bytes;
@@ -240,7 +421,7 @@ Status Wal::LoadFromFile(const std::string& path) {
   bool read_error = std::ferror(f) != 0;
   std::fclose(f);
   if (read_error) return Status::IoError("read error on " + path);
-  return Deserialize(bytes);
+  return DeserializeTolerant(bytes, dropped);
 }
 
 }  // namespace rainbow

@@ -1,8 +1,10 @@
 #ifndef RAINBOW_STORAGE_WAL_H_
 #define RAINBOW_STORAGE_WAL_H_
 
+#include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +35,9 @@ enum class WalRecordKind {
   kStoreAbort,      ///< storage txn rollback started
   kStoreClr,        ///< compensation record written while undoing
   kStoreEnd,        ///< storage txn rollback complete
+  kCheckpointBegin, ///< fuzzy checkpoint opened
+  kCheckpointEnd,   ///< checkpoint closed; carries the ATT + dirty-page
+                    ///< table (prev_lsn points back at the begin record)
 };
 
 const char* WalRecordKindName(WalRecordKind k);
@@ -78,6 +83,17 @@ struct WalRecord {
   Lsn prev_lsn = kNoLsn;        ///< backward chain within the storage txn
   Lsn undo_next_lsn = kNoLsn;   ///< kStoreClr: next record left to undo
 
+  /// Payload of kCheckpointEnd: the active (storage) transaction table
+  /// — txn -> LSN of its latest log record — and the dirty-page table —
+  /// page -> recLSN, the LSN whose update first dirtied the resident
+  /// page — as captured while the checkpoint was open. Both are sorted
+  /// by key so the record is byte-stable across runs.
+  struct CheckpointData {
+    std::vector<std::pair<TxnId, Lsn>> att;
+    std::vector<std::pair<uint32_t, Lsn>> dpt;
+  };
+  CheckpointData checkpoint;    ///< kCheckpointEnd only
+
   /// Convenience constructor for commit-protocol records (the storage
   /// fields keep their defaults).
   static WalRecord Protocol(WalRecordKind kind, TxnId txn, SiteId coordinator,
@@ -111,6 +127,18 @@ class Wal {
 
   /// LSN the next appended record will get.
   Lsn NextLsn() const { return static_cast<Lsn>(records_.size()) + 1; }
+
+  /// LSN of the kCheckpointBegin record of the last COMPLETE checkpoint
+  /// (the ARIES "master record"); kNoLsn before the first one. Restart
+  /// analysis starts scanning here instead of at the log's start.
+  Lsn master() const { return master_; }
+  void SetMaster(Lsn lsn) { master_ = lsn; }
+
+  /// True iff `txn` has a kPrepared record and no decision record yet.
+  /// Maintained incrementally on Append (and rebuilt on load), so the
+  /// storage engine's restart analysis does not rescan the protocol
+  /// records to classify in-doubt transactions.
+  bool IsPreparedUndecided(const TxnId& txn) const;
 
   /// Recovery summary for one transaction found in the log.
   struct TxnLogState {
@@ -158,14 +186,40 @@ class Wal {
   std::vector<uint8_t> Serialize() const;
 
   /// Parses a buffer produced by Serialize(), replacing the current
-  /// records. Fails (leaving the log unchanged) on any corruption.
+  /// records. Fails (leaving the log unchanged) on any corruption,
+  /// including a truncated tail — the strict mode for archives that are
+  /// supposed to be complete.
   Status Deserialize(const std::vector<uint8_t>& buffer);
 
+  /// Like Deserialize(), but treats a torn tail the way a real database
+  /// must: a final record cut short by a crash mid-append (frame
+  /// overrunning the buffer, or a CRC mismatch on the last declared
+  /// record) is dropped and `*dropped` (optional) reports how many
+  /// records were discarded. Corruption anywhere BEFORE the tail —
+  /// a CRC mismatch with intact records after it — is still an IoError:
+  /// that is media damage, not an interrupted append.
+  Status DeserializeTolerant(const std::vector<uint8_t>& buffer,
+                             size_t* dropped = nullptr);
+
   Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+
+  /// Loads via DeserializeTolerant (real files can have torn tails).
+  Status LoadFromFile(const std::string& path, size_t* dropped = nullptr);
 
  private:
+  struct ProtoState {
+    bool prepared = false;
+    bool decided = false;
+  };
+
+  Status DeserializeImpl(const std::vector<uint8_t>& buffer, bool tolerant,
+                         size_t* dropped);
+  void IndexRecord(const WalRecord& record);
+
   std::vector<WalRecord> records_;
+  Lsn master_ = kNoLsn;
+  /// Incremental prepared/decided index for IsPreparedUndecided().
+  std::map<TxnId, ProtoState> proto_index_;
 };
 
 }  // namespace rainbow

@@ -10,7 +10,7 @@
 namespace rainbow {
 namespace {
 
-// A 64-byte page holds two leaf entries ((64 - 20) / 20 = 2), so even a
+// A 64-byte page holds two leaf entries ((64 - 24) / 20 = 2), so even a
 // handful of inserts exercises leaf and internal splits.
 constexpr uint32_t kTinyPage = 64;
 

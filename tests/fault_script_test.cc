@@ -25,10 +25,14 @@ TEST(FaultScriptTest, RoundTripsEveryVerb) {
       "11000 reorder 2 0 1500\n"
       "12000 partition 0 1 | 2 3 4\n"
       "13000 heal\n"
-      "14000 clearlinks\n";
+      "14000 clearlinks\n"
+      "15000 tornwrite 1 0.25\n"
+      "16000 shortwrite 2 0.5\n"
+      "17000 lostwrite 0 0.125\n"
+      "18000 readflip 3 0.01\n";
   Result<std::vector<FaultEvent>> events = ParseFaultScript(canonical);
   ASSERT_TRUE(events.ok()) << events.status();
-  EXPECT_EQ(events->size(), 15u);
+  EXPECT_EQ(events->size(), 19u);
   EXPECT_EQ(SaveFaultScript(*events), canonical);
 }
 
@@ -86,6 +90,11 @@ TEST(FaultScriptTest, RejectsBadInput) {
   // Probability out of range.
   EXPECT_FALSE(ParseFaultScript("0 loss 0 1 1.5\n").ok());
   EXPECT_FALSE(ParseFaultScript("0 dup 0 1 -0.1\n").ok());
+  EXPECT_FALSE(ParseFaultScript("0 tornwrite 1 1.5\n").ok());
+  EXPECT_FALSE(ParseFaultScript("0 readflip 1 -0.5\n").ok());
+  // Storage verbs take exactly <site> <probability>.
+  EXPECT_FALSE(ParseFaultScript("0 tornwrite 1\n").ok());
+  EXPECT_FALSE(ParseFaultScript("0 lostwrite 1 2 0.5\n").ok());
   // Negative / non-numeric time.
   EXPECT_FALSE(ParseFaultScript("-5 crash 1\n").ok());
   EXPECT_FALSE(ParseFaultScript("soon crash 1\n").ok());
@@ -113,6 +122,10 @@ TEST(FaultScriptTest, FormatsCanonically) {
   EXPECT_EQ(FormatFaultEvent(FaultEvent::Partition(5, {{0, 1}, {2}})),
             "5 partition 0 1 | 2");
   EXPECT_EQ(FormatFaultEvent(FaultEvent::Heal(9)), "9 heal");
+  EXPECT_EQ(FormatFaultEvent(FaultEvent::StorageTorn(Millis(2), 1, 0.25)),
+            "2000 tornwrite 1 0.25");
+  EXPECT_EQ(FormatFaultEvent(FaultEvent::StorageReadFlip(0, 4, 0.01)),
+            "0 readflip 4 0.01");
 }
 
 }  // namespace

@@ -481,5 +481,257 @@ TEST(StoragePageStoreTest, ShadowMapFuzzWithCrashes) {
   EXPECT_EQ(store->Snapshot(), shadow);
 }
 
+// --- disk manager: checksums, doublewrite, fault injection ----------------
+
+Page MakeTestPage(uint32_t size, Lsn lsn, uint8_t fill) {
+  Page p(size);
+  p.set_page_lsn(lsn);
+  for (uint32_t off = kPageHeaderLsnBytes; off < size; ++off) {
+    p.WriteU8(off, fill);
+  }
+  return p;
+}
+
+TEST(StorageDiskTest, ReadDistinguishesNeverWrittenFromAllZeroPage) {
+  // Regression: a never-written page and a durably written all-zero
+  // page both read back as zeros; only the status can tell them apart,
+  // and quarantine must not "heal" pages that never existed.
+  DiskManager disk(64);
+  PageId id = disk.AllocatePage();
+  Page out(64);
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kNeverWritten);
+  EXPECT_FALSE(disk.HasPage(id));
+
+  Page zeros(64);  // all-zero content, LSN 0 — legitimately written out
+  disk.WritePage(id, zeros);
+  EXPECT_TRUE(disk.HasPage(id));
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kOk);
+  EXPECT_EQ(disk.quarantined(), 0u);
+  EXPECT_EQ(disk.corrupt_reads(), 0u);
+}
+
+TEST(StorageDiskTest, ChecksumQuarantinesCorruptPrimaryAndHealsFromJournal) {
+  FaultyDiskManager disk(64);
+  PageId id = disk.AllocatePage();
+  disk.WritePage(id, MakeTestPage(64, 7, 0xab));
+
+  ASSERT_TRUE(disk.FlipPrimaryByte(id, 40));
+  Page out(64);
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kRecovered);
+  EXPECT_EQ(disk.quarantined(), 1u);
+  EXPECT_EQ(out.ReadU8(40), 0xab);  // journal copy, not the corrupt one
+  EXPECT_EQ(out.page_lsn(), 7u);
+
+  // The heal rewrote the primary: the next read is a clean hit.
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kOk);
+  EXPECT_EQ(disk.quarantined(), 1u);
+}
+
+TEST(StorageDiskTest, ChecksumOffReturnsCorruptBytesUnchecked) {
+  // The planted-bug configuration: without checksums the flip reads
+  // back as "valid" data — exactly what the nemesis storage hunt
+  // demonstrates against --no-page-crc.
+  FaultyDiskManager disk(64, /*checksums=*/false);
+  PageId id = disk.AllocatePage();
+  disk.WritePage(id, MakeTestPage(64, 7, 0xab));
+  ASSERT_TRUE(disk.FlipPrimaryByte(id, 40));
+  Page out(64);
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kOk);
+  EXPECT_EQ(out.ReadU8(40), 0xab ^ 0xff);
+  EXPECT_EQ(disk.quarantined(), 0u);
+}
+
+TEST(StorageDiskTest, TornAndShortWritesHealFromJournal) {
+  for (StorageFaultKind kind :
+       {StorageFaultKind::kTornWrite, StorageFaultKind::kShortWrite}) {
+    FaultyDiskManager disk(64, /*checksums=*/true, /*seed=*/3);
+    PageId id = disk.AllocatePage();
+    disk.WritePage(id, MakeTestPage(64, 1, 0x11));  // clean baseline
+
+    disk.Arm(kind, 1.0);
+    disk.WritePage(id, MakeTestPage(64, 2, 0x22));
+    disk.Arm(kind, 0.0);
+    EXPECT_EQ(disk.torn_writes() + disk.short_writes(), 1u);
+
+    // The mangled primary fails its CRC; the journal (written first,
+    // intact) supplies the new image.
+    Page out(64);
+    EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kRecovered);
+    EXPECT_EQ(out.page_lsn(), 2u);
+    EXPECT_EQ(out.ReadU8(50), 0x22);
+    EXPECT_EQ(disk.quarantined(), 1u);
+  }
+}
+
+TEST(StorageDiskTest, LostWriteDetectedByJournalLsn) {
+  // A lost write leaves a STALE-BUT-VALID primary: its CRC passes, so
+  // only the journal's newer page LSN exposes the fsync lie.
+  FaultyDiskManager disk(64, /*checksums=*/true, /*seed=*/3);
+  PageId id = disk.AllocatePage();
+  disk.WritePage(id, MakeTestPage(64, 1, 0x11));
+
+  disk.Arm(StorageFaultKind::kLostWrite, 1.0);
+  disk.WritePage(id, MakeTestPage(64, 2, 0x22));
+  disk.Arm(StorageFaultKind::kLostWrite, 0.0);
+  EXPECT_EQ(disk.lost_writes(), 1u);
+
+  Page out(64);
+  EXPECT_EQ(disk.ReadPage(id, out), PageReadStatus::kRecovered);
+  EXPECT_EQ(out.page_lsn(), 2u);
+  EXPECT_EQ(out.ReadU8(50), 0x22);
+  EXPECT_EQ(disk.lost_write_restores(), 1u);
+}
+
+TEST(StorageDiskTest, ReadBitFlipsAreCaughtWhileChecksummed) {
+  FaultyDiskManager disk(64, /*checksums=*/true, /*seed=*/9);
+  PageId id = disk.AllocatePage();
+  disk.WritePage(id, MakeTestPage(64, 5, 0x77));
+
+  disk.Arm(StorageFaultKind::kReadBitFlip, 1.0);
+  Page out(64);
+  for (int i = 0; i < 8; ++i) {
+    PageReadStatus st = disk.ReadPage(id, out);
+    EXPECT_TRUE(st == PageReadStatus::kOk || st == PageReadStatus::kRecovered);
+    EXPECT_EQ(out.page_lsn(), 5u);
+    EXPECT_EQ(out.ReadU8(33), 0x77);  // never surfaces a flipped byte
+  }
+  EXPECT_EQ(disk.read_flips(), 8u);
+  EXPECT_GE(disk.quarantined(), 1u);
+}
+
+TEST(StorageDiskTest, WriteLimitModelsMachineDeath) {
+  FaultyDiskManager disk(64);
+  PageId a = disk.AllocatePage();
+  PageId b = disk.AllocatePage();
+  disk.ArmWriteLimit(1);
+  disk.WritePage(a, MakeTestPage(64, 1, 0x11));  // the last write that lands
+  disk.WritePage(b, MakeTestPage(64, 2, 0x22));  // dropped — journal included
+  EXPECT_EQ(disk.dropped_writes(), 1u);
+
+  Page out(64);
+  EXPECT_EQ(disk.ReadPage(a, out), PageReadStatus::kOk);
+  EXPECT_EQ(disk.ReadPage(b, out), PageReadStatus::kNeverWritten);
+
+  disk.DisarmWriteLimit();
+  disk.WritePage(b, MakeTestPage(64, 3, 0x33));
+  EXPECT_EQ(disk.ReadPage(b, out), PageReadStatus::kOk);
+}
+
+TEST(StorageDiskTest, FaultStreamIsSeedDeterministic) {
+  // Two disks with the same seed inject the identical fault sequence;
+  // a different seed diverges. This is what makes nemesis storage
+  // schedules replayable.
+  auto run = [](uint64_t seed) {
+    FaultyDiskManager disk(64, true, seed);
+    PageId id = disk.AllocatePage();
+    disk.Arm(StorageFaultKind::kTornWrite, 0.5);
+    std::vector<uint64_t> torn;
+    for (int i = 0; i < 32; ++i) {
+      disk.WritePage(id, MakeTestPage(64, static_cast<Lsn>(i + 1),
+                                      static_cast<uint8_t>(i)));
+      torn.push_back(disk.torn_writes());
+    }
+    return torn;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// --- page store: fuzzy checkpoints ----------------------------------------
+
+TEST(StoragePageStoreTest, CheckpointBoundsRestartScan) {
+  Wal wal;
+  PageStoreOptions opts;
+  opts.page_size = kTestPageSize;
+  opts.pool_pages = 16;
+  auto store = std::make_unique<PageStore>(&wal, opts);
+  for (ItemId i = 0; i < 20; ++i) store->Load(i, 0);
+  store->FlushAll();
+
+  Version ver = 1;
+  auto commit = [&](ItemId item, Value value) {
+    TxnId txn{0, ver};
+    store->LogPrewrite(txn, item, value);
+    ASSERT_TRUE(store->Apply(item, value, ver, txn));
+    store->CommitStorageTxn(txn);
+    ++ver;
+  };
+  for (ItemId i = 0; i < 20; ++i) commit(i, static_cast<Value>(i + 100));
+
+  const size_t log_before_ckpt = wal.size();
+  Lsn master = store->Checkpoint();
+  EXPECT_NE(master, kNoLsn);
+  EXPECT_EQ(wal.master(), master);
+  ASSERT_GT(wal.size(), 1u);
+  EXPECT_EQ(wal.records()[master - 1].kind, WalRecordKind::kCheckpointBegin);
+  EXPECT_EQ(wal.records().back().kind, WalRecordKind::kCheckpointEnd);
+
+  for (ItemId i = 0; i < 4; ++i) commit(i, static_cast<Value>(i + 200));
+  auto before = store->Snapshot();
+
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  // Analysis started at the master record, not at LSN 1.
+  EXPECT_LT(rs.log_scanned, wal.size() - log_before_ckpt + 4);
+  EXPECT_GE(rs.redo_start, 1u);
+  EXPECT_EQ(store->Snapshot(), before);
+}
+
+TEST(StoragePageStoreTest, CheckpointCadenceFiresAutomatically) {
+  Wal wal;
+  PageStoreOptions opts;
+  opts.page_size = kTestPageSize;
+  opts.pool_pages = 16;
+  opts.checkpoint_interval = 16;
+  auto store = std::make_unique<PageStore>(&wal, opts);
+  for (ItemId i = 0; i < 10; ++i) store->Load(i, 0);
+  store->FlushAll();
+
+  for (Version ver = 1; ver <= 40; ++ver) {
+    TxnId txn{0, ver};
+    ItemId item = ver % 10;
+    store->LogPrewrite(txn, item, static_cast<Value>(ver));
+    ASSERT_TRUE(store->Apply(item, static_cast<Value>(ver), ver, txn));
+    store->CommitStorageTxn(txn);
+  }
+  size_t checkpoints = CountKind(wal, WalRecordKind::kCheckpointEnd);
+  EXPECT_GE(checkpoints, 2u);
+  EXPECT_NE(wal.master(), kNoLsn);
+}
+
+TEST(StoragePageStoreTest, CrashBetweenCheckpointHalvesKeepsOldMaster) {
+  Wal wal;
+  PageStoreOptions opts;
+  opts.page_size = kTestPageSize;
+  auto store = std::make_unique<PageStore>(&wal, opts);
+  for (ItemId i = 0; i < 10; ++i) store->Load(i, 0);
+  store->FlushAll();
+
+  Version ver = 1;
+  auto commit = [&](ItemId item, Value value) {
+    TxnId txn{0, ver};
+    store->LogPrewrite(txn, item, value);
+    ASSERT_TRUE(store->Apply(item, value, ver, txn));
+    store->CommitStorageTxn(txn);
+    ++ver;
+  };
+  commit(1, 11);
+  Lsn first = store->Checkpoint();
+  commit(2, 22);
+
+  // Crash with the second checkpoint OPEN: begin logged, no end. The
+  // master must still point at the last COMPLETE checkpoint.
+  Lsn second_begin = store->BeginCheckpoint();
+  EXPECT_GT(second_begin, first);
+  EXPECT_EQ(wal.master(), first);
+  auto before = store->Snapshot();
+  store->OnCrash();
+  RestartSummary rs = store->Restart();
+  EXPECT_EQ(rs.tentative_leaks, 0u);
+  EXPECT_EQ(store->Snapshot(), before);
+  EXPECT_EQ(wal.master(), first);
+}
+
 }  // namespace
 }  // namespace rainbow

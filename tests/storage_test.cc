@@ -407,6 +407,148 @@ TEST(WalTest, DeserializePrefixPropertyNeverPartiallyApplies) {
   EXPECT_EQ(target.size(), wal.size());
 }
 
+TEST(WalTest, TolerantLoadTruncatesTornTail) {
+  // A crash mid-append leaves the final record cut short. The tolerant
+  // loader must drop exactly the torn tail and keep every intact prefix
+  // record, whatever byte the cut landed on.
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  wal.Append(WalRecord::Protocol(WalRecordKind::kCommitDecision, TxnId{0, 1},
+                                 0, {}, {0, 1}, false));
+  wal.Append(Prepared(TxnId{2, 7}, {{3, 30, 3}}, {2}));
+  std::vector<uint8_t> good = wal.Serialize();
+
+  // Find where the last record's frame begins: serialize a 2-record log
+  // of the same prefix and measure.
+  Wal prefix;
+  prefix.Append(wal.records()[0]);
+  prefix.Append(wal.records()[1]);
+  const size_t last_frame = prefix.Serialize().size();
+
+  for (size_t len = last_frame; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(len));
+    Wal loaded;
+    size_t dropped = 0;
+    Status s = loaded.DeserializeTolerant(cut, &dropped);
+    ASSERT_TRUE(s.ok()) << "cut at " << len << ": " << s;
+    EXPECT_EQ(loaded.size(), 2u) << "cut at " << len;
+    EXPECT_EQ(dropped, 1u) << "cut at " << len;
+    // The strict loader must still reject the same bytes.
+    Wal strict;
+    EXPECT_FALSE(strict.Deserialize(cut).ok()) << "cut at " << len;
+  }
+}
+
+TEST(WalTest, TolerantLoadDropsCorruptFinalRecord) {
+  // A bit flipped inside the LAST record is indistinguishable from a
+  // torn append of that record: dropped, not fatal.
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  wal.Append(Prepared(TxnId{0, 2}, {{2, 20, 2}}, {0, 1}));
+  std::vector<uint8_t> bad = wal.Serialize();
+  bad.back() ^= 0xff;  // payload tail of the final record
+
+  Wal loaded;
+  size_t dropped = 0;
+  ASSERT_TRUE(loaded.DeserializeTolerant(bad, &dropped).ok());
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(loaded.records()[0].txn, (TxnId{0, 1}));
+}
+
+TEST(WalTest, TolerantLoadRejectsMidLogCorruption) {
+  // Corruption BEFORE intact records is media damage, not a torn
+  // append: the tolerant loader reports IoError and leaves the target
+  // untouched instead of silently truncating committed history.
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  wal.Append(Prepared(TxnId{0, 2}, {{2, 20, 2}}, {0, 1}));
+  wal.Append(Prepared(TxnId{0, 3}, {{3, 30, 3}}, {0, 1}));
+  std::vector<uint8_t> bad = wal.Serialize();
+  // First record's payload starts right after the file header and the
+  // first [len][crc] frame: flip a byte there.
+  bad[20 + 8 + 2] ^= 0x40;
+
+  Wal target;
+  target.Append(Prepared(TxnId{9, 9}, {}, {0}));
+  size_t dropped = 77;
+  Status s = target.DeserializeTolerant(bad, &dropped);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("corruption"), std::string::npos);
+  EXPECT_EQ(target.size(), 1u);  // unchanged
+}
+
+TEST(WalTest, MasterAndCheckpointRoundTrip) {
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  WalRecord begin;
+  begin.kind = WalRecordKind::kCheckpointBegin;
+  Lsn b = wal.Append(begin);
+  WalRecord end;
+  end.kind = WalRecordKind::kCheckpointEnd;
+  end.prev_lsn = b;
+  end.checkpoint.att = {{TxnId{0, 1}, 1}};
+  end.checkpoint.dpt = {{2, 1}, {5, 3}};
+  wal.Append(end);
+  wal.SetMaster(b);
+
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
+  EXPECT_EQ(loaded.master(), b);
+  const WalRecord& got = loaded.records()[2];
+  EXPECT_EQ(got.kind, WalRecordKind::kCheckpointEnd);
+  EXPECT_EQ(got.prev_lsn, b);
+  ASSERT_EQ(got.checkpoint.att.size(), 1u);
+  EXPECT_EQ(got.checkpoint.att[0].first, (TxnId{0, 1}));
+  ASSERT_EQ(got.checkpoint.dpt.size(), 2u);
+  EXPECT_EQ(got.checkpoint.dpt[1].first, 5u);
+  EXPECT_EQ(got.checkpoint.dpt[1].second, 3u);
+
+  // Tolerant file round trip preserves the master pointer too.
+  std::string path = ::testing::TempDir() + "/rainbow_wal_ckpt_test.bin";
+  ASSERT_TRUE(wal.SaveToFile(path).ok());
+  Wal from_file;
+  size_t dropped = 1;
+  ASSERT_TRUE(from_file.LoadFromFile(path, &dropped).ok());
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(from_file.master(), b);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, IsPreparedUndecidedTracksAppendsAndReloads) {
+  Wal wal;
+  TxnId txn{1, 5};
+  EXPECT_FALSE(wal.IsPreparedUndecided(txn));
+  wal.Append(Prepared(txn, {}, {0, 1}));
+  EXPECT_TRUE(wal.IsPreparedUndecided(txn));
+
+  // The index survives a serialize/deserialize cycle.
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
+  EXPECT_TRUE(loaded.IsPreparedUndecided(txn));
+
+  wal.Append(WalRecord::Protocol(WalRecordKind::kAbortDecision, txn, 0, {}, {},
+                                 false));
+  EXPECT_FALSE(wal.IsPreparedUndecided(txn));
+}
+
+TEST(WalTest, SaveToFileReportsFlushErrors) {
+  // Regression: SaveToFile checked fwrite's count but never fflush/
+  // ferror, so a full disk (writes buffered, error surfacing only at
+  // flush) reported success while the file was torn. /dev/full fails
+  // exactly that way on Linux.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  Status s = wal.SaveToFile("/dev/full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
 TEST(WalTest, PreCommittedTracked) {
   Wal wal;
   TxnId txn{1, 4};
