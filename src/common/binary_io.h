@@ -1,7 +1,9 @@
 #ifndef RAINBOW_COMMON_BINARY_IO_H_
 #define RAINBOW_COMMON_BINARY_IO_H_
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -12,9 +14,21 @@ namespace rainbow {
 /// Append-only binary writer (little-endian, length-prefixed vectors).
 /// Shared by the message wire codec (net/codec.h) and the WAL's on-disk
 /// format (storage/wal.h).
+///
+/// Two modes: the default constructor owns its buffer (Take() moves it
+/// out — the WAL path), while the external-buffer constructor appends
+/// into a caller-supplied vector — typically an Arena's storage — so a
+/// hot encode loop reuses one allocation (the codec path). In external
+/// mode the writer tracks the base offset it started at; written()
+/// spans exactly the bytes this Encoder produced.
 class Encoder {
  public:
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  Encoder() : buf_(&owned_) {}
+  /// Appends into `*external` (not owned; must outlive the Encoder).
+  explicit Encoder(std::vector<uint8_t>* external)
+      : buf_(external), base_(external->size()) {}
+
+  void PutU8(uint8_t v) { buf_->push_back(v); }
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
@@ -29,11 +43,31 @@ class Encoder {
     for (const T& x : v) put_one(x);
   }
 
-  const std::vector<uint8_t>& buffer() const { return buf_; }
-  std::vector<uint8_t> Take() { return std::move(buf_); }
+  /// Bytes written by this Encoder so far (excludes anything that was
+  /// already in an external buffer).
+  size_t size() const { return buf_->size() - base_; }
+
+  /// Overwrites the u32 previously written at offset `pos` (relative to
+  /// this Encoder's first byte) — length backpatching for frames whose
+  /// size isn't known up front.
+  void PatchU32(size_t pos, uint32_t v);
+
+  const std::vector<uint8_t>& buffer() const { return *buf_; }
+  std::vector<uint8_t> Take() {
+    assert(buf_ == &owned_ && "Take() requires the owning constructor");
+    return std::move(owned_);
+  }
+
+  /// View of the bytes this Encoder wrote. Valid until the underlying
+  /// buffer is next written or destroyed.
+  std::span<const uint8_t> written() const {
+    return {buf_->data() + base_, buf_->size() - base_};
+  }
 
  private:
-  std::vector<uint8_t> buf_;
+  std::vector<uint8_t> owned_;
+  std::vector<uint8_t>* buf_;
+  size_t base_ = 0;
 };
 
 /// Bounds-checked binary reader over an encoded buffer. Every getter
@@ -43,6 +77,8 @@ class Decoder {
  public:
   Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit Decoder(const std::vector<uint8_t>& buf)
+      : Decoder(buf.data(), buf.size()) {}
+  explicit Decoder(std::span<const uint8_t> buf)
       : Decoder(buf.data(), buf.size()) {}
 
   Result<uint8_t> GetU8();
@@ -56,6 +92,17 @@ class Decoder {
   /// Remaining unread bytes.
   size_t remaining() const { return size_ - pos_; }
   bool exhausted() const { return pos_ == size_; }
+
+  /// View of the next `n` unread bytes without consuming them; fails on
+  /// truncation. The zero-copy hook for nested frames (a message's
+  /// payload region): the caller decodes the view in place instead of
+  /// copying it out.
+  Result<std::span<const uint8_t>> PeekSpan(size_t n) const {
+    if (n > remaining()) {
+      return Status::InvalidArgument("truncated: span past end");
+    }
+    return std::span<const uint8_t>{data_ + pos_, n};
+  }
 
  private:
   const uint8_t* data_;

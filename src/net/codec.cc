@@ -354,16 +354,37 @@ Result<Payload> DecodeBody(MessageKind kind, Decoder& d) {
   return Status::InvalidArgument("bad message kind");
 }
 
+void EncodePayloadBody(Encoder& e, const Payload& payload) {
+  e.PutU8(static_cast<uint8_t>(MessageKindOf(payload)));
+  std::visit(EncodeVisitor{e}, payload);
+}
+
+void EncodeEnvelope(Encoder& e, const Message& message) {
+  e.PutU64(message.id);
+  e.PutU32(message.from);
+  e.PutU32(message.to);
+  e.PutI64(message.sent_at);
+  e.PutU64(message.rpc_id);
+  e.PutBool(message.rpc_is_reply);
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodePayload(const Payload& payload) {
   Encoder e;
-  e.PutU8(static_cast<uint8_t>(MessageKindOf(payload)));
-  std::visit(EncodeVisitor{e}, payload);
+  EncodePayloadBody(e, payload);
   return e.Take();
 }
 
-Result<Payload> DecodePayload(const std::vector<uint8_t>& buf) {
+std::span<const uint8_t> EncodePayloadTo(Arena& arena,
+                                         const Payload& payload) {
+  arena.Reset();
+  Encoder e(&arena.storage());
+  EncodePayloadBody(e, payload);
+  return e.written();
+}
+
+Result<Payload> DecodePayload(std::span<const uint8_t> buf) {
   Decoder d(buf);
   RAINBOW_ASSIGN_OR_RETURN(uint8_t kind, d.GetU8());
   if (kind >= static_cast<uint8_t>(MessageKind::kCount)) {
@@ -379,20 +400,29 @@ Result<Payload> DecodePayload(const std::vector<uint8_t>& buf) {
 
 std::vector<uint8_t> EncodeMessage(const Message& message) {
   Encoder e;
-  e.PutU64(message.id);
-  e.PutU32(message.from);
-  e.PutU32(message.to);
-  e.PutI64(message.sent_at);
-  e.PutU64(message.rpc_id);
-  e.PutBool(message.rpc_is_reply);
-  std::vector<uint8_t> payload = EncodePayload(message.payload);
-  e.PutU32(static_cast<uint32_t>(payload.size()));
-  std::vector<uint8_t> out = e.Take();
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  EncodeEnvelope(e, message);
+  size_t len_pos = e.size();
+  e.PutU32(0);  // payload length, backpatched below
+  size_t payload_start = e.size();
+  EncodePayloadBody(e, message.payload);
+  e.PatchU32(len_pos, static_cast<uint32_t>(e.size() - payload_start));
+  return e.Take();
 }
 
-Result<Message> DecodeMessage(const std::vector<uint8_t>& buf) {
+std::span<const uint8_t> EncodeMessageTo(Arena& arena,
+                                         const Message& message) {
+  arena.Reset();
+  Encoder e(&arena.storage());
+  EncodeEnvelope(e, message);
+  size_t len_pos = e.size();
+  e.PutU32(0);  // payload length, backpatched below
+  size_t payload_start = e.size();
+  EncodePayloadBody(e, message.payload);
+  e.PatchU32(len_pos, static_cast<uint32_t>(e.size() - payload_start));
+  return e.written();
+}
+
+Result<Message> DecodeMessage(std::span<const uint8_t> buf) {
   Decoder d(buf);
   Message m;
   RAINBOW_ASSIGN_OR_RETURN(m.id, d.GetU64());
@@ -405,8 +435,8 @@ Result<Message> DecodeMessage(const std::vector<uint8_t>& buf) {
   if (len != d.remaining()) {
     return Status::InvalidArgument("payload length mismatch");
   }
-  std::vector<uint8_t> payload(buf.end() - static_cast<ptrdiff_t>(len),
-                               buf.end());
+  // Zero-copy: decode the payload region in place.
+  RAINBOW_ASSIGN_OR_RETURN(std::span<const uint8_t> payload, d.PeekSpan(len));
   RAINBOW_ASSIGN_OR_RETURN(m.payload, DecodePayload(payload));
   return m;
 }

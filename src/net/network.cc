@@ -356,7 +356,10 @@ void Network::SendMessage(Message msg) {
 
   size_t size = PayloadSizeBytes(msg.payload);
   if (verify_codec_) {
-    std::vector<uint8_t> wire = EncodePayload(msg.payload);
+    // Arena-backed round trip: encode into the lane's reusable arena
+    // and decode the view in place — no per-message buffer allocation
+    // or copy on codec-verified runs.
+    std::span<const uint8_t> wire = EncodePayloadTo(lane.arena, msg.payload);
     size = wire.size() + 33;  // payload bytes + envelope
     Result<Payload> decoded = DecodePayload(wire);
     if (!decoded.ok()) {
@@ -461,9 +464,14 @@ void Network::SendMessage(Message msg) {
     // network id (so per-message accounting and trace timelines can
     // tell the copies apart, and same-tick arrivals order by id) while
     // keeping the rpc_id, which is what duplicate suppression keys on.
+    // The original is handed to ScheduleDelivery first so per-sender
+    // arrivals there are monotone in id — the invariant delivery
+    // batching relies on. Same-tick ordering is by id either way.
     Message dup = msg;
     dup.id = NextMsgId(from_slot);
+    ScheduleDelivery(std::move(msg), delay);
     ScheduleDelivery(std::move(dup), dup_delay);
+    return;
   }
   ScheduleDelivery(std::move(msg), delay);
 }
@@ -476,6 +484,7 @@ uint32_t Network::AcquireSlot(Lane& lane) {
   }
   uint32_t slot = static_cast<uint32_t>(lane.pool.size());
   lane.pool.emplace_back();
+  lane.pool_next.push_back(kNoSlot);
   return slot;
 }
 
@@ -502,18 +511,77 @@ void Network::ScheduleDelivery(Message msg, SimTime delay) {
   }
   Lane& lane = lanes_[dst_shard];
   uint32_t slot = AcquireSlot(lane);
+  uint32_t sender_slot = static_cast<uint32_t>(SiteSlot(msg.from));
+  uint32_t dst_slot = static_cast<uint32_t>(SiteSlot(msg.to));
   lane.pool[slot] = std::move(msg);
-  auto thunk = [this, dst_shard, slot] { DeliverPooled(dst_shard, slot); };
+  lane.pool_next[slot] = kNoSlot;
+
+  // Same-tick batching: if the destination's open batch matches this
+  // (sender, destination, instant), chain the message onto it — no new
+  // event. Appends keep the batch's ids contiguous and increasing (see
+  // Batch): SendMessage hands messages over in per-sender id order.
+  if (dst_slot < lane.open_batch.size()) {
+    uint32_t open = lane.open_batch[dst_slot];
+    if (open != kNoSlot) {
+      Batch& b = lane.batches[open];
+      if (b.open && b.when == when && b.sender_slot == sender_slot) {
+        lane.pool_next[b.tail] = slot;
+        b.tail = slot;
+        return;
+      }
+    }
+  }
+
+  // Open a new batch for this (sender, destination, instant); it
+  // supersedes whatever batch was open for the destination before.
+  uint32_t batch_idx;
+  if (!lane.batch_free.empty()) {
+    batch_idx = lane.batch_free.back();
+    lane.batch_free.pop_back();
+  } else {
+    batch_idx = static_cast<uint32_t>(lane.batches.size());
+    lane.batches.emplace_back();
+  }
+  Batch& b = lane.batches[batch_idx];
+  b.head = b.tail = slot;
+  b.when = when;
+  b.sender_slot = sender_slot;
+  b.dst_slot = dst_slot;
+  b.open = true;
+  if (dst_slot >= lane.open_batch.size()) {
+    lane.open_batch.resize(dst_slot + 1, kNoSlot);
+  }
+  lane.open_batch[dst_slot] = batch_idx;
+
+  auto thunk = [this, dst_shard, batch_idx] {
+    DeliverBatch(dst_shard, batch_idx);
+  };
   static_assert(sizeof(thunk) <= EventQueue::kInlineCallbackBytes,
                 "delivery closure must fit the event queue's inline "
                 "callback storage (the zero-allocation hot path)");
   lane.sim->AtKeyed(when, key, std::move(thunk));
 }
 
-void Network::DeliverPooled(uint32_t lane_idx, uint32_t slot) {
+void Network::DeliverBatch(uint32_t lane_idx, uint32_t batch_idx) {
   Lane& lane = lanes_[lane_idx];
-  Deliver(lane.pool[slot]);
-  ReleaseSlot(lane, slot);
+  uint32_t slot;
+  {
+    // Handlers invoked below may send, growing `batches` — don't hold
+    // the reference across the walk.
+    Batch& b = lane.batches[batch_idx];
+    b.open = false;
+    if (lane.open_batch[b.dst_slot] == batch_idx) {
+      lane.open_batch[b.dst_slot] = kNoSlot;
+    }
+    slot = b.head;
+  }
+  while (slot != kNoSlot) {
+    uint32_t next = lane.pool_next[slot];
+    Deliver(lane.pool[slot]);
+    ReleaseSlot(lane, slot);
+    slot = next;
+  }
+  lane.batch_free.push_back(batch_idx);
 }
 
 void Network::Deliver(const Message& msg) {

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "common/trace.h"
@@ -311,13 +312,32 @@ class Network {
   /// virtual-time barrier. Anything added to Lane must keep this
   /// property; state shared across shards belongs behind the driver's
   /// annotated mutexes instead.
+  /// A same-tick delivery batch: the chain of pooled messages one
+  /// sender addressed to one destination for one delivery instant. All
+  /// of them ride a single event-queue entry (keyed by the first
+  /// message's id) whose closure walks the chain — N same-tick sends
+  /// cost one schedule/pop instead of N. Ordering is unchanged because
+  /// a batch's message ids form a contiguous run of the destination's
+  /// same-tick key set: per-sender ids are monotone in scheduling
+  /// order and no other event can carry a key between them.
+  struct Batch {
+    uint32_t head = 0;         ///< first pool slot in the chain
+    uint32_t tail = 0;         ///< last pool slot in the chain
+    SimTime when = 0;          ///< delivery instant
+    uint32_t sender_slot = 0;  ///< SiteSlot(from)
+    uint32_t dst_slot = 0;     ///< SiteSlot(to)
+    /// Accepting appends: cleared when the batch fires or when a later
+    /// send to the same destination supersedes it.
+    bool open = false;
+  };
+
   struct Lane {
     Simulator* sim = nullptr;
     TraceLog* trace = nullptr;
     TraceCollector* collector = nullptr;
     NetworkStats stats;
     /// Message pool: ScheduleDelivery parks the message in a pool slot
-    /// and the delivery closure captures only {this, lane, slot} —
+    /// and the delivery closure captures only {this, lane, batch} —
     /// small enough for the event queue's inline callback storage, so
     /// an intra-shard send→deliver cycle allocates nothing in steady
     /// state. A deque keeps slots at stable addresses while handlers
@@ -325,7 +345,22 @@ class Network {
     /// message being delivered.
     std::deque<Message> pool;
     std::vector<uint32_t> pool_free;
+    /// pool_next[slot]: next pool slot in the slot's batch chain
+    /// (kNoSlot terminates). Parallel to `pool`.
+    std::vector<uint32_t> pool_next;
+    /// Free-listed batch records, and the currently open batch per
+    /// destination SiteSlot (kNoSlot when none).
+    std::vector<Batch> batches;
+    std::vector<uint32_t> batch_free;
+    std::vector<uint32_t> open_batch;
+    /// Reusable encode buffer for the codec-verification round trip
+    /// (and any other transient per-lane encode): capacity persists
+    /// across messages, so verified runs stop paying a per-message
+    /// allocation.
+    Arena arena;
   };
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
 
   /// Dense table index shared by the flat site tables (handlers, the
   /// down-site flags, RNG streams): name server in slot 0, regular site
@@ -351,8 +386,9 @@ class Network {
   void EnsureSiteTables(size_t slot);
   void SendMessage(Message msg);
   void ScheduleDelivery(Message msg, SimTime delay);
-  /// Delivers the pooled message in lane `lane`'s `slot`, recycling it.
-  void DeliverPooled(uint32_t lane, uint32_t slot);
+  /// Delivers every pooled message chained on lane `lane`'s batch
+  /// `batch`, recycling the slots and the batch record.
+  void DeliverBatch(uint32_t lane, uint32_t batch);
   void Deliver(const Message& msg);
   void EmitMessageEvent(Lane& lane, TraceEventKind kind, const Message& m,
                         SiteId at, const char* note);

@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rainbow {
@@ -19,7 +20,26 @@ EventQueue::EventId EventQueue::Schedule(SimTime when, uint64_t key,
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
-  heap_.push(Entry{when, key, next_seq_++, slot, s.gen});
+  Entry e{when, key, next_seq_++, slot, s.gen};
+
+  // A physically empty queue lets the cursor snap to the new entry's
+  // bucket: otherwise a queue whose clock "restarts" (fresh benchmark
+  // round, re-used scratch queue) would funnel everything into the
+  // active heap and degrade to the old binary-heap behaviour.
+  if (active_.empty() && ring_count_ == 0 && overflow_.empty()) {
+    cur_bucket_ = BucketOf(when);
+  }
+
+  const int64_t b = BucketOf(when);
+  if (b <= cur_bucket_) {
+    PushActive(e);
+  } else if (b < cur_bucket_ + kNumBuckets) {
+    ring_[b & kBucketMask].push_back(e);
+    ++ring_count_;
+  } else {
+    overflow_.push_back(e);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
   ++live_count_;
   return MakeId(slot, s.gen);
 }
@@ -44,22 +64,79 @@ void EventQueue::RetireSlot(uint32_t slot) {
   free_slots_.push_back(slot);
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && !Live(heap_.top())) {
-    heap_.pop();
+void EventQueue::PushActive(Entry e) {
+  active_.push_back(e);
+  std::push_heap(active_.begin(), active_.end(), Later{});
+}
+
+void EventQueue::PullOverflow() {
+  const int64_t horizon = cur_bucket_ + kNumBuckets;
+  while (!overflow_.empty()) {
+    const int64_t b = BucketOf(overflow_.front().time);
+    if (b >= horizon) break;
+    Entry e = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    overflow_.pop_back();
+    if (!Live(e)) continue;  // tombstone: drop it here
+    if (b <= cur_bucket_) {
+      PushActive(e);
+    } else {
+      ring_[b & kBucketMask].push_back(e);
+      ++ring_count_;
+    }
+  }
+}
+
+bool EventQueue::AdvanceToLive() {
+  for (;;) {
+    // Drop tombstones surfacing at the active front.
+    while (!active_.empty() && !Live(active_.front())) {
+      std::pop_heap(active_.begin(), active_.end(), Later{});
+      active_.pop_back();
+    }
+    // Ring and overflow entries always lie in buckets strictly after
+    // cur_bucket_, i.e. strictly later than every active entry, so a
+    // live active front is the global minimum.
+    if (!active_.empty()) return true;
+
+    if (ring_count_ == 0) {
+      while (!overflow_.empty() && !Live(overflow_.front())) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+        overflow_.pop_back();
+      }
+      if (overflow_.empty()) return false;
+      // The whole calendar is empty: jump the cursor straight to the
+      // earliest overflow entry's bucket (always ahead of cur_bucket_
+      // — overflow entries start beyond the horizon).
+      cur_bucket_ = BucketOf(overflow_.front().time);
+    } else {
+      ++cur_bucket_;
+      std::vector<Entry>& bucket = ring_[cur_bucket_ & kBucketMask];
+      if (!bucket.empty()) {
+        // Everything in this ring slot belongs to exactly the bucket
+        // we just entered (inserts beyond one lap go to overflow), so
+        // the drain is a straight swap. active_ is empty here; the
+        // swap circulates capacity instead of allocating.
+        ring_count_ -= bucket.size();
+        active_.swap(bucket);
+        std::make_heap(active_.begin(), active_.end(), Later{});
+      }
+    }
+    PullOverflow();
   }
 }
 
 SimTime EventQueue::NextTime() {
-  SkipCancelled();
-  return heap_.empty() ? kSimTimeMax : heap_.top().time;
+  return AdvanceToLive() ? active_.front().time : kSimTimeMax;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  Entry top = heap_.top();
-  heap_.pop();
+  bool have = AdvanceToLive();
+  assert(have);
+  (void)have;
+  std::pop_heap(active_.begin(), active_.end(), Later{});
+  Entry top = active_.back();
+  active_.pop_back();
   Slot& s = slots_[top.slot];
   Fired fired{top.time, std::move(s.cb)};
   // Retire before the caller runs the callback: a callback cancelling

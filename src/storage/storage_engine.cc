@@ -136,7 +136,7 @@ std::vector<Lsn> PageStore::PendingUpdates(Lsn last) const {
   std::vector<Lsn> pending;
   Lsn cur = last;
   while (cur != kNoLsn) {
-    const WalRecord& rec = wal_->records()[cur - 1];
+    const WalRecord& rec = wal_->At(cur);
     if (rec.kind == WalRecordKind::kStoreClr) {
       cur = rec.undo_next_lsn;
       continue;
@@ -170,7 +170,7 @@ void PageStore::AbortStorageTxn(TxnId txn) {
   abort.prev_lsn = last;
   Lsn tail = wal_->Append(std::move(abort));
   for (Lsn ulsn : PendingUpdates(last)) {  // newest first
-    const WalRecord& upd = wal_->records()[ulsn - 1];
+    const WalRecord& upd = wal_->At(ulsn);
     WalRecord clr;
     clr.kind = WalRecordKind::kStoreClr;
     clr.txn = txn;
@@ -217,6 +217,42 @@ void PageStore::EndCheckpoint(Lsn begin_lsn) {
   // ignores a begin with no matching end (crash mid-checkpoint) by
   // falling back to the previous master.
   wal_->SetMaster(begin_lsn);
+
+  // With the checkpoint durable, reclaim the log head. The barrier is
+  // the earliest LSN any future restart could still dereference:
+  //   - the master record itself (analysis is seeded from it),
+  //   - the minimum recLSN in the dirty-page table (redo may start
+  //     before the checkpoint for a page that never got flushed),
+  //   - the earliest record of any open storage txn's backward chain
+  //     (undo walks the whole chain if that txn loses), and
+  //   - the commit protocol's own floor (prepared-undecided and
+  //     decided-unacknowledged transactions must keep their records).
+  // Crash-between-halves stays safe by construction: truncation only
+  // ever happens after SetMaster, so the log always retains everything
+  // from the last COMPLETE checkpoint's barrier onward.
+  Lsn barrier = begin_lsn;
+  for (const auto& [page, rec_lsn] : dpt_) {
+    if (rec_lsn != kNoLsn && rec_lsn < barrier) barrier = rec_lsn;
+  }
+  for (const auto& [txn, last] : att_) {
+    Lsn floor_lsn = ChainFloor(last);
+    if (floor_lsn < barrier) barrier = floor_lsn;
+  }
+  Lsn proto = wal_->ProtocolBarrier();
+  if (proto < barrier) barrier = proto;
+  wal_->TruncateBefore(barrier);
+}
+
+Lsn PageStore::ChainFloor(Lsn last) const {
+  Lsn floor_lsn = last;
+  Lsn cur = last;
+  while (cur != kNoLsn) {
+    floor_lsn = cur;
+    const WalRecord& rec = wal_->At(cur);
+    cur = rec.kind == WalRecordKind::kStoreClr ? rec.undo_next_lsn
+                                               : rec.prev_lsn;
+  }
+  return floor_lsn;
 }
 
 Lsn PageStore::Checkpoint() {
@@ -258,7 +294,11 @@ void PageStore::OnCrash() {
 RestartSummary PageStore::Restart() {
   RestartSummary summary;
   uint64_t quarantined_before = disk_.quarantined();
-  const std::vector<WalRecord>& log = wal_->records();
+  // Oldest retained LSN and newest LSN: checkpoint-end truncation may
+  // have reclaimed the log head, so every walk below is LSN-based (via
+  // Wal::At) rather than raw vector indexing.
+  const Lsn first_lsn = wal_->base() + 1;
+  const Lsn last_lsn = wal_->LastLsn();
 
   // --- Checkpoint lookup: the master pointer names the begin record of
   // the last COMPLETE checkpoint. Seed the ATT and dirty-page table
@@ -269,30 +309,30 @@ RestartSummary PageStore::Restart() {
   // completed.
   std::map<TxnId, Lsn> att;
   dpt_.clear();
-  size_t scan_from = 0;  // log index analysis starts at
+  Lsn scan_from = first_lsn;  // LSN analysis starts at
   Lsn master = wal_->master();
-  if (master != kNoLsn && master <= log.size() &&
-      log[master - 1].kind == WalRecordKind::kCheckpointBegin) {
-    for (size_t i = master; i < log.size(); ++i) {
-      const WalRecord& rec = log[i];
+  if (master != kNoLsn && wal_->Contains(master) &&
+      wal_->At(master).kind == WalRecordKind::kCheckpointBegin) {
+    for (Lsn l = master + 1; l <= last_lsn; ++l) {
+      const WalRecord& rec = wal_->At(l);
       if (rec.kind == WalRecordKind::kCheckpointEnd &&
           rec.prev_lsn == master) {
         for (const auto& [txn, lsn] : rec.checkpoint.att) att[txn] = lsn;
         for (const auto& [page, lsn] : rec.checkpoint.dpt) dpt_[page] = lsn;
-        scan_from = master;  // records with LSN > master
+        scan_from = master + 1;  // records with LSN > master
         break;
       }
     }
   }
-  summary.log_scanned = log.size() - scan_from;
+  summary.log_scanned =
+      last_lsn >= scan_from ? static_cast<size_t>(last_lsn - scan_from + 1) : 0;
 
   // --- Analysis: rebuild the active storage-transaction table (and
   // grow the dirty-page table conservatively: any page a post-
   // checkpoint record touched may have been dirty at the crash; the
   // page-LSN gate makes an unnecessary redo visit a no-op). ---
-  for (size_t i = scan_from; i < log.size(); ++i) {
-    const WalRecord& rec = log[i];
-    Lsn lsn = static_cast<Lsn>(i) + 1;
+  for (Lsn lsn = scan_from; lsn <= last_lsn; ++lsn) {
+    const WalRecord& rec = wal_->At(lsn);
     if (rec.kind == WalRecordKind::kStoreUpdate ||
         rec.kind == WalRecordKind::kStoreClr) {
       if (rec.store.page_id != kInvalidPageId) {
@@ -338,17 +378,18 @@ RestartSummary PageStore::Restart() {
   // tentative update before the redo window was never applied to any
   // page, so skipping it is safe: its CLR's exact-version guard
   // no-ops.
-  size_t redo_from = scan_from;
+  Lsn redo_from = scan_from;
   for (const auto& [page, rec_lsn] : dpt_) {
     (void)page;
-    if (rec_lsn != kNoLsn && static_cast<size_t>(rec_lsn - 1) < redo_from) {
-      redo_from = static_cast<size_t>(rec_lsn - 1);
-    }
+    if (rec_lsn != kNoLsn && rec_lsn < redo_from) redo_from = rec_lsn;
   }
-  summary.redo_start = static_cast<Lsn>(redo_from) + 1;
-  for (size_t i = redo_from; i < log.size(); ++i) {
-    const WalRecord& rec = log[i];
-    Lsn lsn = static_cast<Lsn>(i) + 1;
+  // A recLSN below the retained head would point at a truncated record;
+  // the truncation barrier guarantees that never names work redo still
+  // owes, so clamp defensively.
+  if (redo_from < first_lsn) redo_from = first_lsn;
+  summary.redo_start = redo_from;
+  for (Lsn lsn = redo_from; lsn <= last_lsn; ++lsn) {
+    const WalRecord& rec = wal_->At(lsn);
     if (rec.kind == WalRecordKind::kStoreUpdate) {
       if (rec.store.tentative && !losers.contains(rec.txn)) {
         ++summary.redo_skipped;
@@ -380,7 +421,7 @@ RestartSummary PageStore::Restart() {
   std::sort(to_undo.begin(), to_undo.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   for (const auto& [ulsn, txn] : to_undo) {
-    const WalRecord& upd = wal_->records()[ulsn - 1];
+    const WalRecord& upd = wal_->At(ulsn);
     WalRecord clr;
     clr.kind = WalRecordKind::kStoreClr;
     clr.txn = txn;
@@ -416,7 +457,9 @@ RestartSummary PageStore::Restart() {
     std::map<uint32_t, Lsn> live;
     for (PageId page : pool_.DirtyPages()) {
       auto it = dpt_.find(page);
-      live[page] = it != dpt_.end() ? it->second : static_cast<Lsn>(1);
+      // Unknown recLSN: pin to the oldest retained record. Anything
+      // older was truncated precisely because no dirty page needed it.
+      live[page] = it != dpt_.end() ? it->second : first_lsn;
     }
     dpt_ = std::move(live);
   }

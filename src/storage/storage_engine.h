@@ -244,6 +244,11 @@ class PageStore : public StorageEngine {
   /// chain from `last` and skipping through CLRs' undo_next_lsn.
   std::vector<Lsn> PendingUpdates(Lsn last) const;
 
+  /// Earliest LSN reachable from chain tail `last` (normally the
+  /// transaction's kStoreBegin) — the record undo could still need, so
+  /// head truncation must not pass it.
+  Lsn ChainFloor(Lsn last) const;
+
   Wal* wal_;
   PageStoreOptions opts_;
   FaultyDiskManager disk_;

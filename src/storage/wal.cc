@@ -44,23 +44,78 @@ const char* WalRecordKindName(WalRecordKind k) {
 }
 
 Lsn Wal::Append(WalRecord record) {
-  IndexRecord(record);
+  Lsn lsn = NextLsn();
+  IndexRecord(record, lsn);
   records_.push_back(std::move(record));
-  return static_cast<Lsn>(records_.size());
+  return lsn;
 }
 
-void Wal::IndexRecord(const WalRecord& record) {
+void Wal::IndexRecord(const WalRecord& record, Lsn lsn) {
   switch (record.kind) {
     case WalRecordKind::kPrepared:
-      proto_index_[record.txn].prepared = true;
-      break;
+    case WalRecordKind::kPreCommitted:
     case WalRecordKind::kCommitDecision:
     case WalRecordKind::kAbortDecision:
-      proto_index_[record.txn].decided = true;
+    case WalRecordKind::kApplied:
+    case WalRecordKind::kEnd:
+      break;
+    default:
+      return;  // storage records carry no protocol state
+  }
+  ProtoState& st = proto_index_[record.txn];
+  if (st.first_lsn == kNoLsn || lsn < st.first_lsn) st.first_lsn = lsn;
+  switch (record.kind) {
+    case WalRecordKind::kPrepared:
+      st.prepared = true;
+      break;
+    case WalRecordKind::kPreCommitted:
+      st.precommitted = true;
+      break;
+    case WalRecordKind::kCommitDecision:
+      st.decided = true;
+      st.commit = true;
+      if (!record.participants.empty()) st.coordinator = true;
+      break;
+    case WalRecordKind::kAbortDecision:
+      st.decided = true;
+      st.commit = false;
+      if (!record.participants.empty()) st.coordinator = true;
+      break;
+    case WalRecordKind::kApplied:
+      st.applied = true;
+      break;
+    case WalRecordKind::kEnd:
+      st.ended = true;
       break;
     default:
       break;
   }
+}
+
+size_t Wal::TruncateBefore(Lsn lsn) {
+  if (lsn <= base_ + 1) return 0;
+  Lsn limit = std::min(lsn, NextLsn());
+  size_t drop = static_cast<size_t>(limit - base_ - 1);
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(drop));
+  base_ = limit - 1;
+  // A master inside the reclaimed prefix no longer names a record;
+  // analysis would fall back to a full (retained-log) scan anyway, so
+  // clear it rather than leave a dangling pointer. The storage engine's
+  // barrier keeps the master record retained, so this only fires for
+  // direct (test / tool) truncation calls.
+  if (master_ != kNoLsn && master_ <= base_) master_ = kNoLsn;
+  return drop;
+}
+
+Lsn Wal::ProtocolBarrier() const {
+  Lsn barrier = NextLsn();
+  for (const auto& [txn, st] : proto_index_) {
+    if (!st.Closed() && st.first_lsn != kNoLsn && st.first_lsn < barrier) {
+      barrier = st.first_lsn;
+    }
+  }
+  return barrier;
 }
 
 bool Wal::IsPreparedUndecided(const TxnId& txn) const {
@@ -71,6 +126,21 @@ bool Wal::IsPreparedUndecided(const TxnId& txn) const {
 
 std::unordered_map<TxnId, Wal::TxnLogState> Wal::Scan() const {
   std::unordered_map<TxnId, TxnLogState> out;
+  // Seed from the per-transaction digest so transactions whose records
+  // were head-truncated still report their (closed) protocol state —
+  // recovery's decision-cache rebuild must see the same answers before
+  // and after a truncation. The record walk below then overlays the
+  // payload-bearing fields (prepared_record, decision_participants),
+  // which only recovery paths for non-truncatable transactions read.
+  for (const auto& [txn, st] : proto_index_) {
+    TxnLogState& s = out[txn];
+    s.prepared = st.prepared;
+    s.precommitted = st.precommitted;
+    s.decided = st.decided;
+    s.commit = st.commit;
+    s.applied = st.applied;
+    s.ended = st.ended;
+  }
   for (const WalRecord& r : records_) {
     switch (r.kind) {
       case WalRecordKind::kPrepared: {
@@ -154,11 +224,26 @@ namespace {
 // every record as [len u32][crc32 u32][payload] (so a torn tail is
 // detectable and truncatable), adds the checkpoint master pointer to
 // the header, and adds the checkpoint record kinds with their ATT /
-// dirty-page-table payload.
+// dirty-page-table payload. Version 4 supports head-truncated logs:
+// the header gains the base LSN (records reclaimed before the first
+// retained one) and a protocol digest — one compact entry per
+// transaction whose records were truncated — so Scan() answers
+// identically after a save/load round trip of a truncated log.
 constexpr uint32_t kWalMagic = 0x4c415752;
-constexpr uint32_t kWalVersion = 3;
-// magic + version + master + count.
-constexpr size_t kWalHeaderBytes = 4 + 4 + 8 + 4;
+constexpr uint32_t kWalVersion = 4;
+// v3 fixed header: magic + version + master + count. v4's header is
+// variable-length (digest), so its record offset is computed from the
+// decoder instead.
+constexpr size_t kWalHeaderBytesV3 = 4 + 4 + 8 + 4;
+
+// ProtoState flag bits in a serialized digest entry.
+constexpr uint8_t kDigestPrepared = 1u << 0;
+constexpr uint8_t kDigestPrecommitted = 1u << 1;
+constexpr uint8_t kDigestDecided = 1u << 2;
+constexpr uint8_t kDigestCommit = 1u << 3;
+constexpr uint8_t kDigestApplied = 1u << 4;
+constexpr uint8_t kDigestEnded = 1u << 5;
+constexpr uint8_t kDigestCoordinator = 1u << 6;
 
 void EncodeRecordPayload(Encoder& e, const WalRecord& r) {
   e.PutU8(static_cast<uint8_t>(r.kind));
@@ -261,6 +346,29 @@ std::vector<uint8_t> Wal::Serialize() const {
   header.PutU32(kWalMagic);
   header.PutU32(kWalVersion);
   header.PutU64(master_);
+  header.PutU64(base_);
+  // Digest: only transactions with truncated records need their bits
+  // carried in the header — everything else is rebuilt from the
+  // retained records on load.
+  uint32_t digest_count = 0;
+  for (const auto& [txn, st] : proto_index_) {
+    if (st.first_lsn != kNoLsn && st.first_lsn <= base_) ++digest_count;
+  }
+  header.PutU32(digest_count);
+  for (const auto& [txn, st] : proto_index_) {
+    if (st.first_lsn == kNoLsn || st.first_lsn > base_) continue;
+    header.PutTxnId(txn);
+    uint8_t flags = 0;
+    if (st.prepared) flags |= kDigestPrepared;
+    if (st.precommitted) flags |= kDigestPrecommitted;
+    if (st.decided) flags |= kDigestDecided;
+    if (st.commit) flags |= kDigestCommit;
+    if (st.applied) flags |= kDigestApplied;
+    if (st.ended) flags |= kDigestEnded;
+    if (st.coordinator) flags |= kDigestCoordinator;
+    header.PutU8(flags);
+    header.PutU64(st.first_lsn);
+  }
   header.PutU32(static_cast<uint32_t>(records_.size()));
   std::vector<uint8_t> out = header.Take();
   for (const WalRecord& r : records_) {
@@ -307,22 +415,57 @@ Status Wal::DeserializeImpl(const std::vector<uint8_t>& buffer, bool tolerant,
       return Status::InvalidArgument("trailing bytes in WAL file");
     }
     records_ = std::move(records);
+    base_ = 0;
     master_ = kNoLsn;
     proto_index_.clear();
-    for (const WalRecord& r : records_) IndexRecord(r);
+    Lsn lsn = 0;
+    for (const WalRecord& r : records_) IndexRecord(r, ++lsn);
     return Status::OK();
   }
-  if (buffer.size() < kWalHeaderBytes) {
-    // A file this short never finished its very first save; even the
-    // tolerant path has nothing to salvage.
+  // A header cut short never finished its very first save; even the
+  // tolerant path has nothing to salvage.
+  auto header_err = [tolerant]() {
     return tolerant ? Status::IoError("truncated WAL header")
                     : Status::InvalidArgument("truncated WAL header");
+  };
+  if (buffer.size() < kWalHeaderBytesV3) return header_err();
+  Result<uint64_t> master_r = d.GetU64();
+  if (!master_r.ok()) return header_err();
+  uint64_t master = master_r.value();
+  uint64_t base = 0;
+  std::map<TxnId, ProtoState> digest;
+  if (version >= 4) {
+    Result<uint64_t> base_r = d.GetU64();
+    if (!base_r.ok()) return header_err();
+    base = base_r.value();
+    Result<uint32_t> digest_count = d.GetU32();
+    if (!digest_count.ok()) return header_err();
+    for (uint32_t i = 0; i < digest_count.value(); ++i) {
+      Result<TxnId> txn = d.GetTxnId();
+      if (!txn.ok()) return header_err();
+      Result<uint8_t> flags_r = d.GetU8();
+      if (!flags_r.ok()) return header_err();
+      Result<uint64_t> first = d.GetU64();
+      if (!first.ok()) return header_err();
+      uint8_t flags = flags_r.value();
+      ProtoState st;
+      st.first_lsn = first.value();
+      st.prepared = (flags & kDigestPrepared) != 0;
+      st.precommitted = (flags & kDigestPrecommitted) != 0;
+      st.decided = (flags & kDigestDecided) != 0;
+      st.commit = (flags & kDigestCommit) != 0;
+      st.applied = (flags & kDigestApplied) != 0;
+      st.ended = (flags & kDigestEnded) != 0;
+      st.coordinator = (flags & kDigestCoordinator) != 0;
+      digest[txn.value()] = st;
+    }
   }
-  RAINBOW_ASSIGN_OR_RETURN(uint64_t master, d.GetU64());
-  RAINBOW_ASSIGN_OR_RETURN(uint32_t count, d.GetU32());
+  Result<uint32_t> count_r = d.GetU32();
+  if (!count_r.ok()) return header_err();
+  uint32_t count = count_r.value();
   std::vector<WalRecord> records;
   records.reserve(count);
-  size_t off = kWalHeaderBytes;
+  size_t off = buffer.size() - d.remaining();
   size_t drop = 0;
   for (uint32_t i = 0; i < count; ++i) {
     if (buffer.size() - off < 8) {
@@ -378,12 +521,18 @@ Status Wal::DeserializeImpl(const std::vector<uint8_t>& buffer, bool tolerant,
     return Status::InvalidArgument("trailing bytes in WAL file");
   }
   records_ = std::move(records);
+  base_ = static_cast<Lsn>(base);
   // The master is advisory (analysis falls back to a full scan when it
   // finds no checkpoint); clamp rather than fail if the tail truncation
-  // dropped the records it pointed at.
-  master_ = std::min<Lsn>(master, static_cast<Lsn>(records_.size()));
-  proto_index_.clear();
-  for (const WalRecord& r : records_) IndexRecord(r);
+  // dropped the records it pointed at, and clear it if it points into
+  // the head-truncated prefix (a malformed header, not a real save).
+  master_ = std::min<Lsn>(master, LastLsn());
+  if (master_ <= base_) master_ = kNoLsn;
+  // Digest entries cover the truncated prefix; retained records rebuild
+  // the rest incrementally, min-merging first_lsn where both exist.
+  proto_index_ = std::move(digest);
+  Lsn lsn = base_;
+  for (const WalRecord& r : records_) IndexRecord(r, ++lsn);
   if (dropped != nullptr) *dropped = drop;
   return Status::OK();
 }

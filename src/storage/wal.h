@@ -1,6 +1,7 @@
 #ifndef RAINBOW_STORAGE_WAL_H_
 #define RAINBOW_STORAGE_WAL_H_
 
+#include <cassert>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -12,9 +13,11 @@
 
 namespace rainbow {
 
-/// Log sequence number: 1-based index into the site's WAL (record at
-/// records()[i] has LSN i + 1). kNoLsn marks "no record" in backward
-/// chains and in freshly loaded page headers.
+/// Log sequence number: 1-based position in the site's WAL. LSNs are
+/// stable across head truncation: after TruncateBefore() the record at
+/// records()[i] has LSN base() + i + 1, and At(lsn) resolves an LSN
+/// regardless of how much head has been reclaimed. kNoLsn marks "no
+/// record" in backward chains and in freshly loaded page headers.
 using Lsn = uint64_t;
 inline constexpr Lsn kNoLsn = 0;
 
@@ -119,14 +122,51 @@ struct WalRecord {
 /// records interleave with the protocol records in one LSN space.
 class Wal {
  public:
-  /// Appends and returns the record's LSN (1-based index).
+  /// Appends and returns the record's LSN (1-based, truncation-stable).
   Lsn Append(WalRecord record);
 
+  /// The retained records: records()[i] has LSN base() + i + 1.
   const std::vector<WalRecord>& records() const { return records_; }
+  /// Number of retained (not truncated) records.
   size_t size() const { return records_.size(); }
 
+  /// Number of records reclaimed from the head by TruncateBefore();
+  /// the oldest retained record has LSN base() + 1.
+  Lsn base() const { return base_; }
+
+  /// LSN of the newest record (== base() when the log is empty).
+  Lsn LastLsn() const { return base_ + static_cast<Lsn>(records_.size()); }
+
   /// LSN the next appended record will get.
-  Lsn NextLsn() const { return static_cast<Lsn>(records_.size()) + 1; }
+  Lsn NextLsn() const { return LastLsn() + 1; }
+
+  /// True iff `lsn` names a retained record.
+  bool Contains(Lsn lsn) const { return lsn > base_ && lsn <= LastLsn(); }
+
+  /// The retained record with the given LSN; asserts Contains(lsn).
+  const WalRecord& At(Lsn lsn) const {
+    assert(Contains(lsn));
+    return records_[static_cast<size_t>(lsn - base_ - 1)];
+  }
+
+  /// Reclaims every record with LSN < `lsn` (clamped to the retained
+  /// range) and returns how many were dropped. LSNs of the surviving
+  /// records do not change. Protocol state of the dropped records stays
+  /// queryable: the incremental per-transaction index keeps their
+  /// prepared/decided/applied/ended bits, so Scan() (and with it the
+  /// recovery paths that rebuild decision caches) answers exactly as it
+  /// did before the truncation — only the raw record bodies are gone.
+  /// The caller owns the safety argument that nothing will dereference
+  /// the dropped LSNs (see PageStore::EndCheckpoint's barrier).
+  size_t TruncateBefore(Lsn lsn);
+
+  /// Earliest LSN still needed by commit-protocol recovery: the first
+  /// record of any transaction that is not yet closed (undecided, or
+  /// decided but not yet applied/acknowledged). NextLsn() when every
+  /// logged transaction is closed. Head truncation must never pass
+  /// this point, or InDoubt()/DecidedUnended() would lose records they
+  /// still have to return.
+  Lsn ProtocolBarrier() const;
 
   /// LSN of the kCheckpointBegin record of the last COMPLETE checkpoint
   /// (the ARIES "master record"); kNoLsn before the first one. Restart
@@ -156,7 +196,12 @@ class Wal {
 
   /// Scans the log and summarizes every transaction that appears in it.
   /// Storage-engine records (kStore*) are invisible here — the page
-  /// engine's restart pass scans them separately.
+  /// engine's restart pass scans them separately. Transactions whose
+  /// records were head-truncated still appear, reconstructed from the
+  /// incremental digest (truncation only ever drops closed
+  /// transactions' records, so the digest bits are the whole story;
+  /// prepared_record / decision_participants are only populated from
+  /// retained records, which is exactly the set recovery dereferences).
   std::unordered_map<TxnId, TxnLogState> Scan() const;
 
   /// Transactions that this site prepared (voted YES) but whose outcome
@@ -207,18 +252,38 @@ class Wal {
   Status LoadFromFile(const std::string& path, size_t* dropped = nullptr);
 
  private:
+  /// Cumulative protocol bits for one transaction — the digest that
+  /// outlives head truncation. first_lsn anchors ProtocolBarrier();
+  /// coordinator means this site logged the decision with a participant
+  /// list (so kEnd, not kApplied, closes the transaction here).
   struct ProtoState {
+    Lsn first_lsn = kNoLsn;
     bool prepared = false;
+    bool precommitted = false;
     bool decided = false;
+    bool commit = false;
+    bool applied = false;
+    bool ended = false;
+    bool coordinator = false;
+
+    /// A closed transaction's records are safe to truncate: the digest
+    /// alone answers every later query about it.
+    bool Closed() const {
+      return decided && (!prepared || applied) && (!coordinator || ended);
+    }
   };
 
   Status DeserializeImpl(const std::vector<uint8_t>& buffer, bool tolerant,
                          size_t* dropped);
-  void IndexRecord(const WalRecord& record);
+  void IndexRecord(const WalRecord& record, Lsn lsn);
 
   std::vector<WalRecord> records_;
+  /// Records reclaimed from the head; records_[i] has LSN base_ + i + 1.
+  Lsn base_ = 0;
   Lsn master_ = kNoLsn;
-  /// Incremental prepared/decided index for IsPreparedUndecided().
+  /// Incremental per-transaction protocol digest (see ProtoState).
+  /// Survives truncation; serialized for transactions whose records
+  /// were truncated so a saved log reloads with identical Scan() state.
   std::map<TxnId, ProtoState> proto_index_;
 };
 

@@ -272,6 +272,78 @@ TEST(CodecTest, DecodeRejectsBadEnums) {
   EXPECT_FALSE(DecodePayload(wire).ok());
 }
 
+TEST(CodecTest, FuzzedTruncationsAndBitFlipsNeverCrash) {
+  // Hardening property over every message kind: any strict prefix of a
+  // valid encoding must fail cleanly, and a randomly bit-flipped wire
+  // image must either fail cleanly or decode to a value whose canonical
+  // re-encoding decodes again. Nothing may crash or read out of bounds
+  // (the sanitizer CI jobs give that clause its teeth).
+  Rng rng(20260808);
+  for (int k = 0; k < static_cast<int>(MessageKind::kCount); ++k) {
+    MessageKind kind = static_cast<MessageKind>(k);
+    for (int round = 0; round < 8; ++round) {
+      std::optional<Payload> p = RandomPayload(kind, rng);
+      ASSERT_TRUE(p.has_value()) << "no generator for kind " << k;
+
+      Message m;
+      m.id = rng.Next();
+      m.from = static_cast<SiteId>(rng.NextUint(32));
+      m.to = static_cast<SiteId>(rng.NextUint(32));
+      m.sent_at = static_cast<SimTime>(rng.NextUint(1'000'000'000));
+      m.rpc_id = rng.NextBool(0.5) ? rng.Next() : 0;
+      m.rpc_is_reply = rng.NextBool(0.5);
+      m.payload = *p;
+
+      const std::vector<uint8_t> pay_wire = EncodePayload(*p);
+      const std::vector<uint8_t> msg_wire = EncodeMessage(m);
+
+      // (a) Every strict prefix is rejected, at both framing layers.
+      for (size_t len = 0; len < pay_wire.size(); ++len) {
+        std::vector<uint8_t> cut(pay_wire.begin(),
+                                 pay_wire.begin() + static_cast<ptrdiff_t>(len));
+        EXPECT_FALSE(DecodePayload(cut).ok())
+            << "kind " << k << " payload prefix " << len;
+      }
+      for (size_t len = 0; len < msg_wire.size(); ++len) {
+        std::vector<uint8_t> cut(msg_wire.begin(),
+                                 msg_wire.begin() + static_cast<ptrdiff_t>(len));
+        EXPECT_FALSE(DecodeMessage(cut).ok())
+            << "kind " << k << " message prefix " << len;
+      }
+
+      // (b) Bit flips: a flip may land in a benign value byte, so
+      // success is allowed — but then the decoded value must survive a
+      // canonical re-encode/decode cycle.
+      for (int flip = 0; flip < 32; ++flip) {
+        std::vector<uint8_t> mut = pay_wire;
+        for (uint64_t i = 0, n = 1 + rng.NextUint(3); i < n; ++i) {
+          mut[rng.NextUint(mut.size())] ^=
+              static_cast<uint8_t>(1u << rng.NextUint(8));
+        }
+        auto r = DecodePayload(mut);
+        if (r.ok()) {
+          EXPECT_TRUE(DecodePayload(EncodePayload(*r)).ok())
+              << "kind " << k << ": flipped payload decoded but does not "
+              << "re-encode canonically";
+        }
+      }
+      for (int flip = 0; flip < 32; ++flip) {
+        std::vector<uint8_t> mut = msg_wire;
+        for (uint64_t i = 0, n = 1 + rng.NextUint(3); i < n; ++i) {
+          mut[rng.NextUint(mut.size())] ^=
+              static_cast<uint8_t>(1u << rng.NextUint(8));
+        }
+        auto r = DecodeMessage(mut);
+        if (r.ok()) {
+          EXPECT_TRUE(DecodeMessage(EncodeMessage(*r)).ok())
+              << "kind " << k << ": flipped message decoded but does not "
+              << "re-encode canonically";
+        }
+      }
+    }
+  }
+}
+
 TEST(CodecTest, FullMessageRoundTrip) {
   Message m;
   m.id = 42;

@@ -273,5 +273,118 @@ TEST(EventQueueModelTest, RandomizedAgainstNaiveReference) {
   EXPECT_EQ(q.NextTime(), kSimTimeMax);
 }
 
+// The calendar/ladder structure has tier boundaries the uniform test
+// above never crosses: times beyond the ring horizon (overflow heap),
+// cursor wrap-around of the bucket ring, schedules at or behind the
+// cursor after long quiet jumps, and explicit ordering keys competing
+// at one tick. Drive all of them against the same naive reference for
+// >10k mixed steps.
+TEST(EventQueueModelTest, CalendarTiersDifferentialSweep) {
+  struct RefEvent {
+    SimTime time;
+    uint64_t key;
+    uint64_t seq;
+    int tag;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  Rng rng(20260808);
+  EventQueue q;
+  std::vector<RefEvent> ref;
+  std::vector<EventQueue::EventId> ids;
+  std::vector<int> fired_real;
+  uint64_t seq = 0;
+  SimTime low_water = 0;  // latest fired time: schedule floor
+
+  auto ref_next = [&]() -> const RefEvent* {
+    const RefEvent* best = nullptr;
+    for (const RefEvent& e : ref) {
+      if (e.cancelled || e.fired) continue;
+      if (best == nullptr || e.time < best->time ||
+          (e.time == best->time &&
+           (e.key < best->key || (e.key == best->key && e.seq < best->seq)))) {
+        best = &e;
+      }
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 12000; ++step) {
+    uint64_t op = rng.NextUint(100);
+    if (op < 50) {  // Schedule across all three tiers
+      uint64_t shape = rng.NextUint(100);
+      SimTime when;
+      if (shape < 45) {
+        when = low_water + static_cast<SimTime>(rng.NextUint(64));  // active
+      } else if (shape < 80) {
+        when = low_water + static_cast<SimTime>(rng.NextUint(16'000));  // ring
+      } else if (shape < 95) {
+        // Far future: past the 256-bucket horizon, into the overflow
+        // heap (and across many full ring revolutions).
+        when =
+            low_water + 16'384 + static_cast<SimTime>(rng.NextUint(5'000'000));
+      } else {
+        when = low_water;  // exactly at the cursor's tick
+      }
+      uint64_t key = rng.NextUint(4);  // collide keys at shared ticks
+      int tag = static_cast<int>(ref.size());
+      ref.push_back(RefEvent{when, key, seq++, tag});
+      ids.push_back(q.Schedule(
+          when, key, [&fired_real, tag] { fired_real.push_back(tag); }));
+    } else if (op < 70) {  // Cancel anything ever scheduled
+      if (ids.empty()) continue;
+      size_t tag = rng.NextUint(ids.size());
+      RefEvent& e = ref[tag];
+      bool ref_ok = !e.cancelled && !e.fired;  // false = cancel-after-fire
+      e.cancelled = true;
+      EXPECT_EQ(q.Cancel(ids[tag]), ref_ok) << "step " << step;
+    } else if (op < 95) {  // PopNext + run
+      const RefEvent* next = ref_next();
+      ASSERT_EQ(q.empty(), next == nullptr) << "step " << step;
+      if (next == nullptr) continue;
+      ASSERT_EQ(q.NextTime(), next->time) << "step " << step;
+      EventQueue::Fired f = q.PopNext();
+      ASSERT_EQ(f.time, next->time) << "step " << step;
+      f.cb();
+      ASSERT_FALSE(fired_real.empty());
+      ASSERT_EQ(fired_real.back(), next->tag) << "step " << step;
+      ref[static_cast<size_t>(next->tag)].fired = true;
+      low_water = f.time;
+    } else {
+      // Quiet-period jump: drain a chunk so the cursor leaps across
+      // bucket-ring wraps (and lands on overflow-only states).
+      for (int burst = 0; burst < 40 && !q.empty(); ++burst) {
+        const RefEvent* next = ref_next();
+        ASSERT_NE(next, nullptr) << "step " << step;
+        EventQueue::Fired f = q.PopNext();
+        ASSERT_EQ(f.time, next->time) << "step " << step << " burst " << burst;
+        f.cb();
+        ASSERT_EQ(fired_real.back(), next->tag)
+            << "step " << step << " burst " << burst;
+        ref[static_cast<size_t>(next->tag)].fired = true;
+        low_water = f.time;
+      }
+    }
+    size_t live = 0;
+    for (const RefEvent& e : ref) {
+      if (!e.cancelled && !e.fired) ++live;
+    }
+    ASSERT_EQ(q.size(), live) << "step " << step;
+  }
+
+  // Drain to empty: total order must match the reference to the end.
+  while (!q.empty()) {
+    const RefEvent* next = ref_next();
+    ASSERT_NE(next, nullptr);
+    EventQueue::Fired f = q.PopNext();
+    ASSERT_EQ(f.time, next->time);
+    f.cb();
+    ASSERT_EQ(fired_real.back(), next->tag);
+    ref[static_cast<size_t>(next->tag)].fired = true;
+  }
+  EXPECT_EQ(ref_next(), nullptr);
+  EXPECT_EQ(q.NextTime(), kSimTimeMax);
+}
+
 }  // namespace
 }  // namespace rainbow

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/system.h"
 #include "fault/fault_injector.h"
 #include "workload/workload.h"
@@ -887,6 +889,67 @@ TEST(RecoveryTest, CrashDuringCheckpointSweep) {
     EXPECT_EQ(again.losers, 0u) << "cut=" << cut;
     ASSERT_EQ(store.Snapshot(), shadow) << "cut=" << cut;
   }
+}
+
+TEST(RecoveryTest, TruncatedLogCrashSweep) {
+  // Checkpoint-end truncation reclaims the WAL head while transactions
+  // keep committing. Sweep the crash over an increasing number of
+  // commit rounds (so it lands before the first checkpoint, right
+  // after one, and deep into a heavily truncated log) with one
+  // in-flight loser at every cut: restart must converge on the shadow
+  // map from the retained suffix alone, twice in a row.
+  Lsn max_base_seen = 0;
+  for (int crash_round = 1; crash_round <= 6; ++crash_round) {
+    Wal wal;
+    PageStoreOptions opts;
+    opts.page_size = 128;
+    opts.pool_pages = 8;
+    opts.checkpoint_interval = 16;
+    PageStore store(&wal, opts);
+    std::map<ItemId, ItemCopy> shadow;
+    for (ItemId i = 0; i < 16; ++i) {
+      store.Load(i, 0);
+      shadow[i] = ItemCopy{0, 0};
+    }
+    store.FlushAll();
+
+    Version ver = 1;
+    auto commit = [&](ItemId item, Value value) {
+      TxnId txn{0, ver};
+      store.LogPrewrite(txn, item, value);
+      ASSERT_TRUE(store.Apply(item, value, ver, txn));
+      store.CommitStorageTxn(txn);
+      shadow[item] = ItemCopy{value, ver};
+      ++ver;
+    };
+    for (int round = 0; round < crash_round; ++round) {
+      for (ItemId i = 0; i < 16; i += 2) {
+        commit(i, static_cast<Value>(100 * round + i));
+      }
+    }
+    // One granted-but-undecided prewrite in flight at the crash.
+    store.LogPrewrite(TxnId{0, 999}, 3, 3333);
+
+    const Lsn base_at_crash = wal.base();
+    max_base_seen = std::max(max_base_seen, base_at_crash);
+    store.OnCrash();
+    RestartSummary rs = store.Restart();
+    ASSERT_EQ(rs.tentative_leaks, 0u) << "crash_round=" << crash_round;
+    EXPECT_GE(rs.losers, 1u) << "crash_round=" << crash_round;
+    ASSERT_EQ(store.Snapshot(), shadow) << "crash_round=" << crash_round;
+    // Restart never resurrects reclaimed head records.
+    EXPECT_GE(wal.base(), base_at_crash);
+    // Analysis started no earlier than the retained head.
+    EXPECT_GT(rs.redo_start, base_at_crash) << "crash_round=" << crash_round;
+
+    store.OnCrash();
+    RestartSummary again = store.Restart();
+    ASSERT_EQ(again.tentative_leaks, 0u) << "crash_round=" << crash_round;
+    EXPECT_EQ(again.losers, 0u) << "crash_round=" << crash_round;
+    ASSERT_EQ(store.Snapshot(), shadow) << "crash_round=" << crash_round;
+  }
+  // The sweep must actually have exercised a truncated log.
+  EXPECT_GT(max_base_seen, 0u);
 }
 
 TEST(RecoveryTest, DoubleCrashDuringRedoConverges) {

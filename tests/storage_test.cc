@@ -466,9 +466,11 @@ TEST(WalTest, TolerantLoadRejectsMidLogCorruption) {
   wal.Append(Prepared(TxnId{0, 2}, {{2, 20, 2}}, {0, 1}));
   wal.Append(Prepared(TxnId{0, 3}, {{3, 30, 3}}, {0, 1}));
   std::vector<uint8_t> bad = wal.Serialize();
-  // First record's payload starts right after the file header and the
-  // first [len][crc] frame: flip a byte there.
-  bad[20 + 8 + 2] ^= 0x40;
+  // First record's payload starts right after the file header (v4 with
+  // an empty truncation digest: magic + version + master + base +
+  // digest count + record count = 32 bytes) and the first [len][crc]
+  // frame: flip a byte there.
+  bad[32 + 8 + 2] ^= 0x40;
 
   Wal target;
   target.Append(Prepared(TxnId{9, 9}, {}, {0}));
@@ -547,6 +549,176 @@ TEST(WalTest, SaveToFileReportsFlushErrors) {
   Status s = wal.SaveToFile("/dev/full");
   EXPECT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+// --- head truncation -------------------------------------------------------
+
+WalRecord Decision(WalRecordKind kind, TxnId txn,
+                   std::vector<SiteId> participants = {}) {
+  return WalRecord::Protocol(kind, txn, txn.home, {}, std::move(participants),
+                             false);
+}
+
+TEST(WalTest, TruncateBeforeKeepsLsnsStable) {
+  Wal wal;
+  TxnId t1{0, 1}, t2{0, 2};
+  Lsn l1 = wal.Append(Prepared(t1, {{1, 10, 1}}, {0, 1}));
+  wal.Append(Decision(WalRecordKind::kCommitDecision, t1));
+  wal.Append(Decision(WalRecordKind::kApplied, t1));
+  Lsn l4 = wal.Append(Prepared(t2, {{2, 20, 2}}, {0, 1}));
+  ASSERT_EQ(l1, 1u);
+  ASSERT_EQ(l4, 4u);
+
+  EXPECT_EQ(wal.TruncateBefore(4), 3u);
+  EXPECT_EQ(wal.base(), 3u);
+  EXPECT_EQ(wal.size(), 1u);
+  EXPECT_EQ(wal.LastLsn(), 4u);
+  EXPECT_EQ(wal.NextLsn(), 5u);
+  EXPECT_FALSE(wal.Contains(3));
+  ASSERT_TRUE(wal.Contains(4));
+  EXPECT_EQ(wal.At(4).txn, t2);
+
+  // Appends keep numbering from the pre-truncation LSN space.
+  Lsn l5 = wal.Append(Decision(WalRecordKind::kAbortDecision, t2));
+  EXPECT_EQ(l5, 5u);
+  ASSERT_TRUE(wal.Contains(5));
+
+  // Truncating at or below the current head is a no-op.
+  EXPECT_EQ(wal.TruncateBefore(2), 0u);
+  EXPECT_EQ(wal.TruncateBefore(4), 0u);
+  EXPECT_EQ(wal.base(), 3u);
+}
+
+TEST(WalTest, ScanAnswersFromDigestAfterTruncation) {
+  // Close a transaction completely (prepared -> commit -> applied),
+  // truncate its records away, and the scan-backed recovery queries
+  // must answer exactly as before: decided_cache_ rebuilds depend on
+  // this surviving checkpoint-time head reclamation.
+  Wal wal;
+  TxnId closed{0, 1}, open{0, 2};
+  wal.Append(Prepared(closed, {{1, 10, 1}}, {0, 1}));
+  wal.Append(Decision(WalRecordKind::kCommitDecision, closed));
+  wal.Append(Decision(WalRecordKind::kApplied, closed));
+  Lsn open_first = wal.Append(Prepared(open, {{2, 20, 2}}, {0, 1}));
+
+  // The open (in-doubt) transaction pins the protocol barrier.
+  EXPECT_EQ(wal.ProtocolBarrier(), open_first);
+  wal.TruncateBefore(wal.ProtocolBarrier());
+  EXPECT_EQ(wal.base(), open_first - 1);
+
+  auto scan = wal.Scan();
+  ASSERT_TRUE(scan.contains(closed));
+  EXPECT_TRUE(scan[closed].prepared);
+  EXPECT_TRUE(scan[closed].decided);
+  EXPECT_TRUE(scan[closed].commit);
+  EXPECT_TRUE(scan[closed].applied);
+  EXPECT_FALSE(wal.IsPreparedUndecided(closed));
+
+  // The in-doubt txn kept its full prepared record.
+  auto doubts = wal.InDoubt();
+  ASSERT_EQ(doubts.size(), 1u);
+  EXPECT_EQ(doubts[0].txn, open);
+  ASSERT_EQ(doubts[0].writes.size(), 1u);
+  EXPECT_EQ(doubts[0].writes[0].value, 20);
+
+  // And the digest survives a save/load round trip (v4 header).
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(wal.Serialize()).ok());
+  EXPECT_EQ(loaded.base(), wal.base());
+  EXPECT_EQ(loaded.LastLsn(), wal.LastLsn());
+  auto reloaded = loaded.Scan();
+  ASSERT_TRUE(reloaded.contains(closed));
+  EXPECT_TRUE(reloaded[closed].decided);
+  EXPECT_TRUE(reloaded[closed].commit);
+  EXPECT_TRUE(reloaded[closed].applied);
+  ASSERT_EQ(loaded.InDoubt().size(), 1u);
+  EXPECT_EQ(loaded.InDoubt()[0].txn, open);
+}
+
+TEST(WalTest, ProtocolBarrierTracksOpenTransactions) {
+  Wal wal;
+  TxnId coord{0, 1}, part{1, 2};
+  EXPECT_EQ(wal.ProtocolBarrier(), wal.NextLsn());
+
+  // Coordinator decision with a participant list: open until kEnd.
+  Lsn dec = wal.Append(Decision(WalRecordKind::kCommitDecision, coord, {1, 2}));
+  EXPECT_EQ(wal.ProtocolBarrier(), dec);
+
+  // Participant prepare: open until decided AND applied.
+  Lsn prep = wal.Append(Prepared(part, {{3, 30, 3}}, {0, 1}));
+  EXPECT_EQ(wal.ProtocolBarrier(), dec);
+
+  wal.Append(Decision(WalRecordKind::kEnd, coord));
+  EXPECT_EQ(wal.ProtocolBarrier(), prep);  // coordinator txn closed
+
+  wal.Append(Decision(WalRecordKind::kAbortDecision, part));
+  EXPECT_EQ(wal.ProtocolBarrier(), prep);  // decided but not applied
+  wal.Append(Decision(WalRecordKind::kApplied, part));
+  EXPECT_EQ(wal.ProtocolBarrier(), wal.NextLsn());  // everything closed
+}
+
+TEST(WalTest, TruncationClearsDanglingMaster) {
+  // A direct truncation past the master (storage-engine barriers never
+  // do this, but tools can) must not leave master() naming a record
+  // that no longer exists.
+  Wal wal;
+  WalRecord begin;
+  begin.kind = WalRecordKind::kCheckpointBegin;
+  Lsn b = wal.Append(begin);
+  WalRecord end;
+  end.kind = WalRecordKind::kCheckpointEnd;
+  end.prev_lsn = b;
+  wal.Append(end);
+  wal.Append(Prepared(TxnId{0, 9}, {}, {0}));
+  wal.SetMaster(b);
+
+  wal.TruncateBefore(3);
+  EXPECT_EQ(wal.base(), 2u);
+  EXPECT_EQ(wal.master(), kNoLsn);
+}
+
+TEST(WalTest, TruncatedFileRoundTripKeepsMasterAndTornTailRules) {
+  Wal wal;
+  wal.Append(Prepared(TxnId{0, 1}, {{1, 10, 1}}, {0, 1}));
+  wal.Append(Decision(WalRecordKind::kCommitDecision, TxnId{0, 1}));
+  wal.Append(Decision(WalRecordKind::kApplied, TxnId{0, 1}));
+  WalRecord begin;
+  begin.kind = WalRecordKind::kCheckpointBegin;
+  Lsn b = wal.Append(begin);
+  WalRecord end;
+  end.kind = WalRecordKind::kCheckpointEnd;
+  end.prev_lsn = b;
+  wal.Append(end);
+  wal.SetMaster(b);
+  wal.TruncateBefore(b);
+  ASSERT_EQ(wal.base(), b - 1);
+
+  std::vector<uint8_t> good = wal.Serialize();
+  Wal loaded;
+  ASSERT_TRUE(loaded.Deserialize(good).ok());
+  EXPECT_EQ(loaded.master(), b);
+  EXPECT_EQ(loaded.base(), b - 1);
+  ASSERT_TRUE(loaded.Contains(b));
+  EXPECT_EQ(loaded.At(b).kind, WalRecordKind::kCheckpointBegin);
+
+  // Strict load still rejects every proper prefix of a truncated log.
+  for (size_t len = 0; len < good.size(); ++len) {
+    Wal target;
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    EXPECT_FALSE(target.Deserialize(cut).ok()) << "prefix length " << len;
+  }
+
+  // Tolerant load of a torn final record drops it but keeps base/master.
+  std::vector<uint8_t> torn = good;
+  torn.back() ^= 0xff;
+  Wal tolerant;
+  size_t dropped = 0;
+  ASSERT_TRUE(tolerant.DeserializeTolerant(torn, &dropped).ok());
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(tolerant.base(), b - 1);
+  // The dropped record was the checkpoint end; the master still points
+  // at a retained begin record (clamping never resurrects it).
+  EXPECT_EQ(tolerant.master(), b);
 }
 
 TEST(WalTest, PreCommittedTracked) {
